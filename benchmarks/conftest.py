@@ -1,0 +1,11 @@
+"""Shared configuration for the benchmark harness."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+#: Per-scheduler execution budget used by the benchmarks.  The paper used
+#: 100,000 executions; the default here keeps the harness CI-sized.  Override
+#: with the REPRO_BENCH_ITERATIONS environment variable for a full-scale run.
+BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "60"))

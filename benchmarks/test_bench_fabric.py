@@ -1,0 +1,31 @@
+"""Benchmark: §5 — Fabric model promotion bug and the CScale failure analog."""
+
+from conftest import BENCH_ITERATIONS
+from repro.core import TestingConfig, run_test
+from repro.fabric import build_cscale_test, build_failover_test
+
+
+def test_bench_fabric_promotion_bug(benchmark):
+    def run():
+        return run_test(
+            build_failover_test(True),
+            TestingConfig(iterations=BENCH_ITERATIONS, max_steps=500, seed=3),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"[Fabric promotion bug] {report.summary()}")
+    assert report.bug_found
+
+
+def test_bench_cscale_bug(benchmark):
+    def run():
+        return run_test(
+            build_cscale_test(True),
+            TestingConfig(iterations=BENCH_ITERATIONS, max_steps=500, seed=3),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"[CScale initialization bug] {report.summary()}")
+    assert report.bug_found

@@ -1,0 +1,17 @@
+"""Ablation benchmark: raw exploration throughput of each scheduling strategy."""
+
+import pytest
+
+from repro.core import TestingConfig, run_test
+from repro.examplesys.harness import build_replication_test, fixed_configuration
+
+
+@pytest.mark.parametrize("strategy", ["random", "pct", "round-robin", "dfs"])
+def test_bench_scheduler_throughput(benchmark, strategy):
+    config = TestingConfig(iterations=30, max_steps=400, seed=7, strategy=strategy)
+
+    def explore():
+        return run_test(build_replication_test(fixed_configuration()), config)
+
+    report = benchmark(explore)
+    assert report.iterations_executed >= 1

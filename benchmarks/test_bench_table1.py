@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (cost of environment modeling)."""
+
+from repro.experiments import format_table1, generate_table1
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(generate_table1)
+    print()
+    print(format_table1(rows))
+    assert len(rows) >= 3

@@ -1,0 +1,29 @@
+"""Benchmark: the case-study-1 row of Table 2 (ExtentNodeLivenessViolation).
+
+Reproduces the shape of the paper's result: both the random and the
+priority-based schedulers find the liveness bug, and the buggy execution needs
+far more nondeterministic choices than the MigratingTable safety bugs.
+"""
+
+import pytest
+
+from conftest import BENCH_ITERATIONS
+from repro.core import TestingConfig, TestingEngine
+from repro.experiments import bug_entry
+
+
+@pytest.mark.parametrize("strategy", ["random", "pct"])
+def test_bench_vnext_liveness_bug(benchmark, strategy):
+    entry = bug_entry("ExtentNodeLivenessViolation")
+
+    def hunt():
+        config = TestingConfig(
+            iterations=BENCH_ITERATIONS, max_steps=entry.max_steps, seed=11, strategy=strategy
+        )
+        return TestingEngine(entry.build_default_test(), config).run()
+
+    report = benchmark.pedantic(hunt, rounds=1, iterations=1)
+    print()
+    print(f"[Table 2 / CS1 / {strategy}] {report.summary()}")
+    assert report.bug_found
+    assert report.num_nondeterministic_choices > 500

@@ -1,0 +1,18 @@
+"""Benchmark: §3.6 — after the fix, a large clean run finds no bug."""
+
+from conftest import BENCH_ITERATIONS
+from repro.core import TestingConfig, run_test
+from repro.vnext.harness import build_failover_test
+
+
+def test_bench_vnext_fixed_clean_run(benchmark):
+    def run():
+        return run_test(
+            build_failover_test(fixed=True),
+            TestingConfig(iterations=BENCH_ITERATIONS, max_steps=3000, seed=11),
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"[vNext after fix] {report.summary()}")
+    assert not report.bug_found

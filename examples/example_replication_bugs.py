@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""The §2.2 example system: find its safety bug and its liveness bug."""
+
+from repro.core import TestingConfig, run_test
+from repro.examplesys.harness import (
+    build_replication_test,
+    fixed_configuration,
+    liveness_bug_configuration,
+    safety_bug_configuration,
+)
+
+
+def main():
+    safety = run_test(
+        build_replication_test(safety_bug_configuration(), check_liveness=False),
+        TestingConfig(iterations=300, max_steps=600, seed=7),
+    )
+    print("[duplicate replica counting]", safety.summary())
+    liveness = run_test(
+        build_replication_test(liveness_bug_configuration()),
+        TestingConfig(iterations=100, max_steps=600, seed=7),
+    )
+    print("[missing counter reset]     ", liveness.summary())
+    fixed = run_test(
+        build_replication_test(fixed_configuration()),
+        TestingConfig(iterations=300, max_steps=600, seed=7),
+    )
+    print("[both bugs fixed]           ", fixed.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Case study 3: test a user service against the Service Fabric model and find
+the "promoted before state copy" bug (§5)."""
+
+from repro.core import TestingConfig, run_test
+from repro.fabric import build_cscale_test, build_failover_test
+
+
+def main():
+    buggy = run_test(build_failover_test(True), TestingConfig(iterations=200, max_steps=500, seed=3))
+    print("[Fabric model, buggy promotion]", buggy.summary())
+    fixed = run_test(build_failover_test(False), TestingConfig(iterations=200, max_steps=500, seed=3))
+    print("[Fabric model, fixed]          ", fixed.summary())
+    cscale = run_test(build_cscale_test(True), TestingConfig(iterations=200, max_steps=500, seed=3))
+    print("[CScale-like stage, bug]       ", cscale.summary())
+
+
+if __name__ == "__main__":
+    main()

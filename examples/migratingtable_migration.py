@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Case study 2: run a live migration end to end, then hunt a re-introduced
+MigratingTable bug with the systematic testing engine."""
+
+from repro.core import TestingConfig, run_test
+from repro.migratingtable import (
+    InMemoryChainTable,
+    MigratingTable,
+    MigratingTableBug,
+    Migrator,
+    OpKind,
+    TableOperation,
+    VERSION_PROPERTY,
+)
+from repro.migratingtable.harness import build_migration_test
+
+
+def synchronous_walkthrough():
+    old, new = InMemoryChainTable("old"), InMemoryChainTable("new")
+    for index in range(3):
+        old.seed("tenant-1", f"row-{index}", {"value": index, VERSION_PROPERTY: 1}, version=1)
+    table = MigratingTable(old, new)
+    print("before migration:", [(r.row_key, r.properties) for r in MigratingTable.run_to_completion(table.query_atomic("tenant-1"))])
+    MigratingTable.run_to_completion(Migrator(old, new, ["tenant-1"]).run())
+    MigratingTable.run_to_completion(
+        table.execute(TableOperation(OpKind.REPLACE, "tenant-1", "row-0", {"value": 42}))
+    )
+    print("after migration: ", [(r.row_key, r.properties) for r in MigratingTable.run_to_completion(table.query_atomic("tenant-1"))])
+    print("old table is now empty:", len(old.query_atomic("tenant-1")) == 0)
+
+
+def hunt_a_bug():
+    report = run_test(
+        build_migration_test([MigratingTableBug.DELETE_PRIMARY_KEY]),
+        TestingConfig(iterations=300, max_steps=4000, seed=5),
+    )
+    print("[DeletePrimaryKey]", report.summary())
+
+
+def main():
+    synchronous_walkthrough()
+    hunt_a_bug()
+
+
+if __name__ == "__main__":
+    main()

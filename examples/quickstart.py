@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: model a tiny protocol, specify it, and systematically test it.
+
+A client sends a request and waits for a response; the server forgets to
+respond when a controlled nondeterministic "drop" happens.  A liveness monitor
+catches the hang, and the trace replays deterministically.
+"""
+
+from repro.core import (
+    Event,
+    Machine,
+    Monitor,
+    Receive,
+    TestingConfig,
+    TestingEngine,
+    on_event,
+)
+
+
+class Request(Event):
+    def __init__(self, sender):
+        self.sender = sender
+
+
+class Response(Event):
+    pass
+
+
+class Notify(Event):
+    def __init__(self, kind):
+        self.kind = kind
+
+
+class Server(Machine):
+    @on_event(Request)
+    def handle(self, event):
+        if self.random():  # a controlled nondeterministic "message drop"
+            self.log("dropping the response")
+            return
+        self.send(event.sender, Response())
+
+
+class Client(Machine):
+    def on_start(self, server):
+        self.notify_monitor(ResponseMonitor, Notify("request"))
+        self.send(server, Request(self.id))
+        yield Receive(Response)
+        self.notify_monitor(ResponseMonitor, Notify("response"))
+
+
+class ResponseMonitor(Monitor):
+    """Hot while a request is outstanding."""
+
+    initial_state = "idle"
+    hot_states = frozenset({"waiting"})
+
+    @on_event(Notify)
+    def observe(self, event):
+        self.goto("waiting" if event.kind == "request" else "idle")
+
+
+def test_entry(runtime):
+    runtime.register_monitor(ResponseMonitor)
+    server = runtime.create_machine(Server)
+    runtime.create_machine(Client, server)
+
+
+def main():
+    engine = TestingEngine(test_entry, TestingConfig(iterations=100, max_steps=100, seed=0))
+    report = engine.run()
+    print(report.summary())
+    if report.bug_found:
+        print("replaying the buggy schedule ...")
+        replayed = engine.replay(report.first_bug.trace)
+        print(f"replayed bug: {replayed}")
+        print("last log lines of the buggy execution:")
+        for line in report.first_bug.log[-5:]:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim so that `pip install -e .` works in offline environments
+that lack the `wheel` package needed for PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — a Python reproduction of "Uncovering Bugs in Distributed Storage
+Systems during Testing (not in Production!)" (Deligiannis et al., FAST 2016).
+
+The package provides:
+
+* :mod:`repro.core` — a P#-style framework for modeling distributed systems as
+  communicating state machines, specifying safety and liveness properties with
+  monitors, and systematically testing every interleaving decision under
+  controlled schedulers with deterministic replay.
+* :mod:`repro.examplesys` — the contrived replication system of §2.2.
+* :mod:`repro.vnext` — case study 1: Azure Storage vNext extent management.
+* :mod:`repro.migratingtable` — case study 2: Live Table Migration.
+* :mod:`repro.fabric` — case study 3: the Azure Service Fabric model.
+* :mod:`repro.experiments` — generators for Table 1 and Table 2.
+"""
+
+from .core import (
+    Event,
+    Halt,
+    Machine,
+    MachineId,
+    Monitor,
+    Receive,
+    TestReport,
+    TestRuntime,
+    TestingConfig,
+    TestingEngine,
+    on_entry,
+    on_event,
+    on_exit,
+    run_test,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Event",
+    "Halt",
+    "Machine",
+    "MachineId",
+    "Monitor",
+    "Receive",
+    "TestReport",
+    "TestRuntime",
+    "TestingConfig",
+    "TestingEngine",
+    "on_entry",
+    "on_event",
+    "on_exit",
+    "run_test",
+    "__version__",
+]

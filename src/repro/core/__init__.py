@@ -1,0 +1,88 @@
+"""Core systematic-testing framework (the P# analog).
+
+The public surface of the framework:
+
+* :class:`Machine`, :func:`on_event`, :func:`on_entry`, :func:`on_exit`,
+  :class:`Receive` — the programming model for harness machines and wrapped
+  components.
+* :class:`Monitor` — safety and liveness (hot/cold) specification monitors.
+* :class:`TestingEngine`, :func:`run_test`, :class:`TestingConfig` — the
+  systematic testing entry points.
+* Scheduling strategies: random, priority-based (PCT), round-robin, DFS,
+  replay.
+"""
+
+from .config import TestingConfig
+from .coverage import CoverageTracker
+from .declarations import on_entry, on_event, on_exit
+from .engine import TestingEngine, TestReport, run_test
+from .errors import (
+    BugError,
+    DeadlockError,
+    FrameworkError,
+    LivenessViolationError,
+    ReplayDivergenceError,
+    SafetyViolationError,
+    UnexpectedExceptionError,
+    UnhandledEventError,
+)
+from .events import Event, Halt, Receive, StartEvent, TimerTick
+from .ids import MachineId
+from .machine import Machine
+from .monitors import Monitor
+from .runtime import BugInfo, TestRuntime
+from .statistics import HarnessDescription, HarnessStatistics
+from .strategy import (
+    DFSStrategy,
+    PCTStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    RoundRobinStrategy,
+    SchedulingStrategy,
+    create_strategy,
+)
+from .timer import StartTimer, StopTimer, TimerMachine
+from .trace import ScheduleTrace, TraceStep
+
+__all__ = [
+    "BugError",
+    "BugInfo",
+    "CoverageTracker",
+    "DFSStrategy",
+    "DeadlockError",
+    "Event",
+    "FrameworkError",
+    "Halt",
+    "HarnessDescription",
+    "HarnessStatistics",
+    "LivenessViolationError",
+    "Machine",
+    "MachineId",
+    "Monitor",
+    "PCTStrategy",
+    "RandomStrategy",
+    "Receive",
+    "ReplayDivergenceError",
+    "ReplayStrategy",
+    "RoundRobinStrategy",
+    "SafetyViolationError",
+    "ScheduleTrace",
+    "SchedulingStrategy",
+    "StartEvent",
+    "StartTimer",
+    "StopTimer",
+    "TestReport",
+    "TestRuntime",
+    "TestingConfig",
+    "TestingEngine",
+    "TimerMachine",
+    "TimerTick",
+    "TraceStep",
+    "UnexpectedExceptionError",
+    "UnhandledEventError",
+    "create_strategy",
+    "on_entry",
+    "on_event",
+    "on_exit",
+    "run_test",
+]

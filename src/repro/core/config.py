@@ -1,0 +1,59 @@
+"""Testing configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TestingConfig:
+    """Configuration of a systematic testing session.
+
+    Attributes:
+        iterations: number of executions to explore (the paper used 100,000).
+        max_steps: bound after which an execution is treated as "infinite"
+            for liveness checking (§2.5) and cut off.
+        strategy: name of the scheduling strategy (``"random"``, ``"pct"``,
+            ``"round-robin"``, ``"dfs"``).
+        seed: base random seed; iteration ``i`` uses ``seed + i``, which makes
+            every run of the engine fully reproducible.
+        pct_priority_switches: number of priority change points per execution
+            for the priority-based scheduler (the paper used 2).
+        pct_fair_suffix: if true, the priority-based scheduler falls back to
+            fair random scheduling after ``max_steps // 5`` steps so that
+            liveness checking is meaningful (the approach used by fair-PCT
+            schedulers in practice).  Liveness results are only sound under
+            fair schedules, so clean-run validation should prefer the random
+            scheduler.
+        check_liveness_at_bound: report a liveness violation when a liveness
+            monitor is hot at the step bound.
+        check_liveness_on_quiescence: report a liveness violation when the
+            system has no runnable machine but a liveness monitor is hot.
+        report_deadlocks: treat "no runnable machine while some machine is
+            blocked in a receive" as a bug.
+        stop_at_first_bug: stop the engine as soon as one bug is found.
+        verbose: mirror the execution log to stdout while running.
+    """
+
+    iterations: int = 100
+    max_steps: int = 1000
+    strategy: str = "random"
+    seed: int = 0
+    pct_priority_switches: int = 2
+    pct_fair_suffix: bool = True
+    check_liveness_at_bound: bool = True
+    check_liveness_on_quiescence: bool = True
+    report_deadlocks: bool = True
+    stop_at_first_bug: bool = True
+    verbose: bool = False
+    max_bugs: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if self.pct_priority_switches < 0:
+            raise ValueError("pct_priority_switches must be >= 0")

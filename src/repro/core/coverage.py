@@ -1,0 +1,67 @@
+"""Coverage tracking across executions.
+
+The engine keeps a single :class:`CoverageTracker` for the whole testing
+session and feeds it from every execution.  Coverage is useful both as a
+stopping heuristic ("have new behaviours been seen recently?") and as the
+raw material for the Table 1 modeling statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+
+@dataclass
+class CoverageTracker:
+    """Accumulates machine, state, transition and event coverage."""
+
+    machines: Counter = field(default_factory=Counter)
+    events: Counter = field(default_factory=Counter)
+    handled: Counter = field(default_factory=Counter)
+    transitions: Set[Tuple[str, str, str]] = field(default_factory=set)
+    monitor_states: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def record_machine(self, machine_type: str) -> None:
+        self.machines[machine_type] += 1
+
+    def record_event(self, event_type: str) -> None:
+        self.events[event_type] += 1
+
+    def record_handled(self, machine_type: str, state: str, event_type: str) -> None:
+        self.handled[(machine_type, state, event_type)] += 1
+
+    def record_transition(self, machine_type: str, source: str, target: str) -> None:
+        self.transitions.add((machine_type, source, target))
+
+    def record_monitor_state(self, monitor_type: str, state: str) -> None:
+        self.monitor_states.add((monitor_type, state))
+
+    # ------------------------------------------------------------------
+    @property
+    def distinct_handled_tuples(self) -> int:
+        """Number of distinct (machine, state, event) tuples exercised."""
+        return len(self.handled)
+
+    @property
+    def distinct_transitions(self) -> int:
+        return len(self.transitions)
+
+    def merge(self, other: "CoverageTracker") -> None:
+        self.machines.update(other.machines)
+        self.events.update(other.events)
+        self.handled.update(other.handled)
+        self.transitions.update(other.transitions)
+        self.monitor_states.update(other.monitor_states)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "machine_types": len(self.machines),
+            "machines_created": sum(self.machines.values()),
+            "event_types": len(self.events),
+            "events_sent": sum(self.events.values()),
+            "handled_tuples": self.distinct_handled_tuples,
+            "transitions": self.distinct_transitions,
+            "monitor_states": len(self.monitor_states),
+        }

@@ -1,0 +1,173 @@
+"""Declarative state-machine metadata for machines and monitors.
+
+Handlers are declared with decorators::
+
+    class Server(Machine):
+        initial_state = "listening"
+
+        @on_event(ClientRequest, state="listening")
+        def handle_request(self, event):
+            ...
+
+        @on_entry("closing")
+        def announce_closing(self):
+            ...
+
+A handler declared without a ``state`` argument applies to every state that
+does not override it with a state-specific handler.  The metadata collected
+here is also what :mod:`repro.core.statistics` inspects to produce the
+Table 1 modeling-cost statistics.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+#: Sentinel state name used for handlers that apply to every state.
+ANY_STATE = "*"
+
+_HANDLER_ATTR = "_repro_event_handlers"
+_ENTRY_ATTR = "_repro_entry_states"
+_EXIT_ATTR = "_repro_exit_states"
+
+
+def on_event(*event_types: type, state: Optional[str] = None) -> Callable:
+    """Register the decorated method as the handler for ``event_types``.
+
+    If ``state`` is given the handler only applies in that state; otherwise it
+    applies in any state that does not declare a more specific handler.
+    """
+    if not event_types:
+        raise TypeError("on_event requires at least one event type")
+
+    def decorator(func: Callable) -> Callable:
+        registrations = list(getattr(func, _HANDLER_ATTR, []))
+        for event_type in event_types:
+            registrations.append((event_type, state if state is not None else ANY_STATE))
+        setattr(func, _HANDLER_ATTR, registrations)
+        return func
+
+    return decorator
+
+
+def on_entry(state: str) -> Callable:
+    """Register the decorated method as the entry action of ``state``."""
+
+    def decorator(func: Callable) -> Callable:
+        states = list(getattr(func, _ENTRY_ATTR, []))
+        states.append(state)
+        setattr(func, _ENTRY_ATTR, states)
+        return func
+
+    return decorator
+
+
+def on_exit(state: str) -> Callable:
+    """Register the decorated method as the exit action of ``state``."""
+
+    def decorator(func: Callable) -> Callable:
+        states = list(getattr(func, _EXIT_ATTR, []))
+        states.append(state)
+        setattr(func, _EXIT_ATTR, states)
+        return func
+
+    return decorator
+
+
+@dataclass
+class HandlerInfo:
+    """A single (state, event-type) -> method binding."""
+
+    method_name: str
+    event_type: type
+    state: str
+    wants_event: bool
+
+
+@dataclass
+class StateMachineSpec:
+    """Static description of a machine or monitor class.
+
+    ``handlers`` maps ``(state, event_type)`` to :class:`HandlerInfo`;
+    ``entry_actions``/``exit_actions`` map state name to method name.
+    """
+
+    owner_name: str
+    handlers: dict = field(default_factory=dict)
+    entry_actions: dict = field(default_factory=dict)
+    exit_actions: dict = field(default_factory=dict)
+
+    @property
+    def states(self) -> set:
+        found = set()
+        for state, _event_type in self.handlers:
+            if state != ANY_STATE:
+                found.add(state)
+        found.update(self.entry_actions)
+        found.update(self.exit_actions)
+        return found
+
+    @property
+    def action_handler_count(self) -> int:
+        """Number of distinct action handlers (event handlers + entry/exit)."""
+        methods = {info.method_name for info in self.handlers.values()}
+        methods.update(self.entry_actions.values())
+        methods.update(self.exit_actions.values())
+        return len(methods)
+
+    def handler_for(self, state: str, event_type: type) -> Optional[HandlerInfo]:
+        """Resolve the handler for ``event_type`` while in ``state``.
+
+        Resolution prefers a state-specific handler for the exact event type,
+        then a state-specific handler for a base type, then wildcard-state
+        handlers with the same precedence.
+        """
+        for candidate_state in (state, ANY_STATE):
+            info = self.handlers.get((candidate_state, event_type))
+            if info is not None:
+                return info
+        for candidate_state in (state, ANY_STATE):
+            for (bound_state, bound_type), info in self.handlers.items():
+                if bound_state == candidate_state and issubclass(event_type, bound_type):
+                    return info
+        return None
+
+
+def _wants_event(func: Callable) -> bool:
+    parameters = [
+        p
+        for p in inspect.signature(func).parameters.values()
+        if p.name != "self" and p.kind not in (p.VAR_KEYWORD, p.VAR_POSITIONAL)
+    ]
+    return len(parameters) >= 1
+
+
+def build_spec(cls: type) -> StateMachineSpec:
+    """Collect the decorator metadata declared on ``cls`` and its bases."""
+    spec = StateMachineSpec(owner_name=cls.__name__)
+    for klass in reversed(cls.__mro__):
+        for attr_name, attr in vars(klass).items():
+            if not callable(attr):
+                continue
+            for event_type, state in getattr(attr, _HANDLER_ATTR, []):
+                spec.handlers[(state, event_type)] = HandlerInfo(
+                    method_name=attr_name,
+                    event_type=event_type,
+                    state=state,
+                    wants_event=_wants_event(attr),
+                )
+            for state in getattr(attr, _ENTRY_ATTR, []):
+                spec.entry_actions[state] = attr_name
+            for state in getattr(attr, _EXIT_ATTR, []):
+                spec.exit_actions[state] = attr_name
+    return spec
+
+
+def iter_handled_event_types(spec: StateMachineSpec) -> Iterable[type]:
+    seen = set()
+    for (_state, event_type) in spec.handlers:
+        if event_type not in seen:
+            seen.add(event_type)
+            yield event_type

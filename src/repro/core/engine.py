@@ -1,0 +1,127 @@
+"""The systematic testing engine.
+
+The engine repeatedly executes a test entry point (a function that registers
+monitors and creates machines on a fresh :class:`~repro.core.runtime.TestRuntime`),
+each time under a potentially different schedule, until it either finds a bug
+or exhausts its iteration budget — exactly the testing process described in
+§2 of the paper.  The result is a :class:`TestReport` containing, for each bug,
+the fields reported in Table 2: whether the bug was found, the time it took,
+and the number of nondeterministic choices of the buggy execution, plus the
+replayable trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .config import TestingConfig
+from .coverage import CoverageTracker
+from .runtime import BugInfo, TestRuntime
+from .strategy import create_strategy
+from .strategy.base import SchedulingStrategy
+from .strategy.dfs_strategy import DFSStrategy
+from .strategy.replay import ReplayStrategy
+from .trace import ScheduleTrace
+
+TestEntry = Callable[[TestRuntime], None]
+
+
+@dataclass
+class TestReport:
+    """Outcome of a systematic testing session."""
+
+    strategy: str
+    iterations_requested: int
+    iterations_executed: int = 0
+    bugs: List[BugInfo] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    time_to_first_bug: Optional[float] = None
+    first_bug_iteration: Optional[int] = None
+    coverage: CoverageTracker = field(default_factory=CoverageTracker)
+    state_space_exhausted: bool = False
+
+    @property
+    def bug_found(self) -> bool:
+        return bool(self.bugs)
+
+    @property
+    def first_bug(self) -> Optional[BugInfo]:
+        return self.bugs[0] if self.bugs else None
+
+    @property
+    def num_nondeterministic_choices(self) -> Optional[int]:
+        """#NDC of the first buggy execution (the Table 2 column)."""
+        bug = self.first_bug
+        if bug is None or bug.trace is None:
+            return None
+        return bug.trace.num_nondeterministic_choices
+
+    def summary(self) -> str:
+        if not self.bug_found:
+            return (
+                f"no bug found: {self.iterations_executed} executions with the "
+                f"{self.strategy} scheduler in {self.elapsed_seconds:.2f}s"
+            )
+        bug = self.first_bug
+        return (
+            f"bug found by the {self.strategy} scheduler in {self.time_to_first_bug:.2f}s "
+            f"after {self.first_bug_iteration + 1} executions "
+            f"({self.num_nondeterministic_choices} nondeterministic choices): {bug.message}"
+        )
+
+
+class TestingEngine:
+    """Drives repeated controlled executions of a test harness."""
+
+    def __init__(
+        self,
+        test_entry: TestEntry,
+        config: Optional[TestingConfig] = None,
+        strategy: Optional[SchedulingStrategy] = None,
+    ) -> None:
+        self.test_entry = test_entry
+        self.config = config or TestingConfig()
+        self.strategy = strategy or create_strategy(self.config)
+
+    # ------------------------------------------------------------------
+    def run(self) -> TestReport:
+        """Explore executions until a bug is found or the budget is spent."""
+        report = TestReport(strategy=self.strategy.name, iterations_requested=self.config.iterations)
+        started = time.perf_counter()
+        max_bugs = self.config.max_bugs if self.config.max_bugs is not None else float("inf")
+        for iteration in range(self.config.iterations):
+            self.strategy.prepare_iteration(iteration)
+            if isinstance(self.strategy, DFSStrategy) and self.strategy.exhausted:
+                report.state_space_exhausted = True
+                break
+            runtime = TestRuntime(self.strategy, self.config, coverage=report.coverage)
+            bug = runtime.run(self.test_entry)
+            report.iterations_executed += 1
+            if bug is not None:
+                report.bugs.append(bug)
+                if report.time_to_first_bug is None:
+                    report.time_to_first_bug = time.perf_counter() - started
+                    report.first_bug_iteration = iteration
+                if self.config.stop_at_first_bug or len(report.bugs) >= max_bugs:
+                    break
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def replay(self, trace: ScheduleTrace) -> Optional[BugInfo]:
+        """Deterministically re-execute a recorded schedule trace."""
+        strategy = ReplayStrategy(trace)
+        strategy.prepare_iteration(0)
+        runtime = TestRuntime(strategy, self.config)
+        return runtime.run(self.test_entry)
+
+
+def run_test(
+    test_entry: TestEntry,
+    config: Optional[TestingConfig] = None,
+    strategy: Optional[SchedulingStrategy] = None,
+) -> TestReport:
+    """Convenience wrapper: build an engine, run it, return the report."""
+    return TestingEngine(test_entry, config, strategy).run()

@@ -1,0 +1,62 @@
+"""Error and bug types raised by the systematic testing runtime.
+
+The testing engine distinguishes *bugs* (violations of the user's
+specification or unexpected crashes of the system-under-test, reported to the
+user together with a reproducible trace) from *framework errors* (misuse of
+the library itself, which always propagate).
+"""
+
+from __future__ import annotations
+
+
+class FrameworkError(Exception):
+    """Raised when the testing framework itself is misused.
+
+    Framework errors are never treated as bugs of the system-under-test; they
+    indicate a problem in how a machine, monitor or test was written.
+    """
+
+
+class ReplayDivergenceError(FrameworkError):
+    """Raised when replaying a trace diverges from the recorded schedule."""
+
+
+class BugError(Exception):
+    """Base class for every specification violation found during testing."""
+
+    kind = "bug"
+
+
+class SafetyViolationError(BugError):
+    """An assertion (local or in a safety monitor) failed."""
+
+    kind = "safety"
+
+
+class LivenessViolationError(BugError):
+    """A liveness monitor remained in a hot state at the end of an execution
+    that is considered infinite (it reached the configured step bound), or the
+    system reached quiescence while a liveness monitor was still hot."""
+
+    kind = "liveness"
+
+
+class UnhandledEventError(BugError):
+    """A machine received an event for which its current state declares no
+    handler and the machine does not opt into ignoring unhandled events."""
+
+    kind = "unhandled-event"
+
+
+class UnexpectedExceptionError(BugError):
+    """The system-under-test (or the harness) raised an unexpected exception
+    while handling an event; the original exception is chained as the cause."""
+
+    kind = "exception"
+
+
+class DeadlockError(BugError):
+    """No machine is enabled, yet at least one machine is blocked waiting to
+    receive an event that can never arrive."""
+
+    kind = "deadlock"

@@ -1,0 +1,33 @@
+"""Machine identifiers.
+
+A :class:`MachineId` is a small immutable handle used to address a machine.
+Machines never hold direct references to each other; they exchange ids and
+send events through the runtime, which is what lets the testing runtime
+serialize and control every interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class MachineId:
+    """Unique, hashable handle for a machine instance.
+
+    Attributes:
+        value: monotonically increasing integer, unique within a runtime.
+        type_name: class name of the machine, for readable traces.
+        name: optional user-supplied friendly name (e.g. ``"EN-0"``).
+    """
+
+    value: int
+    type_name: str = field(compare=False)
+    name: str = field(compare=False, default="")
+
+    def __str__(self) -> str:
+        label = self.name or self.type_name
+        return f"{label}({self.value})"
+
+    def __repr__(self) -> str:
+        return f"MachineId({self.value}, {self.type_name!r}, {self.name!r})"

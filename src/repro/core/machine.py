@@ -1,0 +1,199 @@
+"""The machine programming model.
+
+A :class:`Machine` is a state machine with an inbox.  Machines communicate
+exclusively by sending events to each other's :class:`~repro.core.ids.MachineId`;
+the runtime owns every inbox and decides, at each step, which machine runs
+next.  During systematic testing that decision — along with every value
+returned from :meth:`Machine.random`, :meth:`Machine.random_integer` and
+:meth:`Machine.choose` — is a controlled nondeterministic choice.
+
+Handlers are ordinary methods registered with
+:func:`~repro.core.declarations.on_event`.  A handler may be a plain function
+(run to completion) or a generator function that yields
+:class:`~repro.core.events.Receive` to block until a matching event arrives,
+which is how request/response protocols are written without manual
+continuation passing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Optional, Sequence, TYPE_CHECKING
+
+from .declarations import StateMachineSpec, build_spec
+from .errors import FrameworkError
+from .events import Event, Receive
+from .ids import MachineId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import TestRuntime
+
+
+class MachineHaltRequested(Exception):
+    """Internal control-flow exception raised by :meth:`Machine.halt`."""
+
+
+class Machine:
+    """Base class for all machines (harness machines and wrapped components).
+
+    Subclasses declare handlers with ``@on_event`` and may override:
+
+    * ``on_start(*args, **kwargs)`` — runs when the machine starts; receives
+      the arguments passed to :meth:`create`.
+    * ``on_halt()`` — runs when the machine halts.
+
+    Class attributes:
+
+    * ``initial_state`` — name of the state the machine starts in.
+    * ``ignore_unhandled_events`` — if true, events without a handler in the
+      current state are dropped instead of being reported as a bug.
+    """
+
+    initial_state: str = "init"
+    ignore_unhandled_events: bool = False
+
+    _spec_cache: dict = {}
+
+    def __init__(self, runtime: "TestRuntime", machine_id: MachineId) -> None:
+        self._runtime = runtime
+        self._id = machine_id
+        self._inbox: deque[Event] = deque()
+        self._current_state = type(self).initial_state
+        self._halted = False
+        self._coroutine = None
+        self._pending_receive: Optional[Receive] = None
+
+    # ------------------------------------------------------------------
+    # class-level metadata
+    # ------------------------------------------------------------------
+    @classmethod
+    def spec(cls) -> StateMachineSpec:
+        """The static state-machine description of this class (cached)."""
+        cached = Machine._spec_cache.get(cls)
+        if cached is None:
+            cached = build_spec(cls)
+            Machine._spec_cache[cls] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # identity and state
+    # ------------------------------------------------------------------
+    @property
+    def id(self) -> MachineId:
+        return self._id
+
+    @property
+    def current_state(self) -> str:
+        return self._current_state
+
+    @property
+    def is_halted(self) -> bool:
+        return self._halted
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def on_start(self, *args: Any, **kwargs: Any):
+        """Hook invoked when the machine starts.  May be a generator."""
+
+    def on_halt(self) -> None:
+        """Hook invoked when the machine halts."""
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, target: MachineId, event: Event) -> None:
+        """Enqueue ``event`` in ``target``'s inbox (non-blocking)."""
+        self._runtime.send_event(target, event, sender=self._id)
+
+    def create(self, machine_cls: type, *args: Any, name: str = "", **kwargs: Any) -> MachineId:
+        """Create a new machine and return its id.
+
+        The new machine starts asynchronously: its ``on_start`` hook runs only
+        when the scheduler chooses to run it, so creation itself is part of
+        the explored interleavings.
+        """
+        return self._runtime.create_machine(machine_cls, *args, name=name, creator=self._id, **kwargs)
+
+    def goto(self, state: str) -> None:
+        """Transition this machine to ``state``, running exit/entry actions."""
+        self._runtime.transition_machine(self, state)
+
+    def halt(self) -> None:
+        """Halt this machine.  Control does not return to the handler."""
+        raise MachineHaltRequested()
+
+    # ------------------------------------------------------------------
+    # controlled nondeterminism
+    # ------------------------------------------------------------------
+    def random(self) -> bool:
+        """A controlled fair boolean choice (the P# ``Nondet()``)."""
+        return self._runtime.next_boolean(self._id)
+
+    def random_integer(self, max_value: int) -> int:
+        """A controlled integer choice in ``[0, max_value)``."""
+        return self._runtime.next_integer(self._id, max_value)
+
+    def choose(self, options: Sequence[Any]) -> Any:
+        """Pick one element of ``options`` under scheduler control."""
+        options = list(options)
+        if not options:
+            raise FrameworkError("choose() requires a non-empty sequence")
+        return options[self._runtime.next_integer(self._id, len(options))]
+
+    def count_pending(self, target: MachineId, event_type: type, predicate=None) -> int:
+        """Number of matching events currently queued at ``target``.
+
+        Environment-model machines use this to avoid flooding a component's
+        inbox with redundant periodic messages (heartbeats, sync reports,
+        timer ticks): sending a new one only when the previous one has been
+        consumed models a sender whose period is much longer than the
+        receiver's processing time, and keeps queue growth bounded without
+        removing any interleaving of *distinct* events.
+        """
+        return self._runtime.count_pending_events(target, event_type, predicate)
+
+    # ------------------------------------------------------------------
+    # specification
+    # ------------------------------------------------------------------
+    def assert_that(self, condition: bool, message: str = "") -> None:
+        """Local safety assertion; a falsy ``condition`` is a safety bug."""
+        self._runtime.check_assertion(condition, message, source=str(self._id))
+
+    def notify_monitor(self, monitor_cls: type, event: Event) -> None:
+        """Synchronously notify a registered monitor of ``event``."""
+        self._runtime.notify_monitor(monitor_cls, event, source=self._id)
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def log(self, message: str) -> None:
+        """Record a message in the execution log (shown in bug traces)."""
+        self._runtime.log(f"{self._id}: {message}")
+
+    # ------------------------------------------------------------------
+    # runtime-facing helpers (not part of the user API)
+    # ------------------------------------------------------------------
+    def _enqueue(self, event: Event) -> None:
+        self._inbox.append(event)
+
+    def _has_work(self) -> bool:
+        if self._halted:
+            return False
+        if self._pending_receive is not None:
+            return any(self._pending_receive.matches(event) for event in self._inbox)
+        if self._coroutine is not None:
+            # Paused at a plain ``yield`` (an explicit scheduling point): the
+            # machine can resume as soon as the scheduler picks it again.
+            return True
+        return bool(self._inbox)
+
+    def _dequeue_matching(self, receive: Receive) -> Event:
+        for index, event in enumerate(self._inbox):
+            if receive.matches(event):
+                del self._inbox[index]
+                return event
+        raise FrameworkError(f"{self._id}: no event matching {receive} in inbox")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._id} state={self._current_state!r}>"

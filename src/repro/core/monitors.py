@@ -1,0 +1,116 @@
+"""Safety and liveness monitors.
+
+Monitors are passive observers: machines notify them of interesting events
+via :meth:`Machine.notify_monitor`, and the monitor updates its private state
+and checks the specification.  Monitors can receive events but never send
+them, which keeps specification state cleanly separated from program state
+(§2.4 of the paper).
+
+* A **safety monitor** flags erroneous finite behaviours with
+  :meth:`Monitor.assert_that`.
+* A **liveness monitor** declares some of its states *hot* (progress is
+  required but has not happened yet) via the ``hot_states`` class attribute.
+  If a liveness monitor is still in a hot state when an execution reaches the
+  configured step bound (the "bounded infinite execution" heuristic of §2.5),
+  or when the whole system becomes quiescent, a liveness violation is
+  reported.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from .declarations import StateMachineSpec, build_spec
+from .errors import FrameworkError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import TestRuntime
+
+
+class Monitor:
+    """Base class for safety and liveness monitors.
+
+    Subclasses declare event handlers with ``@on_event`` (optionally scoped to
+    a state), transition between states with :meth:`goto`, and mark liveness
+    requirements by listing state names in ``hot_states``.
+    """
+
+    initial_state: str = "init"
+    #: States in which the monitor demands eventual progress.
+    hot_states: frozenset = frozenset()
+
+    _spec_cache: dict = {}
+
+    def __init__(self, runtime: "TestRuntime") -> None:
+        self._runtime = runtime
+        self._current_state = type(self).initial_state
+        #: Number of consecutive runtime steps spent in a hot state.
+        self._hot_since_step: Optional[int] = None
+
+    @classmethod
+    def spec(cls) -> StateMachineSpec:
+        cached = Monitor._spec_cache.get(cls)
+        if cached is None:
+            cached = build_spec(cls)
+            Monitor._spec_cache[cls] = cached
+        return cached
+
+    @classmethod
+    def is_liveness_monitor(cls) -> bool:
+        return bool(cls.hot_states)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def current_state(self) -> str:
+        return self._current_state
+
+    @property
+    def is_hot(self) -> bool:
+        return self._current_state in type(self).hot_states
+
+    def goto(self, state: str) -> None:
+        """Transition the monitor to ``state`` (running any entry action)."""
+        spec = type(self).spec()
+        exit_action = spec.exit_actions.get(self._current_state)
+        if exit_action is not None:
+            getattr(self, exit_action)()
+        self._current_state = state
+        self._runtime.record_monitor_state(self, state)
+        entry_action = spec.entry_actions.get(state)
+        if entry_action is not None:
+            getattr(self, entry_action)()
+
+    # ------------------------------------------------------------------
+    # specification helpers
+    # ------------------------------------------------------------------
+    def assert_that(self, condition: bool, message: str = "") -> None:
+        """Global safety assertion over the monitor's accumulated history."""
+        self._runtime.check_assertion(condition, message, source=type(self).__name__)
+
+    def log(self, message: str) -> None:
+        self._runtime.log(f"{type(self).__name__}: {message}")
+
+    # ------------------------------------------------------------------
+    # hook for the runtime
+    # ------------------------------------------------------------------
+    def handle(self, event: Event) -> None:
+        """Dispatch ``event`` to the handler registered for the current state."""
+        spec = type(self).spec()
+        info = spec.handler_for(self._current_state, type(event))
+        if info is None:
+            raise FrameworkError(
+                f"monitor {type(self).__name__} has no handler for "
+                f"{type(event).__name__} in state {self._current_state!r}"
+            )
+        handler = getattr(self, info.method_name)
+        if info.wants_event:
+            handler(event)
+        else:
+            handler()
+
+    def __repr__(self) -> str:
+        marker = "hot" if self.is_hot else "cold"
+        return f"<{type(self).__name__} state={self._current_state!r} ({marker})>"

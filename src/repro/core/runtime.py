@@ -1,0 +1,389 @@
+"""The serialized systematic-testing runtime.
+
+The :class:`TestRuntime` owns every machine inbox and executes the whole
+system in a single thread.  Every interleaving decision — which machine runs
+next, and the value of every controlled boolean/integer choice — is delegated
+to a :class:`~repro.core.strategy.base.SchedulingStrategy` and recorded in a
+:class:`~repro.core.trace.ScheduleTrace`, so that any execution (in particular
+a buggy one) can be replayed deterministically.
+
+One :class:`TestRuntime` instance corresponds to one execution; the
+:class:`~repro.core.engine.TestingEngine` creates a fresh runtime per
+iteration.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .config import TestingConfig
+from .coverage import CoverageTracker
+from .errors import (
+    BugError,
+    DeadlockError,
+    FrameworkError,
+    LivenessViolationError,
+    SafetyViolationError,
+    UnexpectedExceptionError,
+    UnhandledEventError,
+)
+from .events import Event, Halt, Receive, StartEvent
+from .ids import MachineId
+from .machine import Machine, MachineHaltRequested
+from .monitors import Monitor
+from .strategy.base import SchedulingStrategy
+from .trace import ScheduleTrace
+
+
+@dataclass
+class BugInfo:
+    """Description of a specification violation found in one execution."""
+
+    kind: str
+    message: str
+    step: int
+    exception: Optional[BaseException] = None
+    trace: Optional[ScheduleTrace] = None
+    log: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message} (at step {self.step})"
+
+
+class TestRuntime:
+    """Single-execution serialized runtime under scheduler control."""
+
+    def __init__(
+        self,
+        strategy: SchedulingStrategy,
+        config: Optional[TestingConfig] = None,
+        coverage: Optional[CoverageTracker] = None,
+    ) -> None:
+        self.config = config or TestingConfig()
+        self.strategy = strategy
+        self.coverage = coverage
+        self.trace = ScheduleTrace()
+        self.bug: Optional[BugInfo] = None
+        self.step_count = 0
+        self.termination_reason: Optional[str] = None
+
+        self._machines: Dict[MachineId, Machine] = {}
+        self._monitors: Dict[type, Monitor] = {}
+        self._next_machine_value = 0
+        self._log: List[str] = []
+
+    # ------------------------------------------------------------------
+    # registration API (used by the test entry point and by machines)
+    # ------------------------------------------------------------------
+    def create_machine(
+        self,
+        machine_cls: type,
+        *args: Any,
+        name: str = "",
+        creator: Optional[MachineId] = None,
+        **kwargs: Any,
+    ) -> MachineId:
+        """Instantiate ``machine_cls`` and schedule its asynchronous start."""
+        if not (isinstance(machine_cls, type) and issubclass(machine_cls, Machine)):
+            raise FrameworkError(f"create_machine expects a Machine subclass, got {machine_cls!r}")
+        machine_id = MachineId(self._next_machine_value, machine_cls.__name__, name)
+        self._next_machine_value += 1
+        machine = machine_cls(self, machine_id)
+        machine._start_args = (args, kwargs)
+        self._machines[machine_id] = machine
+        machine._enqueue(StartEvent())
+        if self.coverage is not None:
+            self.coverage.record_machine(machine_cls.__name__)
+        origin = f" by {creator}" if creator is not None else ""
+        self.log(f"created {machine_id}{origin}")
+        return machine_id
+
+    def register_monitor(self, monitor_cls: type) -> Monitor:
+        """Register a safety/liveness monitor for this execution."""
+        if not (isinstance(monitor_cls, type) and issubclass(monitor_cls, Monitor)):
+            raise FrameworkError(f"register_monitor expects a Monitor subclass, got {monitor_cls!r}")
+        if monitor_cls in self._monitors:
+            raise FrameworkError(f"monitor {monitor_cls.__name__} is already registered")
+        monitor = monitor_cls(self)
+        self._monitors[monitor_cls] = monitor
+        self.log(f"registered monitor {monitor_cls.__name__}")
+        return monitor
+
+    # ------------------------------------------------------------------
+    # introspection helpers (useful in tests)
+    # ------------------------------------------------------------------
+    def machine_instance(self, machine_id: MachineId) -> Machine:
+        return self._machines[machine_id]
+
+    def count_pending_events(self, target: MachineId, event_type: type, predicate=None) -> int:
+        """Number of events of ``event_type`` currently queued at ``target``.
+
+        Used by modeled environment machines (e.g. the timer) to avoid
+        flooding a target's inbox with redundant events, which shrinks the
+        explored state space without removing any interleaving of distinct
+        events.
+        """
+        machine = self._machines.get(target)
+        if machine is None:
+            return 0
+        count = 0
+        for event in machine._inbox:
+            if isinstance(event, event_type) and (predicate is None or predicate(event)):
+                count += 1
+        return count
+
+    def machines_of_type(self, machine_cls: type) -> List[Machine]:
+        return [m for m in self._machines.values() if isinstance(m, machine_cls)]
+
+    def monitor_instance(self, monitor_cls: type) -> Optional[Monitor]:
+        return self._monitors.get(monitor_cls)
+
+    @property
+    def execution_log(self) -> List[str]:
+        return list(self._log)
+
+    # ------------------------------------------------------------------
+    # machine-facing services
+    # ------------------------------------------------------------------
+    def send_event(self, target: MachineId, event: Event, sender: Optional[MachineId] = None) -> None:
+        if not isinstance(event, Event):
+            raise FrameworkError(f"send expects an Event instance, got {event!r}")
+        machine = self._machines.get(target)
+        if machine is None:
+            raise FrameworkError(f"send to unknown machine {target}")
+        source = f"{sender} -> " if sender is not None else ""
+        if machine.is_halted:
+            self.log(f"dropped {source}{target}: {event!r} (target halted)")
+            return
+        machine._enqueue(event)
+        self.log(f"sent {source}{target}: {event!r}")
+        if self.coverage is not None:
+            self.coverage.record_event(type(event).__name__)
+
+    def next_boolean(self, requester: MachineId) -> bool:
+        value = self.strategy.next_boolean(requester, self.step_count)
+        self.trace.add_boolean_choice(value, str(requester))
+        return value
+
+    def next_integer(self, requester: MachineId, max_value: int) -> int:
+        if max_value < 1:
+            raise FrameworkError("next_integer requires max_value >= 1")
+        value = self.strategy.next_integer(requester, max_value, self.step_count)
+        self.trace.add_integer_choice(value, str(requester))
+        return value
+
+    def check_assertion(self, condition: bool, message: str, source: str) -> None:
+        if not condition:
+            raise SafetyViolationError(f"{source}: assertion failed: {message}")
+
+    def notify_monitor(self, monitor_cls: type, event: Event, source: Optional[MachineId] = None) -> None:
+        monitor = self._monitors.get(monitor_cls)
+        if monitor is None:
+            self.log(f"monitor {monitor_cls.__name__} not registered; dropping {event!r}")
+            return
+        self.log(f"monitor {monitor_cls.__name__} <- {event!r} (from {source})")
+        monitor.handle(event)
+
+    def transition_machine(self, machine: Machine, state: str) -> None:
+        spec = type(machine).spec()
+        exit_action = spec.exit_actions.get(machine._current_state)
+        if exit_action is not None:
+            self._run_plain_action(machine, exit_action)
+        previous = machine._current_state
+        machine._current_state = state
+        self.log(f"{machine.id}: {previous} -> {state}")
+        if self.coverage is not None:
+            self.coverage.record_transition(type(machine).__name__, previous, state)
+        entry_action = spec.entry_actions.get(state)
+        if entry_action is not None:
+            self._run_plain_action(machine, entry_action)
+
+    def record_monitor_state(self, monitor: Monitor, state: str) -> None:
+        hot = " (hot)" if state in type(monitor).hot_states else ""
+        self.log(f"monitor {type(monitor).__name__} -> {state}{hot}")
+        if self.coverage is not None:
+            self.coverage.record_monitor_state(type(monitor).__name__, state)
+
+    def log(self, message: str) -> None:
+        self._log.append(message)
+        if self.config.verbose:
+            print(f"[repro] {message}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, test_entry: Callable[["TestRuntime"], None]) -> Optional[BugInfo]:
+        """Run one full execution of ``test_entry`` under scheduler control."""
+        try:
+            test_entry(self)
+            self._execution_loop()
+            if self.bug is None:
+                self._check_end_of_execution()
+        except BugError as error:
+            self._record_bug(error)
+        except MachineHaltRequested:
+            raise FrameworkError("halt() called outside of a machine handler")
+        if self.bug is not None:
+            self.bug.trace = self.trace
+            self.bug.log = self.execution_log
+        return self.bug
+
+    def _execution_loop(self) -> None:
+        while self.step_count < self.config.max_steps:
+            enabled = [m for m in self._machines.values() if m._has_work()]
+            if not enabled:
+                self.termination_reason = "quiescence"
+                return
+            enabled_ids = [m.id for m in enabled]
+            chosen_id = self.strategy.next_machine(enabled_ids, self.step_count)
+            if chosen_id not in self._machines:
+                raise FrameworkError(f"strategy chose unknown machine {chosen_id}")
+            self.trace.add_scheduling_choice(chosen_id.value, str(chosen_id))
+            self.step_count += 1
+            try:
+                self._execute_step(self._machines[chosen_id])
+            except BugError as error:
+                self._record_bug(error)
+                return
+        self.termination_reason = "bound"
+
+    def _execute_step(self, machine: Machine) -> None:
+        try:
+            if machine._coroutine is not None:
+                if machine._pending_receive is None:
+                    # Paused at a plain ``yield``: resume at this scheduling point.
+                    self._advance_coroutine(machine, None)
+                    return
+                event = machine._dequeue_matching(machine._pending_receive)
+                self.log(f"{machine.id}: resumed with {event!r}")
+                machine._pending_receive = None
+                self._advance_coroutine(machine, event)
+            else:
+                event = machine._inbox.popleft()
+                self._dispatch_event(machine, event)
+        except MachineHaltRequested:
+            self._halt_machine(machine)
+        except (BugError, FrameworkError):
+            raise
+        except Exception as exc:
+            raise UnexpectedExceptionError(
+                f"{machine.id}: unexpected {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _dispatch_event(self, machine: Machine, event: Event) -> None:
+        if isinstance(event, Halt):
+            self._halt_machine(machine)
+            return
+        if isinstance(event, StartEvent):
+            args, kwargs = getattr(machine, "_start_args", ((), {}))
+            self.log(f"{machine.id}: starting")
+            result = machine.on_start(*args, **kwargs)
+            self._maybe_start_coroutine(machine, result)
+            return
+        spec = type(machine).spec()
+        info = spec.handler_for(machine.current_state, type(event))
+        if info is None:
+            if machine.ignore_unhandled_events:
+                self.log(f"{machine.id}: ignored unhandled {event!r} in state {machine.current_state!r}")
+                return
+            raise UnhandledEventError(
+                f"{machine.id}: no handler for {type(event).__name__} in state {machine.current_state!r}"
+            )
+        self.log(f"{machine.id}: handling {event!r} in state {machine.current_state!r}")
+        if self.coverage is not None:
+            self.coverage.record_handled(type(machine).__name__, machine.current_state, type(event).__name__)
+        handler = getattr(machine, info.method_name)
+        result = handler(event) if info.wants_event else handler()
+        self._maybe_start_coroutine(machine, result)
+
+    def _maybe_start_coroutine(self, machine: Machine, result: Any) -> None:
+        if result is None:
+            return
+        if inspect.isgenerator(result):
+            machine._coroutine = result
+            self._advance_coroutine(machine, None)
+            return
+        raise FrameworkError(
+            f"{machine.id}: handlers must return None or be generator functions, got {result!r}"
+        )
+
+    def _advance_coroutine(self, machine: Machine, value: Any) -> None:
+        try:
+            yielded = machine._coroutine.send(value)
+        except StopIteration:
+            machine._coroutine = None
+            machine._pending_receive = None
+            return
+        if isinstance(yielded, Receive):
+            machine._pending_receive = yielded
+            self.log(f"{machine.id}: waiting for {yielded!r}")
+            return
+        if yielded is None:
+            # A bare ``yield`` is an explicit scheduling point: the machine
+            # stays runnable and other machines may interleave here.
+            machine._pending_receive = None
+            return
+        machine._coroutine = None
+        raise FrameworkError(
+            f"{machine.id}: handlers may only yield Receive objects or None, got {yielded!r}"
+        )
+
+    def _run_plain_action(self, machine: Machine, method_name: str) -> None:
+        result = getattr(machine, method_name)()
+        if result is not None:
+            raise FrameworkError(
+                f"{machine.id}: entry/exit action {method_name!r} must not be a generator"
+            )
+
+    def _halt_machine(self, machine: Machine) -> None:
+        if machine.is_halted:
+            return
+        machine._halted = True
+        if machine._coroutine is not None:
+            machine._coroutine.close()
+            machine._coroutine = None
+        machine._pending_receive = None
+        machine._inbox.clear()
+        machine.on_halt()
+        self.log(f"{machine.id}: halted")
+
+    # ------------------------------------------------------------------
+    # end-of-execution checks
+    # ------------------------------------------------------------------
+    def _check_end_of_execution(self) -> None:
+        reason = self.termination_reason
+        check_liveness = (
+            (reason == "bound" and self.config.check_liveness_at_bound)
+            or (reason == "quiescence" and self.config.check_liveness_on_quiescence)
+        )
+        if check_liveness:
+            for monitor in self._monitors.values():
+                if type(monitor).is_liveness_monitor() and monitor.is_hot:
+                    self._record_bug(
+                        LivenessViolationError(
+                            f"liveness monitor {type(monitor).__name__} is still in hot state "
+                            f"{monitor.current_state!r} at the end of a bounded execution ({reason})"
+                        )
+                    )
+                    return
+        if reason == "quiescence" and self.config.report_deadlocks:
+            blocked = [
+                m for m in self._machines.values()
+                if not m.is_halted and m._pending_receive is not None
+            ]
+            if blocked:
+                names = ", ".join(str(m.id) for m in blocked)
+                self._record_bug(
+                    DeadlockError(f"no machine is runnable but {names} are blocked in receive")
+                )
+
+    def _record_bug(self, error: BugError) -> None:
+        self.bug = BugInfo(
+            kind=error.kind,
+            message=str(error),
+            step=self.step_count,
+            exception=error,
+        )
+        self.log(f"BUG ({error.kind}): {error}")

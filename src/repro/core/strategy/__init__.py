@@ -1,0 +1,46 @@
+"""Scheduling strategies for the systematic testing engine."""
+
+from __future__ import annotations
+
+from ..config import TestingConfig
+from .base import SchedulingStrategy
+from .dfs_strategy import DFSStrategy
+from .pct_strategy import PCTStrategy
+from .random_strategy import RandomStrategy
+from .replay import ReplayStrategy
+from .round_robin import RoundRobinStrategy
+
+__all__ = [
+    "SchedulingStrategy",
+    "RandomStrategy",
+    "PCTStrategy",
+    "RoundRobinStrategy",
+    "DFSStrategy",
+    "ReplayStrategy",
+    "create_strategy",
+]
+
+_STRATEGIES = {
+    "random": RandomStrategy,
+    "pct": PCTStrategy,
+    "priority": PCTStrategy,
+    "round-robin": RoundRobinStrategy,
+    "dfs": DFSStrategy,
+}
+
+
+def create_strategy(config: TestingConfig) -> SchedulingStrategy:
+    """Build the scheduling strategy described by ``config``."""
+    name = config.strategy.lower()
+    if name not in _STRATEGIES:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ValueError(f"unknown strategy {config.strategy!r}; known strategies: {known}")
+    if name in ("pct", "priority"):
+        fair_suffix_start = config.max_steps // 5 if config.pct_fair_suffix else None
+        return PCTStrategy(
+            seed=config.seed,
+            priority_switches=config.pct_priority_switches,
+            expected_length=config.max_steps,
+            fair_suffix_start=fair_suffix_start,
+        )
+    return _STRATEGIES[name](seed=config.seed)

@@ -1,0 +1,51 @@
+"""Scheduling strategy interface.
+
+A strategy answers three questions during an execution:
+
+* which of the currently *enabled* machines runs next,
+* what value a controlled boolean choice returns,
+* what value a controlled integer choice returns.
+
+The runtime calls :meth:`SchedulingStrategy.prepare_iteration` before each
+execution with the iteration index, so strategies can reseed deterministically
+(seed + iteration), which makes the whole testing session reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..ids import MachineId
+
+
+class SchedulingStrategy(abc.ABC):
+    """Base class of every scheduling strategy."""
+
+    #: human-readable name used in reports
+    name = "abstract"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def prepare_iteration(self, iteration: int) -> None:
+        """Reset internal state before execution number ``iteration``."""
+
+    @abc.abstractmethod
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        """Choose which enabled machine executes the next step."""
+
+    @abc.abstractmethod
+    def next_boolean(self, requester: MachineId, step: int) -> bool:
+        """Value of a controlled boolean choice."""
+
+    @abc.abstractmethod
+    def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
+        """Value of a controlled integer choice in ``[0, max_value)``."""
+
+    def is_fair(self) -> bool:
+        """Whether the strategy is fair (relevant for liveness checking)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} seed={self.seed}>"

@@ -1,0 +1,78 @@
+"""Bounded exhaustive depth-first search over the choice tree.
+
+Each nondeterministic decision (scheduling, boolean, integer) is a node in a
+choice tree.  The DFS strategy enumerates that tree systematically, one branch
+per iteration, so that small harnesses can be explored *exhaustively* rather
+than probabilistically.  The search is bounded by the engine's ``max_steps``
+and by the iteration budget; :attr:`DFSStrategy.exhausted` reports whether the
+full tree was covered.
+
+This strategy is an extension beyond the paper's evaluation (which used the
+random and priority-based schedulers) and is used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..ids import MachineId
+from .base import SchedulingStrategy
+
+
+@dataclass
+class _ChoicePoint:
+    num_options: int
+    index: int
+
+
+class DFSStrategy(SchedulingStrategy):
+    """Systematic enumeration of every bounded schedule."""
+
+    name = "dfs"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._stack: List[_ChoicePoint] = []
+        self._depth = 0
+        self.exhausted = False
+
+    def prepare_iteration(self, iteration: int) -> None:
+        self._depth = 0
+        if iteration == 0:
+            return
+        # Advance to the next unexplored branch: drop exhausted suffix, then
+        # bump the deepest remaining choice.
+        while self._stack and self._stack[-1].index + 1 >= self._stack[-1].num_options:
+            self._stack.pop()
+        if not self._stack:
+            self.exhausted = True
+            return
+        self._stack[-1].index += 1
+
+    def _choose(self, num_options: int) -> int:
+        if self._depth < len(self._stack):
+            point = self._stack[self._depth]
+            if point.num_options != num_options:
+                # The prefix diverged (the program is not purely determined by
+                # earlier choices); restart the subtree from this point.
+                del self._stack[self._depth:]
+                self._stack.append(_ChoicePoint(num_options, 0))
+        else:
+            self._stack.append(_ChoicePoint(num_options, 0))
+        index = self._stack[self._depth].index
+        self._depth += 1
+        return index
+
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        ordered = sorted(enabled, key=lambda mid: mid.value)
+        return ordered[self._choose(len(ordered))]
+
+    def next_boolean(self, requester: MachineId, step: int) -> bool:
+        return bool(self._choose(2))
+
+    def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
+        return self._choose(max_value)
+
+    def is_fair(self) -> bool:
+        return False

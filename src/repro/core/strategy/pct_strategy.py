@@ -1,0 +1,87 @@
+"""Randomized priority-based scheduler.
+
+This is the second scheduler evaluated in Table 2 of the paper: a randomized
+priority-based scheduler in the style of PCT (Burckhardt et al., ASPLOS 2010).
+Every machine receives a random priority when it first becomes schedulable;
+at each scheduling point the highest-priority enabled machine runs.  A small
+budget of *priority change points* (the paper used 2) is chosen uniformly at
+random over the expected execution length; when a change point is reached the
+currently scheduled machine's priority is demoted below every other machine,
+which is what perturbs the otherwise deterministic priority order enough to
+expose ordering bugs.
+
+Strict priority scheduling is unfair — a machine that keeps sending events to
+itself would starve everything else — so, like the "fair PCT" schedulers used
+in practice, this implementation optionally switches to uniform random
+scheduling after a configurable prefix (``fair_suffix_start`` steps).  The
+prefix provides the bug-hunting power of PCT, the suffix provides the fairness
+liveness checking needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..ids import MachineId
+from .base import SchedulingStrategy
+
+
+class PCTStrategy(SchedulingStrategy):
+    """Priority-based scheduling with random priority change points."""
+
+    name = "pct"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        priority_switches: int = 2,
+        expected_length: int = 1000,
+        fair_suffix_start: int | None = None,
+    ) -> None:
+        super().__init__(seed)
+        self.priority_switches = priority_switches
+        self.expected_length = max(1, expected_length)
+        self.fair_suffix_start = fair_suffix_start
+        self._rng = random.Random(seed)
+        self._priorities: Dict[MachineId, float] = {}
+        self._change_points: List[int] = []
+        self._low_priority_counter = 0
+
+    def prepare_iteration(self, iteration: int) -> None:
+        self._rng = random.Random(f"{self.seed}:{iteration}:pct")
+        self._priorities = {}
+        self._low_priority_counter = 0
+        self._change_points = sorted(
+            self._rng.randrange(self.expected_length) for _ in range(self.priority_switches)
+        )
+
+    # ------------------------------------------------------------------
+    def _priority_of(self, machine: MachineId) -> float:
+        if machine not in self._priorities:
+            self._priorities[machine] = self._rng.random()
+        return self._priorities[machine]
+
+    def _in_fair_suffix(self, step: int) -> bool:
+        return self.fair_suffix_start is not None and step >= self.fair_suffix_start
+
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        if self._in_fair_suffix(step):
+            return enabled[self._rng.randrange(len(enabled))]
+        chosen = max(enabled, key=self._priority_of)
+        if self._change_points and step >= self._change_points[0]:
+            self._change_points.pop(0)
+            # Demote the chosen machine below everything seen so far.
+            self._low_priority_counter += 1
+            self._priorities[chosen] = -float(self._low_priority_counter)
+            chosen = max(enabled, key=self._priority_of)
+        return chosen
+
+    def next_boolean(self, requester: MachineId, step: int) -> bool:
+        return self._rng.random() < 0.5
+
+    def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
+        return self._rng.randrange(max_value)
+
+    def is_fair(self) -> bool:
+        return self.fair_suffix_start is not None

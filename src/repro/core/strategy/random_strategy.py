@@ -1,0 +1,38 @@
+"""Uniform random scheduler.
+
+At every scheduling point a machine is chosen uniformly at random from the
+enabled set; boolean and integer choices are uniform as well.  Random
+scheduling is simple yet remarkably effective at exposing concurrency bugs
+(Thomson et al., PPoPP 2014), and is the first of the two schedulers evaluated
+in Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..ids import MachineId
+from .base import SchedulingStrategy
+
+
+class RandomStrategy(SchedulingStrategy):
+    """Uniformly random scheduling and value choices."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._rng = random.Random(seed)
+
+    def prepare_iteration(self, iteration: int) -> None:
+        self._rng = random.Random(f"{self.seed}:{iteration}")
+
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        return enabled[self._rng.randrange(len(enabled))]
+
+    def next_boolean(self, requester: MachineId, step: int) -> bool:
+        return self._rng.random() < 0.5
+
+    def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
+        return self._rng.randrange(max_value)

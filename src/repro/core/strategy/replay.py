@@ -1,0 +1,66 @@
+"""Trace replay strategy.
+
+Given a :class:`~repro.core.trace.ScheduleTrace` recorded by a previous
+execution, this strategy reproduces the exact same sequence of decisions,
+which deterministically replays the execution (and therefore the bug).  If
+the program under test has changed in a way that makes the recorded trace
+inapplicable, a :class:`~repro.core.errors.ReplayDivergenceError` is raised.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ReplayDivergenceError
+from ..ids import MachineId
+from ..trace import BOOLEAN, INTEGER, SCHEDULE, ScheduleTrace
+from .base import SchedulingStrategy
+
+
+class ReplayStrategy(SchedulingStrategy):
+    """Replay the decisions recorded in a schedule trace."""
+
+    name = "replay"
+
+    def __init__(self, trace: ScheduleTrace) -> None:
+        super().__init__(seed=0)
+        self._trace = trace
+        self._cursor = 0
+
+    def prepare_iteration(self, iteration: int) -> None:
+        self._cursor = 0
+
+    def _next_step(self, expected_kind: str):
+        if self._cursor >= len(self._trace.steps):
+            raise ReplayDivergenceError(
+                f"trace exhausted after {self._cursor} steps but the program "
+                f"requested another {expected_kind} choice"
+            )
+        step = self._trace.steps[self._cursor]
+        self._cursor += 1
+        if step.kind != expected_kind:
+            raise ReplayDivergenceError(
+                f"trace step {self._cursor - 1} is a {step.kind!r} choice but the "
+                f"program requested a {expected_kind!r} choice"
+            )
+        return step
+
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        recorded = self._next_step(SCHEDULE)
+        for machine in enabled:
+            if machine.value == recorded.value:
+                return machine
+        raise ReplayDivergenceError(
+            f"recorded machine {recorded.label or recorded.value} is not enabled at step {step}"
+        )
+
+    def next_boolean(self, requester: MachineId, step: int) -> bool:
+        return bool(self._next_step(BOOLEAN).value)
+
+    def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
+        value = self._next_step(INTEGER).value
+        if value >= max_value:
+            raise ReplayDivergenceError(
+                f"recorded integer choice {value} out of range [0, {max_value})"
+            )
+        return value

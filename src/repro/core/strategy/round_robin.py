@@ -1,0 +1,49 @@
+"""Deterministic round-robin scheduler.
+
+Useful as a baseline and for writing deterministic unit tests of harnesses:
+machines are scheduled in creation order, cycling through the enabled set.
+Value choices alternate deterministically, so the same program always produces
+the same execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ids import MachineId
+from .base import SchedulingStrategy
+
+
+class RoundRobinStrategy(SchedulingStrategy):
+    """Cycle through enabled machines in id order."""
+
+    name = "round-robin"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._last_scheduled = -1
+        self._boolean_toggle = False
+        self._integer_counter = 0
+
+    def prepare_iteration(self, iteration: int) -> None:
+        self._last_scheduled = -1
+        self._boolean_toggle = False
+        self._integer_counter = iteration
+
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        ordered = sorted(enabled, key=lambda mid: mid.value)
+        for machine in ordered:
+            if machine.value > self._last_scheduled:
+                self._last_scheduled = machine.value
+                return machine
+        chosen = ordered[0]
+        self._last_scheduled = chosen.value
+        return chosen
+
+    def next_boolean(self, requester: MachineId, step: int) -> bool:
+        self._boolean_toggle = not self._boolean_toggle
+        return self._boolean_toggle
+
+    def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
+        self._integer_counter += 1
+        return self._integer_counter % max_value

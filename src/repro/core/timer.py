@@ -1,0 +1,93 @@
+"""Modeled timers.
+
+System correctness should never hinge on the frequency of any individual
+timer (§3.3), so harnesses delegate all timing nondeterminism to the testing
+runtime: a :class:`TimerMachine` repeatedly makes a controlled boolean choice
+and, when it comes up true, delivers a :class:`~repro.core.events.TimerTick`
+to its target.  The scheduler is therefore free to interleave timeouts
+arbitrarily with every other event in the system, which is precisely what
+exposes expiration/heartbeat races such as the vNext liveness bug.
+"""
+
+from __future__ import annotations
+
+from .declarations import on_event
+from .events import Event, TimerTick
+from .ids import MachineId
+from .machine import Machine
+
+
+class StartTimer(Event):
+    """Ask a timer to start (or restart) ticking."""
+
+
+class StopTimer(Event):
+    """Ask a timer to stop ticking (pending ticks may still be delivered)."""
+
+
+class _TimerLoop(Event):
+    """Internal self-message that keeps the timer loop running."""
+
+
+class TimerMachine(Machine):
+    """Nondeterministic timer driven entirely by controlled choices.
+
+    Created with ``create(TimerMachine, target=<machine id>, timer_name=...,
+    max_ticks=...)``.  By default the timer loops forever (executions are cut
+    off by the engine's step bound, as in the paper); pass ``max_ticks`` to
+    bound the number of loop rounds when a naturally terminating execution is
+    preferred (e.g. for quiescence-based harnesses).  With ``always_fire`` the
+    timer delivers a tick on every loop round (regular periodic timer); by
+    default each round makes a controlled nondeterministic choice, exactly as
+    in Figure 9 of the paper.
+    """
+
+    initial_state = "running"
+
+    def on_start(
+        self,
+        target: MachineId,
+        timer_name: str = "timer",
+        max_ticks: "int | None" = None,
+        always_fire: bool = False,
+    ) -> None:
+        self.target = target
+        self.timer_name = timer_name
+        self.max_ticks = max_ticks
+        self.always_fire = always_fire
+        self.rounds = 0
+        self.active = True
+        self.send(self.id, _TimerLoop())
+
+    @on_event(_TimerLoop)
+    def run_loop(self) -> None:
+        if not self.active:
+            return
+        self.rounds += 1
+        if not self._tick_already_pending() and (self.always_fire or self.random()):
+            self.send(self.target, TimerTick(self.timer_name))
+        if self.max_ticks is None or self.rounds < self.max_ticks:
+            self.send(self.id, _TimerLoop())
+
+    def _tick_already_pending(self) -> bool:
+        """True when the target has not yet consumed the previous tick.
+
+        Keeping at most one outstanding tick per timer mirrors how a periodic
+        timer behaves (a timeout that has not been observed yet is not
+        duplicated) and prevents unfair scheduling prefixes from flooding the
+        target's inbox with redundant timeouts.
+        """
+        return self._runtime.count_pending_events(
+            self.target, TimerTick, lambda tick: tick.timer_name == self.timer_name
+        ) > 0
+
+    @on_event(StopTimer)
+    def stop(self) -> None:
+        self.active = False
+
+    @on_event(StartTimer)
+    def restart(self) -> None:
+        if not self.active:
+            self.active = True
+            self.rounds = 0
+            self.send(self.id, _TimerLoop())

@@ -1,0 +1,101 @@
+"""Schedule traces and their serialization.
+
+A trace is the full sequence of nondeterministic decisions taken during one
+execution: which machine was scheduled at each step, and the value of every
+boolean/integer choice.  A trace uniquely determines an execution, so a bug
+trace can be replayed deterministically (see
+:class:`repro.core.strategy.replay.ReplayStrategy`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+
+SCHEDULE = "sched"
+BOOLEAN = "bool"
+INTEGER = "int"
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One nondeterministic decision.
+
+    ``kind`` is one of :data:`SCHEDULE`, :data:`BOOLEAN` or :data:`INTEGER`.
+    For schedule steps ``value`` is the integer id of the scheduled machine
+    and ``label`` its printable name; for value steps ``value`` is the chosen
+    value and ``label`` the id of the machine that asked for it.
+    """
+
+    kind: str
+    value: int
+    label: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value, "label": self.label}
+
+    @staticmethod
+    def from_dict(data: dict) -> "TraceStep":
+        return TraceStep(kind=data["kind"], value=int(data["value"]), label=data.get("label", ""))
+
+
+@dataclass
+class ScheduleTrace:
+    """An ordered list of :class:`TraceStep` plus the execution log."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+    log: List[str] = field(default_factory=list)
+
+    def add_scheduling_choice(self, machine_value: int, label: str) -> None:
+        self.steps.append(TraceStep(SCHEDULE, machine_value, label))
+
+    def add_boolean_choice(self, value: bool, label: str) -> None:
+        self.steps.append(TraceStep(BOOLEAN, int(value), label))
+
+    def add_integer_choice(self, value: int, label: str) -> None:
+        self.steps.append(TraceStep(INTEGER, value, label))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    @property
+    def num_nondeterministic_choices(self) -> int:
+        """Total number of decisions (the #NDC column of Table 2)."""
+        return len(self.steps)
+
+    @property
+    def num_scheduling_choices(self) -> int:
+        return sum(1 for step in self.steps if step.kind == SCHEDULE)
+
+    @property
+    def num_value_choices(self) -> int:
+        return sum(1 for step in self.steps if step.kind != SCHEDULE)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int | None = None) -> str:
+        payload = {"steps": [step.to_dict() for step in self.steps], "log": self.log}
+        return json.dumps(payload, indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "ScheduleTrace":
+        payload = json.loads(text)
+        return ScheduleTrace(
+            steps=[TraceStep.from_dict(entry) for entry in payload.get("steps", [])],
+            log=list(payload.get("log", [])),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=2))
+
+    @staticmethod
+    def load(path: str) -> "ScheduleTrace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return ScheduleTrace.from_json(handle.read())

@@ -1,0 +1,34 @@
+"""The contrived replication system of §2.2 of the paper.
+
+A client sends values to a server, which replicates them to three storage
+nodes and acknowledges once it believes three replicas exist.  The component
+under test is :class:`~repro.examplesys.server.ReplicationServer`; the harness
+in :mod:`repro.examplesys.harness` models the client, storage nodes, timers
+and network, and specifies the two correctness properties the paper uses to
+introduce safety and liveness monitors.
+"""
+
+from .messages import (
+    Ack,
+    ClientRequest,
+    NotifyAck,
+    NotifyClientRequest,
+    NotifyReplicaStored,
+    ReplicationRequest,
+    SyncReport,
+)
+from .server import ReplicationServer, ServerConfig, ServerNetwork, StorageNodeStore
+
+__all__ = [
+    "Ack",
+    "ClientRequest",
+    "NotifyAck",
+    "NotifyClientRequest",
+    "NotifyReplicaStored",
+    "ReplicationRequest",
+    "ReplicationServer",
+    "ServerConfig",
+    "ServerNetwork",
+    "StorageNodeStore",
+    "SyncReport",
+]

@@ -1,0 +1,25 @@
+"""P#-style test harness for the example replication system."""
+
+from .machines import ClientMachine, ModelServerNetwork, ServerMachine, StorageNodeMachine
+from .monitors import AckLivenessMonitor, ReplicaSafetyMonitor
+from .scenarios import (
+    build_replication_test,
+    buggy_configuration,
+    fixed_configuration,
+    liveness_bug_configuration,
+    safety_bug_configuration,
+)
+
+__all__ = [
+    "AckLivenessMonitor",
+    "ClientMachine",
+    "ModelServerNetwork",
+    "ReplicaSafetyMonitor",
+    "ServerMachine",
+    "StorageNodeMachine",
+    "build_replication_test",
+    "buggy_configuration",
+    "fixed_configuration",
+    "liveness_bug_configuration",
+    "safety_bug_configuration",
+]

@@ -1,0 +1,70 @@
+"""Test-entry factories for the example replication system.
+
+Each factory returns a function suitable for
+:class:`repro.core.TestingEngine` / :func:`repro.core.run_test`: it receives a
+fresh :class:`~repro.core.TestRuntime`, registers the monitors and creates the
+environment machine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import TestRuntime
+
+from ..server import ServerConfig
+from .machines import ServerMachine
+from .monitors import AckLivenessMonitor, ReplicaSafetyMonitor
+
+
+def build_replication_test(
+    server_config: Optional[ServerConfig] = None,
+    num_nodes: int = 3,
+    num_requests: int = 2,
+    timer_ticks: "int | None" = None,
+    check_safety: bool = True,
+    check_liveness: bool = True,
+) -> Callable[[TestRuntime], None]:
+    """Build a test entry that exercises the replication protocol end to end.
+
+    ``check_safety``/``check_liveness`` select which monitors are registered,
+    which is useful when hunting for one specific class of bug (liveness
+    verdicts are only sound under fair schedulers such as ``random``).
+    """
+    config = server_config or ServerConfig()
+
+    def test_entry(runtime: TestRuntime) -> None:
+        if check_safety:
+            runtime.register_monitor(ReplicaSafetyMonitor)
+        if check_liveness:
+            runtime.register_monitor(AckLivenessMonitor)
+        runtime.create_machine(
+            ServerMachine,
+            num_nodes=num_nodes,
+            num_requests=num_requests,
+            server_config=config,
+            timer_ticks=timer_ticks,
+            name="Server",
+        )
+
+    return test_entry
+
+
+def buggy_configuration() -> ServerConfig:
+    """The configuration shipped with both §2.2 bugs present."""
+    return ServerConfig(count_duplicate_replicas=True, reset_counter_on_ack=False)
+
+
+def safety_bug_configuration() -> ServerConfig:
+    """Only the duplicate-replica-counting safety bug is present."""
+    return ServerConfig(count_duplicate_replicas=True, reset_counter_on_ack=True)
+
+
+def liveness_bug_configuration() -> ServerConfig:
+    """Only the missing-counter-reset liveness bug is present."""
+    return ServerConfig(count_duplicate_replicas=False, reset_counter_on_ack=False)
+
+
+def fixed_configuration() -> ServerConfig:
+    """Both bugs fixed."""
+    return ServerConfig(count_duplicate_replicas=False, reset_counter_on_ack=True)

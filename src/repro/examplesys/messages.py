@@ -1,0 +1,54 @@
+"""Events exchanged in the §2.2 example replication system."""
+
+from __future__ import annotations
+
+from repro.core import Event, MachineId
+
+
+class ClientRequest(Event):
+    """Client asks the server to replicate ``data``."""
+
+    def __init__(self, data: int, client: MachineId) -> None:
+        self.data = data
+        self.client = client
+
+
+class Ack(Event):
+    """Server acknowledges that the latest request has been replicated."""
+
+    def __init__(self, data: int) -> None:
+        self.data = data
+
+
+class ReplicationRequest(Event):
+    """Server asks a storage node to store ``data``."""
+
+    def __init__(self, data: int) -> None:
+        self.data = data
+
+
+class SyncReport(Event):
+    """A storage node reports its log (its latest stored value) to the server."""
+
+    def __init__(self, node_id: int, log: object) -> None:
+        self.node_id = node_id
+        self.log = log
+
+
+# --- monitor notifications -------------------------------------------------
+
+
+class NotifyClientRequest(Event):
+    def __init__(self, data: int) -> None:
+        self.data = data
+
+
+class NotifyAck(Event):
+    def __init__(self, data: int) -> None:
+        self.data = data
+
+
+class NotifyReplicaStored(Event):
+    def __init__(self, node_id: int, data: int) -> None:
+        self.node_id = node_id
+        self.data = data

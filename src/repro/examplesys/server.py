@@ -1,0 +1,125 @@
+"""The "real" server component of the §2.2 example replication system.
+
+This class is the system-under-test of the introductory example: it is plain
+Python with no dependency on the testing framework, and talks to the outside
+world only through a :class:`ServerNetwork`, which the harness replaces with a
+modeled network (exactly how the vNext harness replaces the real network
+engine in §3.1).
+
+The paper plants two bugs in this component:
+
+* **Safety bug** — the server counts every up-to-date sync report towards the
+  replica counter, even repeated reports from the same node, so it may send
+  ``Ack`` before three *distinct* replicas exist.
+* **Liveness bug** — the server never resets the replica counter after sending
+  ``Ack``, so a second client request is never acknowledged.
+
+Both bugs are present by default and can be individually fixed through
+:class:`ServerConfig`, which is how the evaluation re-introduces them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class ServerNetwork(abc.ABC):
+    """Network interface used by the server to reach storage nodes and clients."""
+
+    @abc.abstractmethod
+    def send_replication_request(self, node_id: int, data: int) -> None:
+        """Ask storage node ``node_id`` to store ``data``."""
+
+    @abc.abstractmethod
+    def send_ack(self, data: int) -> None:
+        """Acknowledge the current client request."""
+
+
+@dataclass
+class ServerConfig:
+    """Configuration and bug switches of the example server."""
+
+    replica_target: int = 3
+    #: When true (the paper's buggy behaviour) duplicate sync reports from the
+    #: same node each increment the replica counter.
+    count_duplicate_replicas: bool = True
+    #: When false (the paper's buggy behaviour) the replica counter keeps its
+    #: value after an Ack, so later requests are never acknowledged.
+    reset_counter_on_ack: bool = False
+
+
+class ReplicationServer:
+    """Replicates each client value to a set of storage nodes."""
+
+    def __init__(self, node_ids: List[int], network: ServerNetwork, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self.network = network
+        self.node_ids = list(node_ids)
+        self.data: Optional[int] = None
+        self.num_replicas = 0
+        self.acked_nodes: set = set()
+        self.acks_sent = 0
+
+    # ------------------------------------------------------------------
+    def process_client_request(self, data: int) -> None:
+        """Store the new value and broadcast replication requests."""
+        self.data = data
+        self.acked_nodes.clear()
+        if self.config.reset_counter_on_ack:
+            # The fixed server starts every request from a clean counter.
+            self.num_replicas = 0
+        for node_id in self.node_ids:
+            self.network.send_replication_request(node_id, data)
+
+    def process_sync(self, node_id: int, log: Optional[int]) -> None:
+        """Handle a periodic sync report from a storage node."""
+        if self.data is None:
+            return
+        if not self.is_up_to_date(log):
+            self.network.send_replication_request(node_id, self.data)
+            return
+        if self.config.count_duplicate_replicas:
+            self.num_replicas += 1
+        else:
+            if node_id not in self.acked_nodes:
+                self.acked_nodes.add(node_id)
+                self.num_replicas += 1
+        # The paper's pseudocode tests for equality, which is what turns the
+        # missing counter reset into a liveness bug (the counter overshoots the
+        # target and the condition never fires again).
+        if self.num_replicas == self.config.replica_target:
+            self.network.send_ack(self.data)
+            self.acks_sent += 1
+            if self.config.reset_counter_on_ack:
+                self.num_replicas = 0
+                self.acked_nodes.clear()
+
+    def is_up_to_date(self, log: Optional[int]) -> bool:
+        """A node is up to date when its log holds the latest client value."""
+        return self.data is not None and log == self.data
+
+
+class StorageNodeStore:
+    """In-memory storage log reused by the modeled storage-node machine.
+
+    The real storage node would persist to disk; the harness reuses this small
+    bookkeeping structure (mirroring how the vNext harness reuses the real
+    ``ExtentCenter``) and keeps everything in memory for testing speed.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.log: Optional[int] = None
+        self.history: Dict[int, int] = {}
+        self.writes = 0
+
+    def store(self, data: int) -> None:
+        self.log = data
+        self.writes += 1
+        self.history[self.writes] = data
+
+    @property
+    def latest(self) -> Optional[int]:
+        return self.log

@@ -1,0 +1,18 @@
+"""Experiment generators for the paper's evaluation (Table 1 and Table 2)."""
+
+from .bug_registry import BugEntry, all_bug_entries, bug_entry
+from .table1 import case_study_descriptions, format_table1, generate_table1
+from .table2 import Table2Cell, Table2Row, format_table2, generate_table2
+
+__all__ = [
+    "BugEntry",
+    "Table2Cell",
+    "Table2Row",
+    "all_bug_entries",
+    "bug_entry",
+    "case_study_descriptions",
+    "format_table1",
+    "format_table2",
+    "generate_table1",
+    "generate_table2",
+]

@@ -1,0 +1,83 @@
+"""Registry of every re-introducible bug evaluated in Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core import TestRuntime
+from repro.migratingtable import ALL_BUGS, MigratingTableBug
+from repro.migratingtable.harness import build_directed_test, build_migration_test
+from repro.vnext.harness import build_failover_test
+
+TestFactory = Callable[[], Callable[[TestRuntime], None]]
+
+
+@dataclass(frozen=True)
+class BugEntry:
+    """One row of Table 2: a re-introducible bug and how to hunt it."""
+
+    case_study: int
+    identifier: str
+    build_default_test: TestFactory
+    build_directed_test: Optional[TestFactory]
+    #: Step bound needed by this bug's harness (the liveness bug needs long executions).
+    max_steps: int
+    kind: str  # "liveness" or "safety"
+    notional: bool = False
+
+
+def _vnext_entry() -> BugEntry:
+    return BugEntry(
+        case_study=1,
+        identifier="ExtentNodeLivenessViolation",
+        build_default_test=lambda: build_failover_test(fixed=False),
+        build_directed_test=None,
+        max_steps=3000,
+        kind="liveness",
+    )
+
+
+def _migratingtable_entry(bug: MigratingTableBug) -> BugEntry:
+    from repro.migratingtable.bugs import NOTIONAL_BUGS
+
+    return BugEntry(
+        case_study=2,
+        identifier=bug.value,
+        build_default_test=lambda bug=bug: build_migration_test([bug]),
+        build_directed_test=lambda bug=bug: build_directed_test(bug),
+        max_steps=4000,
+        kind="safety",
+        notional=bug in NOTIONAL_BUGS,
+    )
+
+
+#: The order in which the bugs appear in Table 2 of the paper.
+TABLE2_ORDER = [
+    "ExtentNodeLivenessViolation",
+    "QueryAtomicFilterShadowing",
+    "QueryStreamedLock",
+    "QueryStreamedBackUpNewStream",
+    "DeleteNoLeaveTombstonesEtag",
+    "DeletePrimaryKey",
+    "EnsurePartitionSwitchedFromPopulated",
+    "TombstoneOutputETag",
+    "QueryStreamedFilterShadowing",
+    "MigrateSkipPreferOld",
+    "MigrateSkipUseNewWithTombstones",
+    "InsertBehindMigrator",
+]
+
+
+def all_bug_entries() -> List[BugEntry]:
+    """Every Table 2 bug, in the paper's order."""
+    entries = {entry.identifier: entry for entry in
+               [_vnext_entry()] + [_migratingtable_entry(bug) for bug in ALL_BUGS]}
+    return [entries[name] for name in TABLE2_ORDER]
+
+
+def bug_entry(identifier: str) -> BugEntry:
+    for entry in all_bug_entries():
+        if entry.identifier == identifier:
+            return entry
+    raise KeyError(f"unknown bug identifier {identifier!r}")

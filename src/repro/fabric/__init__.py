@@ -1,0 +1,33 @@
+"""Case study 3: a model of Azure Service Fabric replica management (§5)."""
+
+from .harness import (
+    ClusterManagerMachine,
+    FabricTestDriver,
+    ReplicaMachine,
+    build_cscale_test,
+    build_failover_test,
+)
+from .model import (
+    ClientRequest,
+    CounterService,
+    FabricModelConfig,
+    PrimaryLivenessMonitor,
+    PromotionSafetyMonitor,
+    Service,
+    StreamStageService,
+)
+
+__all__ = [
+    "ClientRequest",
+    "ClusterManagerMachine",
+    "CounterService",
+    "FabricModelConfig",
+    "FabricTestDriver",
+    "PrimaryLivenessMonitor",
+    "PromotionSafetyMonitor",
+    "ReplicaMachine",
+    "Service",
+    "StreamStageService",
+    "build_cscale_test",
+    "build_failover_test",
+]

@@ -1,0 +1,246 @@
+"""Machines of the Fabric model and its test harness (§5).
+
+The :class:`ClusterManagerMachine` is the Fabric model itself: it launches
+replicas, routes client operations to the primary, handles replica failures,
+elects a new primary and brings a replacement secondary up to date through the
+copy-state protocol.  The :class:`ReplicaMachine` hosts one instance of the
+user service.  The :class:`FabricTestDriver` plays the client and injects a
+nondeterministic primary failure, the scenario in which the paper found the
+"promoted before copy" bug in the model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core import Machine, MachineId, TestRuntime, on_event
+
+from .model import (
+    ClientRequest,
+    CopyCompleted,
+    CopyStateRequest,
+    CopyStateResponse,
+    CounterService,
+    FabricModelConfig,
+    FailReplica,
+    NotifyPrimaryElected,
+    NotifyPromotion,
+    PromoteToActiveSecondary,
+    PromoteToPrimary,
+    PromotionSafetyMonitor,
+    PrimaryLivenessMonitor,
+    ReplicaFailed,
+    ReplicateOp,
+    Service,
+    StreamStageService,
+)
+
+
+class ReplicaMachine(Machine):
+    """Hosts one replica of a user service."""
+
+    ignore_unhandled_events = True
+
+    def on_start(self, cluster: MachineId, service_factory: Callable[[], Service], initialize: bool = True) -> None:
+        self.cluster = cluster
+        self.service = service_factory()
+        if initialize:
+            self.service.initialize()
+        self.role = "idle-secondary"
+        self.copy_completed = initialize
+
+    @on_event(PromoteToPrimary)
+    def become_primary(self) -> None:
+        self.role = "primary"
+        self.notify_monitor(PromotionSafetyMonitor, NotifyPrimaryElected(self.id))
+        self.notify_monitor(PrimaryLivenessMonitor, NotifyPrimaryElected(self.id))
+
+    @on_event(PromoteToActiveSecondary)
+    def become_active_secondary(self) -> None:
+        self.role = "active-secondary"
+        self.notify_monitor(PromotionSafetyMonitor, NotifyPromotion(self.id, self.copy_completed))
+
+    @on_event(ClientRequest)
+    def handle_client_request(self, event: ClientRequest) -> None:
+        self.assert_that(self.role == "primary", "client request routed to a non-primary replica")
+        self.service.apply(event.payload)
+
+    @on_event(ReplicateOp)
+    def handle_replication(self, event: ReplicateOp) -> None:
+        if not self.copy_completed:
+            # A secondary that has not caught up yet ignores replicated
+            # operations; the state copy it is waiting for already includes
+            # their effect.
+            return
+        self.service.apply(event.payload)
+
+    @on_event(CopyStateRequest)
+    def handle_copy_request(self, event: CopyStateRequest) -> None:
+        self.send(event.target, CopyStateResponse(self.service.get_state()))
+
+    @on_event(CopyStateResponse)
+    def handle_copy_response(self, event: CopyStateResponse) -> None:
+        self.service.set_state(event.state)
+        self.copy_completed = True
+        self.send(self.cluster, CopyCompleted(self.id))
+
+    @on_event(FailReplica)
+    def fail(self) -> None:
+        self.send(self.cluster, ReplicaFailed(self.id))
+        if self.role == "primary":
+            self.notify_monitor(PrimaryLivenessMonitor, ReplicaFailed(self.id))
+        self.halt()
+
+
+class ClusterManagerMachine(Machine):
+    """The Fabric model: replica placement, failover, copy-state, promotion."""
+
+    def on_start(
+        self,
+        service_factory: Callable[[], Service],
+        config: Optional[FabricModelConfig] = None,
+    ) -> None:
+        self.config = config or FabricModelConfig()
+        self.service_factory = service_factory
+        self.replicas: List[MachineId] = []
+        self.copying: Dict[MachineId, bool] = {}
+        self.primary: Optional[MachineId] = None
+        for index in range(self.config.replica_count):
+            replica = self.create(
+                ReplicaMachine, self.id, service_factory, True, name=f"Replica-{index}"
+            )
+            self.replicas.append(replica)
+        self.primary = self.replicas[0]
+        self.send(self.primary, PromoteToPrimary())
+        for secondary in self.replicas[1:]:
+            self.send(secondary, PromoteToActiveSecondary())
+
+    # ------------------------------------------------------------------
+    @on_event(ClientRequest)
+    def route_request(self, event: ClientRequest) -> None:
+        if self.primary is None:
+            return
+        self.send(self.primary, event)
+        for replica in self.replicas:
+            if replica != self.primary:
+                self.send(replica, ReplicateOp(event.payload))
+
+    @on_event(ReplicaFailed)
+    def handle_replica_failure(self, event: ReplicaFailed) -> None:
+        if event.replica in self.replicas:
+            self.replicas.remove(event.replica)
+        self.copying.pop(event.replica, None)
+        was_primary = event.replica == self.primary
+        if was_primary:
+            self.primary = None
+            self._elect_new_primary()
+        # Launch a replacement secondary that must catch up via copy-state.
+        replacement = self.create(
+            ReplicaMachine,
+            self.id,
+            self.service_factory,
+            False,
+            name=f"Replica-{len(self.replicas)}r",
+        )
+        self.replicas.append(replacement)
+        self.copying[replacement] = True
+        if self.primary is not None:
+            self.send(self.primary, CopyStateRequest(replacement))
+            if self.config.allow_promote_without_copy:
+                # BUG: the replacement is promoted to active secondary as soon
+                # as the copy has been *requested*, not when it has completed.
+                self.send(replacement, PromoteToActiveSecondary())
+
+    @on_event(CopyCompleted)
+    def handle_copy_completed(self, event: CopyCompleted) -> None:
+        if self.copying.pop(event.replica, False):
+            self.send(event.replica, PromoteToActiveSecondary())
+
+    def _elect_new_primary(self) -> None:
+        if self.config.allow_promote_without_copy:
+            # BUG: any remaining replica may be elected, including one that is
+            # still waiting for its copy of the state; it is then promoted to
+            # active secondary without ever receiving the state.
+            candidates = list(self.replicas)
+        else:
+            candidates = [r for r in self.replicas if not self.copying.get(r, False)]
+        if not candidates:
+            return
+        self.primary = self.choose(candidates)
+        self.copying.pop(self.primary, None)
+        self.send(self.primary, PromoteToPrimary())
+
+
+class FabricTestDriver(Machine):
+    """Sends client requests and injects a nondeterministic primary failure."""
+
+    class _Inject(ClientRequest):
+        pass
+
+    def on_start(
+        self,
+        service_factory: Callable[[], Service],
+        config: Optional[FabricModelConfig] = None,
+        num_requests: int = 3,
+    ) -> None:
+        self.config = config or FabricModelConfig()
+        self.cluster = self.create(ClusterManagerMachine, service_factory, self.config, name="Cluster")
+        self.replicas_to_fail = 1
+        for index in range(num_requests):
+            self.send(self.cluster, ClientRequest(index + 1))
+        self.send(self.id, FailReplica())
+
+    @on_event(FailReplica)
+    def inject_failure(self) -> None:
+        cluster = self._runtime.machine_instance(self.cluster)
+        replicas = list(getattr(cluster, "replicas", []))
+        if not replicas:
+            # The cluster manager has not started yet; try again later (the
+            # retry point is itself subject to scheduling, so failures can be
+            # injected at any point of the execution).
+            self.send(self.id, FailReplica())
+            return
+        victim = self.choose(replicas)
+        self.send(victim, FailReplica())
+
+
+# ---------------------------------------------------------------------------
+# test entries
+# ---------------------------------------------------------------------------
+def build_failover_test(
+    allow_promote_without_copy: bool = False,
+    num_requests: int = 3,
+) -> Callable[[TestRuntime], None]:
+    """Primary-failure scenario over the counter service."""
+    config = FabricModelConfig(allow_promote_without_copy=allow_promote_without_copy)
+
+    def test_entry(runtime: TestRuntime) -> None:
+        runtime.register_monitor(PromotionSafetyMonitor)
+        runtime.register_monitor(PrimaryLivenessMonitor)
+        runtime.create_machine(FabricTestDriver, CounterService, config, num_requests, name="Driver")
+
+    return test_entry
+
+
+class _UnwiredStreamStage(StreamStageService):
+    """A stream stage whose pipeline wiring step was forgotten.
+
+    ``initialize`` is a no-op, so the first event that reaches the stage hits
+    uninitialized state — the analog of the NullReferenceException the paper
+    reports finding in CScale when running it against the Fabric model.
+    """
+
+    def initialize(self) -> None:  # BUG: wiring forgotten
+        pass
+
+
+def build_cscale_test(skip_stage_initialization: bool = False) -> Callable[[TestRuntime], None]:
+    """CScale-like chained stream stage running on the Fabric model."""
+    config = FabricModelConfig(skip_stage_initialization=skip_stage_initialization)
+    stage_cls = _UnwiredStreamStage if skip_stage_initialization else StreamStageService
+
+    def test_entry(runtime: TestRuntime) -> None:
+        runtime.register_monitor(PromotionSafetyMonitor)
+        runtime.create_machine(FabricTestDriver, stage_cls, config, 2, name="Driver")
+
+    return test_entry

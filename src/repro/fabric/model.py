@@ -1,0 +1,208 @@
+"""A P#-style model of Azure Service Fabric replica management (§5).
+
+The paper's third case study modeled the lowest Fabric API layer so that
+Fabric *services* could be tested against it.  This module reproduces that
+model: a cluster manager that keeps a primary and a set of secondary replicas
+of a user service, fails replicas on request, elects new primaries and brings
+replacement secondaries up to date through a copy-state protocol.
+
+The model contains the assertion the paper describes: **only a secondary that
+has completed the state copy may be promoted to an active secondary**.  The
+re-introducible bug (``FabricModelConfig.allow_promote_without_copy``) elects
+a secondary that is still waiting for its state copy and promotes it, exactly
+the incorrect behaviour the authors found while testing their own model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import Event, Machine, MachineId, Monitor, on_event
+
+
+# ---------------------------------------------------------------------------
+# user services
+# ---------------------------------------------------------------------------
+class Service:
+    """Base class for user services hosted on the Fabric model.
+
+    A service mutates its state in response to client requests on the primary
+    replica; the state is shipped to secondaries through ``get_state`` /
+    ``set_state`` during copy and through ``apply`` for regular replication.
+    """
+
+    def __init__(self) -> None:
+        self.initialized = False
+
+    def initialize(self) -> None:
+        self.initialized = True
+
+    def apply(self, request: object) -> object:
+        raise NotImplementedError
+
+    def get_state(self) -> object:
+        raise NotImplementedError
+
+    def set_state(self, state: object) -> None:
+        raise NotImplementedError
+
+
+class CounterService(Service):
+    """Simple replicated counter used to exercise the model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.value = 0
+
+    def apply(self, request: object) -> object:
+        if not self.initialized:
+            # The analog of the CScale NullReferenceException: touching state
+            # before initialization.
+            raise AttributeError("service state accessed before initialization")
+        self.value += int(request)
+        return self.value
+
+    def get_state(self) -> object:
+        return self.value
+
+    def set_state(self, state: object) -> None:
+        self.value = int(state)
+        self.initialized = True
+
+
+class StreamStageService(Service):
+    """A CScale-like stream-processing stage: transforms and forwards events."""
+
+    def __init__(self, multiplier: int = 2) -> None:
+        super().__init__()
+        self.multiplier = multiplier
+        self.processed: List[int] = []
+
+    def apply(self, request: object) -> object:
+        if not self.initialized:
+            raise AttributeError("stream stage used before initialization")
+        value = int(request) * self.multiplier
+        self.processed.append(value)
+        return value
+
+    def get_state(self) -> object:
+        return list(self.processed)
+
+    def set_state(self, state: object) -> None:
+        self.processed = list(state)
+        self.initialized = True
+
+
+# ---------------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------------
+class ClientRequest(Event):
+    def __init__(self, payload: int) -> None:
+        self.payload = payload
+
+
+class ReplicateOp(Event):
+    def __init__(self, payload: int) -> None:
+        self.payload = payload
+
+
+class CopyStateRequest(Event):
+    def __init__(self, target: MachineId) -> None:
+        self.target = target
+
+
+class CopyStateResponse(Event):
+    def __init__(self, state: object) -> None:
+        self.state = state
+
+
+class PromoteToActiveSecondary(Event):
+    pass
+
+
+class PromoteToPrimary(Event):
+    pass
+
+
+class CopyCompleted(Event):
+    def __init__(self, replica: "MachineId") -> None:
+        self.replica = replica
+
+
+class FailReplica(Event):
+    pass
+
+
+class ReplicaFailed(Event):
+    def __init__(self, replica: MachineId) -> None:
+        self.replica = replica
+
+
+class NotifyPromotion(Event):
+    def __init__(self, replica: MachineId, copy_completed: bool) -> None:
+        self.replica = replica
+        self.copy_completed = copy_completed
+
+
+class NotifyPrimaryElected(Event):
+    def __init__(self, replica: MachineId) -> None:
+        self.replica = replica
+
+
+# ---------------------------------------------------------------------------
+# configuration and monitors
+# ---------------------------------------------------------------------------
+@dataclass
+class FabricModelConfig:
+    """Configuration of the Fabric model (with its re-introducible bug)."""
+
+    replica_count: int = 3
+    #: When true (the bug found while testing the model) the cluster manager
+    #: may elect a secondary that has not finished its state copy and then
+    #: promote it to active secondary.
+    allow_promote_without_copy: bool = False
+    #: When true, the stream stage processes events before initialization,
+    #: reproducing the CScale null-dereference class of failure.
+    skip_stage_initialization: bool = False
+
+
+class PromotionSafetyMonitor(Monitor):
+    """Only secondaries that completed the state copy may become active."""
+
+    initial_state = "watching"
+
+    @on_event(NotifyPromotion)
+    def on_promotion(self, event: NotifyPromotion) -> None:
+        self.assert_that(
+            event.copy_completed,
+            f"replica {event.replica} was promoted to active secondary before "
+            "receiving a copy of the state",
+        )
+
+    @on_event(NotifyPrimaryElected)
+    def on_primary(self, event: NotifyPrimaryElected) -> None:
+        pass
+
+
+class PrimaryLivenessMonitor(Monitor):
+    """Hot while the cluster has no primary replica."""
+
+    initial_state = "no_primary"
+    hot_states = frozenset({"no_primary"})
+
+    @on_event(NotifyPrimaryElected, state="no_primary")
+    def elected(self) -> None:
+        self.goto("has_primary")
+
+    @on_event(ReplicaFailed, state="has_primary")
+    def primary_failed(self) -> None:
+        self.goto("no_primary")
+
+    @on_event(ReplicaFailed, state="no_primary")
+    def still_down(self) -> None:
+        pass
+
+    @on_event(NotifyPrimaryElected, state="has_primary")
+    def re_elected(self) -> None:
+        pass

@@ -1,0 +1,58 @@
+"""Case study 2: Live Table Migration (MigratingTable, §4).
+
+The system-under-test is :class:`~repro.migratingtable.migrating_table.MigratingTable`,
+a library that transparently migrates a key-value data set between two backend
+tables (both presenting the :class:`~repro.migratingtable.chain_table.IChainTable`
+interface) while applications keep reading and writing, together with the
+background :class:`~repro.migratingtable.migrator.Migrator`.  The harness in
+:mod:`repro.migratingtable.harness` checks complete compliance with the
+IChainTable specification against a reference implementation, with the eleven
+Table 2 bugs re-introducible through
+:class:`~repro.migratingtable.bugs.MigratingTableBug`.
+"""
+
+from .bugs import ALL_BUGS, CLIENT_SIDE_BUGS, MIGRATOR_SIDE_BUGS, NOTIONAL_BUGS, ORGANIC_BUGS, MigratingTableBug
+from .chain_table import IChainTable
+from .migrating_table import MigratingTable, MigratingTableConfig
+from .migration import PartitionMeta, PartitionState, read_partition_meta, write_partition_meta
+from .migrator import Migrator, MigratorConfig
+from .reference_table import InMemoryChainTable
+from .table_types import (
+    ErrorCode,
+    META_ROW_KEY,
+    OpKind,
+    RowFilter,
+    TOMBSTONE_PROPERTY,
+    TableEntity,
+    TableOperation,
+    TableResult,
+    VERSION_PROPERTY,
+)
+
+__all__ = [
+    "ALL_BUGS",
+    "CLIENT_SIDE_BUGS",
+    "ErrorCode",
+    "IChainTable",
+    "InMemoryChainTable",
+    "META_ROW_KEY",
+    "MIGRATOR_SIDE_BUGS",
+    "MigratingTable",
+    "MigratingTableBug",
+    "MigratingTableConfig",
+    "Migrator",
+    "MigratorConfig",
+    "NOTIONAL_BUGS",
+    "ORGANIC_BUGS",
+    "OpKind",
+    "PartitionMeta",
+    "PartitionState",
+    "RowFilter",
+    "TOMBSTONE_PROPERTY",
+    "TableEntity",
+    "TableOperation",
+    "TableResult",
+    "VERSION_PROPERTY",
+    "read_partition_meta",
+    "write_partition_meta",
+]

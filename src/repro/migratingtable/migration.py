@@ -1,0 +1,100 @@
+"""Per-partition migration state.
+
+The migration of a partition progresses through a sequence of states that
+every MigratingTable instance must honour.  The state (and the migrator's copy
+cursor) is stored in a metadata row in the *new* table so that all application
+processes and the migrator share one source of truth.
+
+State semantics implemented by :class:`~repro.migratingtable.migrating_table.MigratingTable`:
+
+``USE_OLD``
+    Migration has not started; all operations go to the old table.
+``PREFER_OLD``
+    The migrator is copying rows old → new.  The old table stays
+    authoritative; writes are applied to the old table and mirrored to the new
+    table when the row already exists there or lies behind the migrator's copy
+    cursor.
+``PREFER_NEW``
+    The copy is complete; the new table is authoritative.  Reads consult the
+    new table first and fall back to the old table only when the new table has
+    neither the row nor a tombstone for it; deletions must leave a tombstone.
+``USE_NEW_WITH_TOMBSTONES``
+    The old table has been cleaned and is no longer consulted; tombstones may
+    still be present in the new table and are filtered from reads.
+``USE_NEW``
+    Tombstones have been cleaned; the new table is used directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .chain_table import IChainTable
+from .table_types import META_ROW_KEY, OpKind, TableOperation
+
+
+class PartitionState(str, enum.Enum):
+    """Migration phase of one partition."""
+
+    USE_OLD = "use-old"
+    PREFER_OLD = "prefer-old"
+    PREFER_NEW = "prefer-new"
+    USE_NEW_WITH_TOMBSTONES = "use-new-with-tombstones"
+    USE_NEW = "use-new"
+
+
+#: The order in which a partition moves through migration states.
+STATE_ORDER = (
+    PartitionState.USE_OLD,
+    PartitionState.PREFER_OLD,
+    PartitionState.PREFER_NEW,
+    PartitionState.USE_NEW_WITH_TOMBSTONES,
+    PartitionState.USE_NEW,
+)
+
+
+@dataclass(frozen=True)
+class PartitionMeta:
+    """Contents of a partition's migration metadata row."""
+
+    state: PartitionState = PartitionState.USE_OLD
+    copy_cursor: str = ""
+
+    def advanced_past(self, other: "PartitionMeta") -> bool:
+        return STATE_ORDER.index(self.state) > STATE_ORDER.index(other.state)
+
+
+def read_partition_meta(new_table: IChainTable, partition_key: str) -> PartitionMeta:
+    """Read a partition's migration metadata (defaults to ``USE_OLD``)."""
+    row = new_table.get(partition_key, META_ROW_KEY)
+    if row is None:
+        return PartitionMeta()
+    return PartitionMeta(
+        state=PartitionState(row.properties.get("state", PartitionState.USE_OLD.value)),
+        copy_cursor=str(row.properties.get("copy_cursor", "")),
+    )
+
+
+def write_partition_meta(
+    new_table: IChainTable,
+    partition_key: str,
+    state: Optional[PartitionState] = None,
+    copy_cursor: Optional[str] = None,
+) -> PartitionMeta:
+    """Update (parts of) a partition's migration metadata row."""
+    current = read_partition_meta(new_table, partition_key)
+    updated = PartitionMeta(
+        state=state if state is not None else current.state,
+        copy_cursor=copy_cursor if copy_cursor is not None else current.copy_cursor,
+    )
+    new_table.execute(
+        TableOperation(
+            OpKind.UPSERT,
+            partition_key,
+            META_ROW_KEY,
+            {"state": updated.state.value, "copy_cursor": updated.copy_cursor},
+        )
+    )
+    return updated

@@ -1,0 +1,164 @@
+"""The background migrator job (§4).
+
+The migrator moves one partition at a time through the migration states:
+``USE_OLD → PREFER_OLD → (copy) → PREFER_NEW → (clean old) →
+USE_NEW_WITH_TOMBSTONES → (clean tombstones) → USE_NEW``.
+
+Like the MigratingTable protocol code, every method is a generator: a bare
+``yield`` separates backend operations so the systematic testing runtime can
+interleave application operations anywhere inside the migration.
+
+The migrator-side notional bugs of Table 2 are injected here:
+``MigrateSkipPreferOld``, ``MigrateSkipUseNewWithTombstones`` and the organic
+``EnsurePartitionSwitchedFromPopulated``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from .bugs import MigratingTableBug
+from .chain_table import IChainTable
+from .migration import PartitionState, read_partition_meta, write_partition_meta
+from .table_types import META_ROW_KEY, OpKind, TableOperation
+
+
+@dataclass
+class MigratorConfig:
+    """Configuration (and bug switches) of the migrator job."""
+
+    bugs: FrozenSet[MigratingTableBug] = field(default_factory=frozenset)
+
+    def has(self, bug: MigratingTableBug) -> bool:
+        return bug in self.bugs
+
+
+class Migrator:
+    """Copies data old → new and advances each partition's migration state."""
+
+    def __init__(
+        self,
+        old_table: IChainTable,
+        new_table: IChainTable,
+        partition_keys: List[str],
+        config: Optional[MigratorConfig] = None,
+    ) -> None:
+        self.old = old_table
+        self.new = new_table
+        self.partition_keys = list(partition_keys)
+        self.config = config or MigratorConfig()
+        self.completed_partitions: List[str] = []
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Generator: migrate every partition, one backend step per ``yield``."""
+        for partition_key in self.partition_keys:
+            yield from self.migrate_partition(partition_key)
+            self.completed_partitions.append(partition_key)
+
+    # ------------------------------------------------------------------
+    def migrate_partition(self, partition_key: str):
+        if not self.config.has(MigratingTableBug.MIGRATE_SKIP_PREFER_OLD):
+            write_partition_meta(self.new, partition_key, state=PartitionState.PREFER_OLD)
+            yield
+        else:
+            # BUG (MigrateSkipPreferOld): the copy runs while applications
+            # still believe the partition is in USE_OLD, so their writes are
+            # never mirrored to the new table and already-copied rows go stale.
+            pass
+
+        yield from self._copy_rows(partition_key)
+
+        write_partition_meta(self.new, partition_key, state=PartitionState.PREFER_NEW)
+        yield
+
+        yield from self._clean_old_rows(partition_key)
+
+        if self.config.has(MigratingTableBug.MIGRATE_SKIP_USE_NEW_WITH_TOMBSTONES):
+            # BUG (MigrateSkipUseNewWithTombstones): the partition jumps
+            # straight to USE_NEW while tombstones are still present, so they
+            # surface as phantom rows (USE_NEW assumes they were cleaned).
+            write_partition_meta(self.new, partition_key, state=PartitionState.USE_NEW)
+            yield
+            return
+
+        write_partition_meta(self.new, partition_key, state=PartitionState.USE_NEW_WITH_TOMBSTONES)
+        yield
+
+        yield from self._clean_tombstones(partition_key)
+
+        write_partition_meta(self.new, partition_key, state=PartitionState.USE_NEW)
+        yield
+
+    # ------------------------------------------------------------------
+    def _copy_rows(self, partition_key: str):
+        """Copy rows old → new until a full pass finds nothing left to copy."""
+        while True:
+            copied = 0
+            old_keys = sorted(row.row_key for row in self.old.query_atomic(partition_key))
+            yield
+            for row_key in old_keys:
+                did_copy = yield from self._copy_row_if_missing(partition_key, row_key)
+                if did_copy:
+                    copied += 1
+                    write_partition_meta(self.new, partition_key, copy_cursor=row_key)
+                    yield
+            if copied == 0:
+                return
+
+    def _copy_row_if_missing(self, partition_key: str, row_key: str):
+        """Copy one row unless the new table already has a row or tombstone for it.
+
+        The copy uses an INSERT (not an upsert): if an application write or a
+        deletion tombstone lands on the new table concurrently, the insert
+        loses the race and the fresher data is preserved.  Reading the old row
+        and inserting it happen back to back (no scheduling point in between),
+        modelling a conditional copy transaction.
+        """
+        existing = self.new.get(partition_key, row_key)
+        yield
+        if existing is not None:
+            return False
+        source = self.old.get(partition_key, row_key)
+        if source is None:
+            yield
+            return False
+        result = self.new.execute(
+            TableOperation(OpKind.INSERT, partition_key, row_key, dict(source.properties))
+        )
+        yield
+        return result.ok
+
+    # ------------------------------------------------------------------
+    def _clean_old_rows(self, partition_key: str):
+        """Delete every old-table row, first making sure the new table has it."""
+        old_keys = sorted(row.row_key for row in self.old.query_atomic(partition_key))
+        yield
+        for row_key in old_keys:
+            if not self.config.has(MigratingTableBug.ENSURE_PARTITION_SWITCHED_FROM_POPULATED):
+                # The safe path re-checks that the row made it to the new
+                # table (it may have been written during the copy pass) and
+                # copies it before removing the old copy.
+                yield from self._copy_row_if_missing(partition_key, row_key)
+            # BUG (EnsurePartitionSwitchedFromPopulated): the check above is
+            # skipped because the partition is assumed to be fully populated,
+            # so rows written late during PREFER_OLD are lost here.
+            self.old.execute(TableOperation(OpKind.DELETE, partition_key, row_key))
+            yield
+
+    def _clean_tombstones(self, partition_key: str):
+        """Remove tombstone rows from the new table."""
+        rows = self.new.query_atomic(partition_key)
+        yield
+        for row in rows:
+            if row.row_key == META_ROW_KEY:
+                continue
+            current = self.new.get(partition_key, row.row_key)
+            if current is not None and current.is_tombstone():
+                self.new.execute(TableOperation(OpKind.DELETE, partition_key, row.row_key))
+            yield
+
+    # ------------------------------------------------------------------
+    def partition_state(self, partition_key: str) -> PartitionState:
+        return read_partition_meta(self.new, partition_key).state

@@ -1,0 +1,121 @@
+"""In-memory reference implementation of the IChainTable specification.
+
+The same implementation plays two roles in the test environment of §4:
+
+* it is the *reference table* (RT) against which the MigratingTable's
+  observable behaviour is compared, and
+* it is reused for the two *backend tables* (BTs), since the goal is to test
+  the migration protocol, not Azure Tables themselves.
+
+Versions (etags) start at 1 for a newly inserted row and increase by one on
+every successful write, which is exactly the virtual versioning scheme the
+MigratingTable maintains, so outcomes are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .chain_table import IChainTable
+from .table_types import (
+    ErrorCode,
+    OpKind,
+    RowFilter,
+    TableEntity,
+    TableOperation,
+    TableResult,
+    matches_filter,
+)
+
+
+class InMemoryChainTable(IChainTable):
+    """Dictionary-backed chain table with optimistic concurrency."""
+
+    def __init__(self, name: str = "table") -> None:
+        self.name = name
+        self._rows: Dict[Tuple[str, str], TableEntity] = {}
+        self.operations_applied = 0
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, partition_key: str, row_key: str) -> Optional[TableEntity]:
+        entity = self._rows.get((partition_key, row_key))
+        return entity.copy() if entity is not None else None
+
+    def query_atomic(self, partition_key: str, row_filter: Optional[RowFilter] = None) -> List[TableEntity]:
+        rows = [
+            entity.copy()
+            for (pk, _rk), entity in sorted(self._rows.items())
+            if pk == partition_key and matches_filter(entity, row_filter)
+        ]
+        return rows
+
+    def query_streamed(self, partition_key: str, row_filter: Optional[RowFilter] = None) -> Iterable[TableEntity]:
+        # The in-memory table is atomic, so the stream is simply the snapshot.
+        return iter(self.query_atomic(partition_key, row_filter))
+
+    def partition_keys(self) -> List[str]:
+        return sorted({pk for (pk, _rk) in self._rows})
+
+    def row_keys(self, partition_key: str) -> List[str]:
+        return sorted(rk for (pk, rk) in self._rows if pk == partition_key)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def execute(self, operation: TableOperation) -> TableResult:
+        self.operations_applied += 1
+        key = (operation.partition_key, operation.row_key)
+        current = self._rows.get(key)
+
+        if operation.kind is OpKind.INSERT:
+            if current is not None:
+                return TableResult.failure(ErrorCode.CONFLICT)
+            return self._store(key, operation.properties, version=1)
+
+        if operation.kind is OpKind.UPSERT:
+            version = 1 if current is None else current.version + 1
+            return self._store(key, operation.properties, version)
+
+        # REPLACE / MERGE / DELETE require the row to exist.
+        if current is None:
+            return TableResult.failure(ErrorCode.NOT_FOUND)
+        if operation.if_match is not None and operation.if_match != current.version:
+            return TableResult.failure(ErrorCode.ETAG_MISMATCH)
+
+        if operation.kind is OpKind.DELETE:
+            del self._rows[key]
+            return TableResult.success()
+        if operation.kind is OpKind.REPLACE:
+            return self._store(key, operation.properties, current.version + 1)
+        if operation.kind is OpKind.MERGE:
+            merged = dict(current.properties)
+            merged.update(operation.properties)
+            return self._store(key, merged, current.version + 1)
+        raise ValueError(f"unsupported operation kind {operation.kind}")  # pragma: no cover
+
+    def execute_batch(self, operations: List[TableOperation]) -> List[TableResult]:
+        """Atomic batch: validate against a snapshot, apply only if all succeed."""
+        if not operations:
+            return []
+        partitions = {op.partition_key for op in operations}
+        if len(partitions) > 1:
+            raise ValueError("a batch must target a single partition")
+        snapshot = {k: v.copy() for k, v in self._rows.items()}
+        results = [self.execute(op) for op in operations]
+        if not all(result.ok for result in results):
+            self._rows = snapshot
+        return results
+
+    # ------------------------------------------------------------------
+    def _store(self, key: Tuple[str, str], properties: Dict[str, object], version: int) -> TableResult:
+        self._rows[key] = TableEntity(key[0], key[1], dict(properties), version)
+        return TableResult.success(version)
+
+    def seed(self, partition_key: str, row_key: str, properties: Dict[str, object], version: int = 1) -> None:
+        """Directly install a row (used to set up test scenarios)."""
+        self._rows[(partition_key, row_key)] = TableEntity(partition_key, row_key, dict(properties), version)

@@ -1,0 +1,133 @@
+"""Data model of the IChainTable interface (case study 2, §4).
+
+The types here deliberately mirror the Azure Table data model the paper's
+MigratingTable builds on: entities addressed by (partition key, row key) with
+free-form properties and an etag used for optimistic concurrency.  In this
+reproduction the etag is a per-row *version number* that both the reference
+implementation and the MigratingTable maintain identically, which makes
+results directly comparable during specification checking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Internal property holding the virtual version (etag) maintained by the
+#: MigratingTable; it travels with the row when the migrator copies it.
+VERSION_PROPERTY = "_mt_version"
+#: Internal property marking a tombstone row (a deletion recorded in the new
+#: table so that reads do not fall back to the stale old-table row).
+TOMBSTONE_PROPERTY = "_tombstone"
+#: Row key of the per-partition migration metadata row (stored in the new table).
+META_ROW_KEY = "__migration_meta__"
+
+INTERNAL_PROPERTIES = (VERSION_PROPERTY, TOMBSTONE_PROPERTY)
+
+
+class OpKind(str, enum.Enum):
+    """Write operations supported by the IChainTable interface."""
+
+    INSERT = "insert"
+    REPLACE = "replace"
+    MERGE = "merge"
+    UPSERT = "upsert"
+    DELETE = "delete"
+
+
+class ErrorCode(str, enum.Enum):
+    """Failure outcomes of a table operation."""
+
+    CONFLICT = "conflict"
+    NOT_FOUND = "not-found"
+    ETAG_MISMATCH = "etag-mismatch"
+
+
+@dataclass
+class TableEntity:
+    """A row: partition key, row key, properties, and a version (etag)."""
+
+    partition_key: str
+    row_key: str
+    properties: Dict[str, object] = field(default_factory=dict)
+    version: int = 0
+
+    def copy(self) -> "TableEntity":
+        return TableEntity(self.partition_key, self.row_key, dict(self.properties), self.version)
+
+    @property
+    def key(self) -> tuple:
+        return (self.partition_key, self.row_key)
+
+    def visible_properties(self) -> Dict[str, object]:
+        """Properties without the protocol-internal bookkeeping fields."""
+        return {k: v for k, v in self.properties.items() if k not in INTERNAL_PROPERTIES}
+
+    def is_tombstone(self) -> bool:
+        return bool(self.properties.get(TOMBSTONE_PROPERTY))
+
+
+@dataclass(frozen=True)
+class TableOperation:
+    """One write operation against a single row.
+
+    ``if_match`` of ``None`` means the operation is unconditional; otherwise
+    the operation only applies when the row's current version equals it.
+    """
+
+    kind: OpKind
+    partition_key: str
+    row_key: str
+    properties: Dict[str, object] = field(default_factory=dict)
+    if_match: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, OpKind):
+            object.__setattr__(self, "kind", OpKind(self.kind))
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """Outcome of a write operation."""
+
+    ok: bool
+    error: Optional[ErrorCode] = None
+    version: Optional[int] = None
+
+    @staticmethod
+    def success(version: Optional[int] = None) -> "TableResult":
+        return TableResult(True, None, version)
+
+    @staticmethod
+    def failure(error: ErrorCode) -> "TableResult":
+        return TableResult(False, error, None)
+
+
+@dataclass(frozen=True)
+class RowFilter:
+    """A simple property predicate used by queries (``property <op> value``)."""
+
+    property_name: str
+    comparison: str  # one of "<=", ">=", "==", "<", ">"
+    value: object
+
+    _OPS = {
+        "<=": lambda a, b: a <= b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "<": lambda a, b: a < b,
+        ">": lambda a, b: a > b,
+    }
+
+    def matches(self, entity: TableEntity) -> bool:
+        if self.property_name not in entity.properties:
+            return False
+        try:
+            return self._OPS[self.comparison](entity.properties[self.property_name], self.value)
+        except TypeError:
+            return False
+
+
+def matches_filter(entity: TableEntity, row_filter: Optional[RowFilter]) -> bool:
+    return row_filter is None or row_filter.matches(entity)

@@ -1,0 +1,37 @@
+"""Case study 1: Microsoft Azure Storage vNext extent management (§3).
+
+The system-under-test is the :class:`~repro.vnext.extent_manager.ExtentManager`
+— the component that detects Extent Node failures from missing heartbeats and
+schedules extent repairs.  The P#-style harness in
+:mod:`repro.vnext.harness` wraps the real Extent Manager, models the Extent
+Nodes, timers and network, and checks the repair liveness property with the
+:class:`~repro.vnext.harness.monitor.RepairMonitor`.
+"""
+
+from .extent import ExtentCenter, ExtentId, ExtentRecord
+from .extent_manager import (
+    ExtentManager,
+    ExtentManagerConfig,
+    NetworkEngine,
+    NullNetworkEngine,
+    RepairTask,
+)
+from .extent_node import ExtentNodeStore
+from .messages import CopyRequest, CopyResponse, Heartbeat, RepairRequest, SyncReport
+
+__all__ = [
+    "CopyRequest",
+    "CopyResponse",
+    "ExtentCenter",
+    "ExtentId",
+    "ExtentManager",
+    "ExtentManagerConfig",
+    "ExtentNodeStore",
+    "ExtentRecord",
+    "Heartbeat",
+    "NetworkEngine",
+    "NullNetworkEngine",
+    "RepairRequest",
+    "RepairTask",
+    "SyncReport",
+]

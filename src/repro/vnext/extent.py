@@ -1,0 +1,109 @@
+"""Extents and the ExtentCenter bookkeeping structure.
+
+An *extent* is the unit of replication in Azure Storage vNext: a container of
+data blocks that must be kept at a target number of replicas across Extent
+Nodes (ENs).  The :class:`ExtentCenter` maps extents to the set of ENs
+believed to host them; the real Extent Manager keeps one (its view of the
+world, updated from sync reports) and every EN keeps one for its local
+bookkeeping — the harness reuses the same structure in the modeled EN, just
+like the paper's harness reuses the real ``ExtentCenter`` (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+
+@dataclass(frozen=True, order=True)
+class ExtentId:
+    """Identifier of a replicated extent."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"extent-{self.value}"
+
+
+@dataclass
+class ExtentRecord:
+    """One ExtentCenter record: an extent and the ENs believed to host it."""
+
+    extent_id: ExtentId
+    node_ids: Set[int] = field(default_factory=set)
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.node_ids)
+
+
+class ExtentCenter:
+    """Mapping from extents to the extent nodes hosting them."""
+
+    def __init__(self) -> None:
+        self._records: Dict[ExtentId, ExtentRecord] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def extents(self) -> List[ExtentId]:
+        return list(self._records)
+
+    def record(self, extent_id: ExtentId) -> ExtentRecord:
+        if extent_id not in self._records:
+            self._records[extent_id] = ExtentRecord(extent_id)
+        return self._records[extent_id]
+
+    def locations(self, extent_id: ExtentId) -> Set[int]:
+        record = self._records.get(extent_id)
+        return set(record.node_ids) if record is not None else set()
+
+    def replica_count(self, extent_id: ExtentId) -> int:
+        return len(self.locations(extent_id))
+
+    def hosts(self, node_id: int) -> List[ExtentId]:
+        return [eid for eid, record in self._records.items() if node_id in record.node_ids]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, extent_id: ExtentId) -> bool:
+        return extent_id in self._records
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def add_replica(self, extent_id: ExtentId, node_id: int) -> None:
+        self.record(extent_id).node_ids.add(node_id)
+
+    def remove_replica(self, extent_id: ExtentId, node_id: int) -> None:
+        record = self._records.get(extent_id)
+        if record is not None:
+            record.node_ids.discard(node_id)
+
+    def remove_node(self, node_id: int) -> List[ExtentId]:
+        """Remove ``node_id`` from every record; return the affected extents."""
+        affected = []
+        for extent_id, record in self._records.items():
+            if node_id in record.node_ids:
+                record.node_ids.discard(node_id)
+                affected.append(extent_id)
+        return affected
+
+    def update_from_sync(self, node_id: int, extent_ids: Iterable[ExtentId]) -> None:
+        """Reconcile the center with a sync report from ``node_id``.
+
+        A sync report lists every extent stored on the reporting node, so the
+        node is added to each listed extent and removed from any extent it no
+        longer reports.
+        """
+        reported = set(extent_ids)
+        for extent_id in reported:
+            self.add_replica(extent_id, node_id)
+        for extent_id, record in self._records.items():
+            if extent_id not in reported:
+                record.node_ids.discard(node_id)
+
+    def snapshot(self) -> Dict[ExtentId, Set[int]]:
+        """A copy of the full mapping (handy for assertions in tests)."""
+        return {eid: set(record.node_ids) for eid, record in self._records.items()}

@@ -1,0 +1,180 @@
+"""The real Extent Manager: the system-under-test of case study 1 (§3).
+
+The Extent Manager (ExtMgr) owns two data structures (Figure 6 of the paper):
+
+* the **ExtentCenter**, mapping extents to the ENs believed to host them,
+  updated from periodic sync reports; and
+* the **ExtentNodeMap**, mapping ENs to the logical time of their last
+  heartbeat.
+
+Two periodic loops run over these structures:
+
+* the **EN expiration loop** removes ENs whose heartbeats have been missing
+  for longer than the expiration threshold and deletes their ExtentCenter
+  records; and
+* the **extent repair loop** examines every ExtentCenter record, finds extents
+  with fewer replicas than the target and schedules repair tasks on live ENs.
+
+The component is plain Python: it talks to ENs only through a
+:class:`NetworkEngine`, and its periodic loops are driven externally (the
+production deployment would drive them from wall-clock timers, the harness
+drives them from modeled timers — §3.3).
+
+The **organic liveness bug** of §3.6 is present by default: a sync report from
+an EN that has just been expired resurrects the EN's ExtentCenter records, so
+the repair loop believes all replicas are healthy while the real replica count
+has dropped.  Setting ``ExtentManagerConfig.fix_stale_sync_report`` applies
+the fix: sync reports from nodes that are not currently registered in the
+ExtentNodeMap are ignored.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .extent import ExtentCenter, ExtentId
+from .messages import Heartbeat, RepairRequest, SyncReport
+
+
+class NetworkEngine(abc.ABC):
+    """Asynchronous network interface used by the Extent Manager.
+
+    The production implementation sends messages over sockets; the harness
+    overrides it with a modeled engine that relays messages as P#-style events
+    (Figure 7 of the paper).
+    """
+
+    @abc.abstractmethod
+    def send_message(self, destination_node_id: int, message: object) -> None:
+        """Send ``message`` to the EN identified by ``destination_node_id``."""
+
+
+class NullNetworkEngine(NetworkEngine):
+    """Network engine that records outbound messages without delivering them.
+
+    Useful for unit-testing the Extent Manager logic in isolation.
+    """
+
+    def __init__(self) -> None:
+        self.sent: List[tuple] = []
+
+    def send_message(self, destination_node_id: int, message: object) -> None:
+        self.sent.append((destination_node_id, message))
+
+
+@dataclass
+class ExtentManagerConfig:
+    """Configuration and bug switch of the Extent Manager."""
+
+    #: Desired number of replicas per extent.
+    replica_target: int = 3
+    #: An EN expires after this many expiration-loop ticks without a heartbeat.
+    heartbeat_expiration_ticks: int = 3
+    #: When false (the organic vNext bug) a sync report from an expired EN is
+    #: processed as if the EN were alive, resurrecting its ExtentCenter
+    #: records.  When true the fix is applied: sync reports from unregistered
+    #: nodes are ignored.
+    fix_stale_sync_report: bool = False
+
+
+@dataclass
+class RepairTask:
+    """A scheduled repair: copy ``extent_id`` from ``source`` onto ``target``."""
+
+    extent_id: ExtentId
+    source_node_id: int
+    target_node_id: int
+
+
+class ExtentManager:
+    """Manages a partition of extents: failure detection and repair scheduling."""
+
+    def __init__(self, config: Optional[ExtentManagerConfig] = None, network: Optional[NetworkEngine] = None) -> None:
+        self.config = config or ExtentManagerConfig()
+        self.network: NetworkEngine = network or NullNetworkEngine()
+        self.extent_center = ExtentCenter()
+        self.extent_node_map: Dict[int, int] = {}
+        self.removed_nodes: Set[int] = set()
+        self.clock = 0
+        self.repairs_scheduled: List[RepairTask] = []
+
+    # ------------------------------------------------------------------
+    # message processing
+    # ------------------------------------------------------------------
+    def process_message(self, message: object) -> None:
+        """Entry point used by the network layer for every inbound message."""
+        if isinstance(message, Heartbeat):
+            self.process_heartbeat(message.node_id)
+        elif isinstance(message, SyncReport):
+            self.process_sync_report(message.node_id, list(message.extent_ids))
+        else:
+            raise TypeError(f"ExtentManager cannot process {message!r}")
+
+    def process_heartbeat(self, node_id: int) -> None:
+        """Record a heartbeat, registering the EN if it is new.
+
+        Heartbeats always (re-)register the sender: a node that was expired by
+        mistake (e.g. because its heartbeats were delayed) heals itself with
+        its next heartbeat.
+        """
+        self.extent_node_map[node_id] = self.clock
+
+    def process_sync_report(self, node_id: int, extent_ids: List[ExtentId]) -> None:
+        """Reconcile the ExtentCenter with a sync report from ``node_id``.
+
+        Without the fix this accepts reports from ENs that are no longer in
+        the ExtentNodeMap — the root cause of the §3.6 liveness bug.
+        """
+        if self.config.fix_stale_sync_report and node_id not in self.extent_node_map:
+            return
+        self.extent_center.update_from_sync(node_id, extent_ids)
+
+    # ------------------------------------------------------------------
+    # periodic loops (driven by timers)
+    # ------------------------------------------------------------------
+    def run_expiration_loop(self) -> List[int]:
+        """Advance the logical clock and expire ENs with missing heartbeats."""
+        self.clock += 1
+        expired = [
+            node_id
+            for node_id, last_heartbeat in self.extent_node_map.items()
+            if self.clock - last_heartbeat > self.config.heartbeat_expiration_ticks
+        ]
+        for node_id in expired:
+            del self.extent_node_map[node_id]
+            self.removed_nodes.add(node_id)
+            self.extent_center.remove_node(node_id)
+        return expired
+
+    def run_repair_loop(self) -> List[RepairTask]:
+        """Schedule repair tasks for every extent missing replicas."""
+        scheduled: List[RepairTask] = []
+        live_nodes = set(self.extent_node_map)
+        for extent_id in self.extent_center.extents():
+            locations = self.extent_center.locations(extent_id)
+            if len(locations) >= self.config.replica_target:
+                continue
+            sources = sorted(locations & live_nodes)
+            targets = sorted(live_nodes - locations)
+            if not sources or not targets:
+                continue
+            missing = self.config.replica_target - len(locations)
+            for target in targets[:missing]:
+                task = RepairTask(extent_id, sources[0], target)
+                scheduled.append(task)
+                self.repairs_scheduled.append(task)
+                self.network.send_message(
+                    target, RepairRequest(extent_id, sources[0], target)
+                )
+        return scheduled
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def believed_replica_count(self, extent_id: ExtentId) -> int:
+        return self.extent_center.replica_count(extent_id)
+
+    def is_registered(self, node_id: int) -> bool:
+        return node_id in self.extent_node_map

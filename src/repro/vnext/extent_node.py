@@ -1,0 +1,45 @@
+"""Extent Node storage bookkeeping.
+
+The harness models the Extent Node (EN) machine but, as in the paper (§3.2),
+reuses the real bookkeeping structure for the extents it stores.  The
+:class:`ExtentNodeStore` tracks which extents are held locally and produces
+the periodic sync report the Extent Manager consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .extent import ExtentCenter, ExtentId
+from .messages import SyncReport
+
+
+class ExtentNodeStore:
+    """Local extent bookkeeping of one Extent Node."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.extent_center = ExtentCenter()
+
+    # ------------------------------------------------------------------
+    def add_extent(self, extent_id: ExtentId) -> None:
+        """Record that this node now holds a replica of ``extent_id``."""
+        self.extent_center.add_replica(extent_id, self.node_id)
+
+    def remove_extent(self, extent_id: ExtentId) -> None:
+        self.extent_center.remove_replica(extent_id, self.node_id)
+
+    def has_extent(self, extent_id: ExtentId) -> bool:
+        return self.node_id in self.extent_center.locations(extent_id)
+
+    def local_extents(self) -> List[ExtentId]:
+        return [eid for eid in self.extent_center.extents() if self.has_extent(eid)]
+
+    # ------------------------------------------------------------------
+    def get_sync_report(self) -> SyncReport:
+        """Build the periodic sync report listing every locally stored extent."""
+        return SyncReport(self.node_id, tuple(sorted(self.local_extents())))
+
+    def __repr__(self) -> str:
+        extents: Tuple[ExtentId, ...] = tuple(self.local_extents())
+        return f"<ExtentNodeStore node={self.node_id} extents={extents}>"

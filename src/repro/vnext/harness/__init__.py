@@ -1,0 +1,49 @@
+"""P#-style test harness for the vNext Extent Manager (Figure 4)."""
+
+from .events import (
+    CopyRequestEvent,
+    CopyResponseEvent,
+    ExtentManagerMessageEvent,
+    FailureEvent,
+    NodeMessageEvent,
+    NotifyExtentTracked,
+    NotifyNodeFailed,
+    NotifyReplicaAdded,
+    RepairRequestEvent,
+)
+from .machines import (
+    ExtentManagerMachine,
+    ExtentNodeMachine,
+    ModelNetworkEngine,
+    TestingDriverMachine,
+)
+from .monitor import RepairMonitor
+from .scenarios import (
+    build_failover_test,
+    build_replication_scenario_test,
+    build_vnext_test,
+    buggy_manager_config,
+    fixed_manager_config,
+)
+
+__all__ = [
+    "CopyRequestEvent",
+    "CopyResponseEvent",
+    "ExtentManagerMachine",
+    "ExtentManagerMessageEvent",
+    "ExtentNodeMachine",
+    "FailureEvent",
+    "ModelNetworkEngine",
+    "NodeMessageEvent",
+    "NotifyExtentTracked",
+    "NotifyNodeFailed",
+    "NotifyReplicaAdded",
+    "RepairMonitor",
+    "RepairRequestEvent",
+    "TestingDriverMachine",
+    "build_failover_test",
+    "build_replication_scenario_test",
+    "build_vnext_test",
+    "buggy_manager_config",
+    "fixed_manager_config",
+]

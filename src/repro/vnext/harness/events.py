@@ -1,0 +1,82 @@
+"""Events used by the vNext test harness (Figure 4 of the paper)."""
+
+from __future__ import annotations
+
+from repro.core import Event, MachineId
+
+from ..extent import ExtentId
+
+
+class ExtentManagerMessageEvent(Event):
+    """Carries an inbound wire message (heartbeat / sync report) to the ExtMgr."""
+
+    def __init__(self, message: object) -> None:
+        self.message = message
+
+
+class NodeMessageEvent(Event):
+    """An outbound ExtMgr message intercepted by the modeled network engine."""
+
+    def __init__(self, destination_node_id: int, message: object) -> None:
+        self.destination_node_id = destination_node_id
+        self.message = message
+
+
+class RepairRequestEvent(Event):
+    """A repair request relayed by the testing driver to the target EN machine."""
+
+    def __init__(self, message: object) -> None:
+        self.message = message
+
+
+class CopyRequestEvent(Event):
+    """EN-to-EN copy request, routed through the testing driver."""
+
+    def __init__(self, extent_id: ExtentId, source_node_id: int, requester: MachineId, requester_node_id: int) -> None:
+        self.extent_id = extent_id
+        self.source_node_id = source_node_id
+        self.requester = requester
+        self.requester_node_id = requester_node_id
+
+
+class CopyResponseEvent(Event):
+    """Reply carrying (or denying) an extent replica copy."""
+
+    def __init__(self, extent_id: ExtentId, source_node_id: int, success: bool) -> None:
+        self.extent_id = extent_id
+        self.source_node_id = source_node_id
+        self.success = success
+
+
+class FailureEvent(Event):
+    """Injected by the testing driver to fail an Extent Node (§3.4)."""
+
+
+class InjectFailure(Event):
+    """Self-message of the testing driver that triggers the failure scenario."""
+
+
+# --- monitor notifications -------------------------------------------------
+
+
+class NotifyExtentTracked(Event):
+    """Tell the repair monitor which extent it must watch."""
+
+    def __init__(self, extent_id: ExtentId, replica_target: int) -> None:
+        self.extent_id = extent_id
+        self.replica_target = replica_target
+
+
+class NotifyReplicaAdded(Event):
+    """An EN now truly holds a replica of the extent."""
+
+    def __init__(self, node_id: int, extent_id: ExtentId) -> None:
+        self.node_id = node_id
+        self.extent_id = extent_id
+
+
+class NotifyNodeFailed(Event):
+    """An EN failed; every replica it held is gone."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id

@@ -1,0 +1,272 @@
+"""Harness machines for the vNext case study (Figure 4 of the paper).
+
+* :class:`ExtentManagerMachine` wraps the *real*
+  :class:`~repro.vnext.extent_manager.ExtentManager`; its internal timers are
+  replaced with modeled timers and its network engine with
+  :class:`ModelNetworkEngine`, which relays outbound messages to the testing
+  driver (Figures 5 and 7).
+* :class:`ExtentNodeMachine` is the modeled EN (§3.2): it reuses the real
+  :class:`~repro.vnext.extent_node.ExtentNodeStore` bookkeeping, sends
+  heartbeats and sync reports on modeled timer ticks, repairs extents on
+  request and can be failed by the driver.
+* :class:`TestingDriverMachine` builds the scenario, relays messages between
+  machines and injects nondeterministic failures (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import Halt, Machine, MachineId, TimerMachine, TimerTick, on_event
+
+from ..extent import ExtentId
+from ..extent_manager import ExtentManager, ExtentManagerConfig, NetworkEngine
+from ..extent_node import ExtentNodeStore
+from ..messages import Heartbeat, RepairRequest, SyncReport
+from .events import (
+    CopyRequestEvent,
+    CopyResponseEvent,
+    ExtentManagerMessageEvent,
+    FailureEvent,
+    InjectFailure,
+    NodeMessageEvent,
+    NotifyExtentTracked,
+    NotifyNodeFailed,
+    NotifyReplicaAdded,
+    RepairRequestEvent,
+)
+from .monitor import RepairMonitor
+
+
+class ModelNetworkEngine(NetworkEngine):
+    """Modeled vNext network engine (Figure 7).
+
+    Intercepts every outbound Extent Manager message and relays it, as an
+    event, to the testing driver, which dispatches it to the destination EN
+    machine.
+    """
+
+    def __init__(self, machine: "ExtentManagerMachine") -> None:
+        self._machine = machine
+
+    def send_message(self, destination_node_id: int, message: object) -> None:
+        self._machine.send(self._machine.driver, NodeMessageEvent(destination_node_id, message))
+
+
+class ExtentManagerMachine(Machine):
+    """Thin wrapper around the real Extent Manager (Figure 5)."""
+
+    EXPIRATION_TIMER = "em-expiration"
+    REPAIR_TIMER = "em-repair"
+
+    def on_start(self, driver: MachineId, config: Optional[ExtentManagerConfig] = None) -> None:
+        self.driver = driver
+        self.extent_manager = ExtentManager(config=config, network=ModelNetworkEngine(self))
+        # The real ExtMgr timers are disabled (DisableTimer in the paper); the
+        # expiration and repair loops are driven by modeled timers instead.
+        self.expiration_timer = self.create(
+            TimerMachine, self.id, timer_name=self.EXPIRATION_TIMER, name="Timer-EM-expiration"
+        )
+        self.repair_timer = self.create(
+            TimerMachine, self.id, timer_name=self.REPAIR_TIMER, name="Timer-EM-repair"
+        )
+
+    @on_event(ExtentManagerMessageEvent)
+    def deliver_message(self, event: ExtentManagerMessageEvent) -> None:
+        self.extent_manager.process_message(event.message)
+
+    @on_event(TimerTick)
+    def on_timer(self, event: TimerTick) -> None:
+        if event.timer_name == self.EXPIRATION_TIMER:
+            expired = self.extent_manager.run_expiration_loop()
+            if expired:
+                self.log(f"expired extent nodes {expired}")
+        elif event.timer_name == self.REPAIR_TIMER:
+            scheduled = self.extent_manager.run_repair_loop()
+            if scheduled:
+                self.log(f"scheduled repairs {scheduled}")
+
+
+class ExtentNodeMachine(Machine):
+    """Modeled Extent Node (§3.2)."""
+
+    HEARTBEAT_TIMER = "en-heartbeat"
+    SYNC_TIMER = "en-sync"
+
+    def on_start(
+        self,
+        driver: MachineId,
+        extent_manager: MachineId,
+        node_id: int,
+        initial_extents: Optional[List[ExtentId]] = None,
+    ) -> None:
+        self.driver = driver
+        self.extent_manager = extent_manager
+        self.node_id = node_id
+        self.store = ExtentNodeStore(node_id)
+        self.failed = False
+        for extent_id in initial_extents or []:
+            self.store.add_extent(extent_id)
+        self.heartbeat_timer = self.create(
+            TimerMachine, self.id, timer_name=self.HEARTBEAT_TIMER, always_fire=True,
+            name=f"Timer-HB-{node_id}",
+        )
+        self.sync_timer = self.create(
+            TimerMachine, self.id, timer_name=self.SYNC_TIMER, name=f"Timer-Sync-{node_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # periodic reporting
+    # ------------------------------------------------------------------
+    @on_event(TimerTick)
+    def on_timer(self, event: TimerTick) -> None:
+        if event.timer_name == self.HEARTBEAT_TIMER:
+            if not self._report_in_flight(Heartbeat):
+                self.send(self.extent_manager, ExtentManagerMessageEvent(Heartbeat(self.node_id)))
+        elif event.timer_name == self.SYNC_TIMER:
+            if not self._report_in_flight(SyncReport):
+                self.send(self.extent_manager, ExtentManagerMessageEvent(self.store.get_sync_report()))
+
+    def _report_in_flight(self, message_type: type) -> bool:
+        """True while the Extent Manager has not yet consumed this node's
+        previous report of ``message_type`` (a real EN's reporting period is
+        much longer than the manager's processing time, so at most one report
+        per node is ever outstanding)."""
+        return self.count_pending(
+            self.extent_manager,
+            ExtentManagerMessageEvent,
+            lambda event: isinstance(event.message, message_type)
+            and event.message.node_id == self.node_id,
+        ) > 0
+
+    # ------------------------------------------------------------------
+    # extent repair (modeled logic, Figure 8)
+    # ------------------------------------------------------------------
+    @on_event(RepairRequestEvent)
+    def process_repair_request(self, event: RepairRequestEvent) -> None:
+        request: RepairRequest = event.message
+        if self.store.has_extent(request.extent_id):
+            return
+        self.send(
+            self.driver,
+            CopyRequestEvent(request.extent_id, request.source_node_id, self.id, self.node_id),
+        )
+
+    @on_event(CopyRequestEvent)
+    def process_copy_request(self, event: CopyRequestEvent) -> None:
+        success = self.store.has_extent(event.extent_id)
+        self.send(event.requester, CopyResponseEvent(event.extent_id, self.node_id, success))
+
+    @on_event(CopyResponseEvent)
+    def process_copy_response(self, event: CopyResponseEvent) -> None:
+        if not event.success:
+            return
+        self.store.add_extent(event.extent_id)
+        self.notify_monitor(RepairMonitor, NotifyReplicaAdded(self.node_id, event.extent_id))
+
+    # ------------------------------------------------------------------
+    # failure injection (Figure 8, failure logic)
+    # ------------------------------------------------------------------
+    @on_event(FailureEvent)
+    def process_failure(self) -> None:
+        self.failed = True
+        self.notify_monitor(RepairMonitor, NotifyNodeFailed(self.node_id))
+        self.send(self.heartbeat_timer, Halt())
+        self.send(self.sync_timer, Halt())
+        self.halt()
+
+
+class TestingDriverMachine(Machine):
+    """Drives the vNext testing scenarios and relays messages (§3.4).
+
+    Scenario ``"replication"`` launches one ExtMgr and three ENs with a single
+    replica of one extent and waits for it to be replicated everywhere.
+    Scenario ``"failover"`` launches three fully replicated ENs, then fails a
+    nondeterministically chosen EN and launches a fresh empty EN, waiting for
+    the lost replica to be repaired.
+    """
+
+    REPLICATION = "replication"
+    FAILOVER = "failover"
+
+    def on_start(
+        self,
+        scenario: str = FAILOVER,
+        num_nodes: int = 3,
+        manager_config: Optional[ExtentManagerConfig] = None,
+        extent_id: Optional[ExtentId] = None,
+    ) -> None:
+        if scenario not in (self.REPLICATION, self.FAILOVER):
+            raise ValueError(f"unknown vNext scenario {scenario!r}")
+        self.scenario = scenario
+        self.manager_config = manager_config or ExtentManagerConfig()
+        self.extent_id = extent_id or ExtentId(1)
+        self.next_node_id = 0
+        self.node_machines: Dict[int, MachineId] = {}
+        self.failed_nodes: set = set()
+
+        self.extent_manager = self.create(ExtentManagerMachine, self.id, self.manager_config, name="ExtMgr")
+        self.notify_monitor(
+            RepairMonitor, NotifyExtentTracked(self.extent_id, self.manager_config.replica_target)
+        )
+        replicated_nodes = num_nodes if scenario == self.FAILOVER else 1
+        for index in range(num_nodes):
+            has_replica = index < replicated_nodes
+            self._launch_node([self.extent_id] if has_replica else [])
+        if scenario == self.FAILOVER:
+            self.send(self.id, InjectFailure())
+
+    # ------------------------------------------------------------------
+    def _launch_node(self, initial_extents: List[ExtentId]) -> int:
+        node_id = self.next_node_id
+        self.next_node_id += 1
+        machine = self.create(
+            ExtentNodeMachine,
+            self.id,
+            self.extent_manager,
+            node_id,
+            list(initial_extents),
+            name=f"EN-{node_id}",
+        )
+        self.node_machines[node_id] = machine
+        for extent_id in initial_extents:
+            self.notify_monitor(RepairMonitor, NotifyReplicaAdded(node_id, extent_id))
+        return node_id
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    @on_event(InjectFailure)
+    def inject_failure(self) -> None:
+        candidates = sorted(set(self.node_machines) - self.failed_nodes)
+        victim = self.choose(candidates)
+        self.failed_nodes.add(victim)
+        self.log(f"failing extent node {victim}")
+        self.send(self.node_machines[victim], FailureEvent())
+        # Launch a replacement EN with a fresh identity and no replicas.
+        self._launch_node([])
+
+    # ------------------------------------------------------------------
+    # message relaying
+    # ------------------------------------------------------------------
+    @on_event(NodeMessageEvent)
+    def relay_manager_message(self, event: NodeMessageEvent) -> None:
+        target = self.node_machines.get(event.destination_node_id)
+        if target is None or event.destination_node_id in self.failed_nodes:
+            self.log(f"dropping message to unavailable node {event.destination_node_id}")
+            return
+        if isinstance(event.message, RepairRequest):
+            self.send(target, RepairRequestEvent(event.message))
+        else:
+            raise TypeError(f"unexpected outbound Extent Manager message {event.message!r}")
+
+    @on_event(CopyRequestEvent)
+    def relay_copy_request(self, event: CopyRequestEvent) -> None:
+        source = self.node_machines.get(event.source_node_id)
+        if source is None or event.source_node_id in self.failed_nodes:
+            self.send(
+                event.requester,
+                CopyResponseEvent(event.extent_id, event.source_node_id, False),
+            )
+            return
+        self.send(source, event)

@@ -1,0 +1,65 @@
+"""The RepairMonitor liveness monitor (§3.5).
+
+The monitor tracks which ENs *truly* hold a replica of each watched extent —
+independent of what the Extent Manager believes.  It is hot (state
+``repairing``) whenever some watched extent has fewer than the target number
+of true replicas, and cold (state ``repaired``) otherwise.  If the monitor is
+still hot when a bounded execution ends, the extent was never repaired: the
+liveness bug of §3.6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core import Monitor, on_event
+
+from ..extent import ExtentId
+from .events import NotifyExtentTracked, NotifyNodeFailed, NotifyReplicaAdded
+
+
+class RepairMonitor(Monitor):
+    """Hot while any watched extent is missing true replicas."""
+
+    initial_state = "repaired"
+    hot_states = frozenset({"repairing"})
+
+    def __init__(self, runtime) -> None:
+        super().__init__(runtime)
+        self.replica_target = 3
+        self.replicas: Dict[ExtentId, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _fully_replicated(self) -> bool:
+        return all(len(nodes) >= self.replica_target for nodes in self.replicas.values())
+
+    def _update_temperature(self) -> None:
+        if self._fully_replicated():
+            if self.current_state != "repaired":
+                self.goto("repaired")
+        else:
+            if self.current_state != "repairing":
+                self.goto("repairing")
+
+    # ------------------------------------------------------------------
+    @on_event(NotifyExtentTracked)
+    def track_extent(self, event: NotifyExtentTracked) -> None:
+        self.replica_target = event.replica_target
+        self.replicas.setdefault(event.extent_id, set())
+        self._update_temperature()
+
+    @on_event(NotifyReplicaAdded)
+    def replica_added(self, event: NotifyReplicaAdded) -> None:
+        self.replicas.setdefault(event.extent_id, set()).add(event.node_id)
+        self._update_temperature()
+
+    @on_event(NotifyNodeFailed)
+    def node_failed(self, event: NotifyNodeFailed) -> None:
+        for nodes in self.replicas.values():
+            nodes.discard(event.node_id)
+        self._update_temperature()
+
+    # ------------------------------------------------------------------
+    def true_replica_count(self, extent_id: ExtentId) -> int:
+        """Number of live replicas the monitor has observed for ``extent_id``."""
+        return len(self.replicas.get(extent_id, set()))

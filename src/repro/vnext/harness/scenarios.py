@@ -1,0 +1,54 @@
+"""Test-entry factories for the vNext case study."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core import TestRuntime
+
+from ..extent_manager import ExtentManagerConfig
+from .machines import TestingDriverMachine
+from .monitor import RepairMonitor
+
+
+def build_vnext_test(
+    scenario: str = TestingDriverMachine.FAILOVER,
+    manager_config: Optional[ExtentManagerConfig] = None,
+    num_nodes: int = 3,
+) -> Callable[[TestRuntime], None]:
+    """Build a test entry for one of the two vNext testing scenarios (§3.4)."""
+    config = manager_config or ExtentManagerConfig()
+
+    def test_entry(runtime: TestRuntime) -> None:
+        runtime.register_monitor(RepairMonitor)
+        runtime.create_machine(
+            TestingDriverMachine,
+            scenario=scenario,
+            num_nodes=num_nodes,
+            manager_config=config,
+            name="TestingDriver",
+        )
+
+    return test_entry
+
+
+def buggy_manager_config() -> ExtentManagerConfig:
+    """The shipped Extent Manager, with the §3.6 stale-sync-report bug."""
+    return ExtentManagerConfig(fix_stale_sync_report=False)
+
+
+def fixed_manager_config() -> ExtentManagerConfig:
+    """The Extent Manager after the fix proposed by the vNext developers."""
+    return ExtentManagerConfig(fix_stale_sync_report=True)
+
+
+def build_failover_test(fixed: bool = False, num_nodes: int = 3) -> Callable[[TestRuntime], None]:
+    """Scenario 2: fail a nondeterministically chosen EN and launch a new one."""
+    config = fixed_manager_config() if fixed else buggy_manager_config()
+    return build_vnext_test(TestingDriverMachine.FAILOVER, config, num_nodes)
+
+
+def build_replication_scenario_test(fixed: bool = False, num_nodes: int = 3) -> Callable[[TestRuntime], None]:
+    """Scenario 1: a single replica must be replicated to the target count."""
+    config = fixed_manager_config() if fixed else buggy_manager_config()
+    return build_vnext_test(TestingDriverMachine.REPLICATION, config, num_nodes)

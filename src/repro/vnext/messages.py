@@ -1,0 +1,55 @@
+"""Wire messages of the vNext extent-management protocol.
+
+These are the messages the *real* components exchange (heartbeats, sync
+reports and repair requests).  They are plain data objects, independent of the
+testing framework; the harness wraps them into events when relaying them
+between machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .extent import ExtentId
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Frequent periodic liveness signal from an EN to its Extent Manager."""
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Less frequent periodic report listing every extent stored on the EN."""
+
+    node_id: int
+    extent_ids: Tuple[ExtentId, ...]
+
+
+@dataclass(frozen=True)
+class RepairRequest:
+    """Extent Manager asks ``target_node_id`` to repair an extent from ``source_node_id``."""
+
+    extent_id: ExtentId
+    source_node_id: int
+    target_node_id: int
+
+
+@dataclass(frozen=True)
+class CopyRequest:
+    """An EN asks a peer EN for a copy of an extent replica."""
+
+    extent_id: ExtentId
+    requester_node_id: int
+
+
+@dataclass(frozen=True)
+class CopyResponse:
+    """Reply to a :class:`CopyRequest`; ``success`` is false if the source lost the replica."""
+
+    extent_id: ExtentId
+    source_node_id: int
+    success: bool

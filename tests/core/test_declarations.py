@@ -1,0 +1,93 @@
+"""Unit tests for handler declarations and spec building."""
+
+import pytest
+
+from repro.core import Event, Machine, on_entry, on_event, on_exit
+from repro.core.declarations import ANY_STATE, build_spec
+
+
+class Ev1(Event):
+    pass
+
+
+class Ev2(Event):
+    pass
+
+
+class EvSub(Ev1):
+    pass
+
+
+class Stateful(Machine):
+    initial_state = "a"
+
+    @on_event(Ev1, state="a")
+    def handle_a(self, event):
+        pass
+
+    @on_event(Ev1, state="b")
+    def handle_b(self):
+        pass
+
+    @on_event(Ev2)
+    def handle_any(self, event):
+        pass
+
+    @on_entry("b")
+    def enter_b(self):
+        pass
+
+    @on_exit("a")
+    def exit_a(self):
+        pass
+
+
+def test_spec_collects_states_and_handlers():
+    spec = Stateful.spec()
+    assert spec.states == {"a", "b"}
+    assert spec.handler_for("a", Ev1).method_name == "handle_a"
+    assert spec.handler_for("b", Ev1).method_name == "handle_b"
+    assert spec.handler_for("a", Ev2).method_name == "handle_any"
+    assert spec.handler_for("zzz", Ev2).method_name == "handle_any"
+
+
+def test_spec_subclass_event_resolution():
+    spec = Stateful.spec()
+    assert spec.handler_for("a", EvSub).method_name == "handle_a"
+
+
+def test_spec_wants_event_detection():
+    spec = Stateful.spec()
+    assert spec.handler_for("a", Ev1).wants_event is True
+    assert spec.handler_for("b", Ev1).wants_event is False
+
+
+def test_spec_entry_exit_actions():
+    spec = Stateful.spec()
+    assert spec.entry_actions == {"b": "enter_b"}
+    assert spec.exit_actions == {"a": "exit_a"}
+
+
+def test_action_handler_count():
+    assert Stateful.spec().action_handler_count == 5
+
+
+def test_on_event_requires_types():
+    with pytest.raises(TypeError):
+        on_event()
+
+
+def test_inherited_handlers_are_collected():
+    class Child(Stateful):
+        @on_event(Ev2, state="a")
+        def handle_child(self, event):
+            pass
+
+    spec = build_spec(Child)
+    assert spec.handler_for("a", Ev2).method_name == "handle_child"
+    assert spec.handler_for("b", Ev2).method_name == "handle_any"
+
+
+def test_wildcard_state_constant():
+    spec = Stateful.spec()
+    assert (ANY_STATE, Ev2) in spec.handlers

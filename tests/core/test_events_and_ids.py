@@ -1,0 +1,62 @@
+"""Unit tests for events, Receive matching and machine ids."""
+
+import pytest
+
+from repro.core import Event, Halt, MachineId, Receive, TimerTick
+
+
+class Ping(Event):
+    def __init__(self, value):
+        self.value = value
+
+
+class Pong(Event):
+    pass
+
+
+def test_event_repr_includes_fields():
+    assert "value=3" in repr(Ping(3))
+
+
+def test_event_value_equality():
+    assert Ping(1) == Ping(1)
+    assert Ping(1) != Ping(2)
+    assert Ping(1) != Pong()
+
+
+def test_event_hashable():
+    assert len({Ping(1), Ping(1), Ping(2)}) == 2
+
+
+def test_halt_is_event():
+    assert isinstance(Halt(), Event)
+
+
+def test_timer_tick_carries_name():
+    assert TimerTick("sync").timer_name == "sync"
+
+
+def test_receive_requires_event_types():
+    with pytest.raises(ValueError):
+        Receive()
+    with pytest.raises(TypeError):
+        Receive(int)
+
+
+def test_receive_matches_subclass_and_predicate():
+    receive = Receive(Ping, predicate=lambda e: e.value > 1)
+    assert not receive.matches(Ping(1))
+    assert receive.matches(Ping(2))
+    assert not receive.matches(Pong())
+
+
+def test_machine_id_ordering_and_str():
+    a = MachineId(1, "Server", "S")
+    b = MachineId(2, "Client")
+    assert a < b
+    assert str(a) == "S(1)"
+    assert str(b) == "Client(2)"
+
+
+def test_machine_id_equality_ignores_name():
+    assert MachineId(1, "Server", "x") == MachineId(1, "Server", "y")

@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Event,
+    Machine,
+    ScheduleTrace,
+    TestingConfig,
+    TestingEngine,
+    on_event,
+)
+from repro.core.strategy.pct_strategy import PCTStrategy
+from repro.core.strategy.random_strategy import RandomStrategy
+from repro.core.ids import MachineId
+
+
+class Work(Event):
+    def __init__(self, remaining):
+        self.remaining = remaining
+
+
+class Worker(Machine):
+    @on_event(Work)
+    def work(self, event):
+        if event.remaining > 0:
+            self.send(self.id, Work(event.remaining - 1))
+
+
+def chain_test(runtime):
+    worker = runtime.create_machine(Worker)
+    runtime.send_event(worker, Work(5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_same_seed_same_trace(seed):
+    """Determinism: identical configuration => identical first-execution trace."""
+    def run_once():
+        engine = TestingEngine(
+            chain_test, TestingConfig(iterations=1, max_steps=100, seed=seed)
+        )
+        engine.strategy.prepare_iteration(0)
+        from repro.core import TestRuntime
+
+        runtime = TestRuntime(engine.strategy, engine.config)
+        runtime.run(chain_test)
+        return [ (s.kind, s.value) for s in runtime.trace ]
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    num_machines=st.integers(min_value=1, max_value=8),
+    steps=st.integers(min_value=1, max_value=50),
+)
+def test_random_strategy_always_picks_enabled_machine(seed, num_machines, steps):
+    strategy = RandomStrategy(seed)
+    strategy.prepare_iteration(0)
+    enabled = [MachineId(i, f"M{i}") for i in range(num_machines)]
+    for step in range(steps):
+        assert strategy.next_machine(enabled, step) in enabled
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    num_machines=st.integers(min_value=1, max_value=8),
+    switches=st.integers(min_value=0, max_value=5),
+)
+def test_pct_strategy_always_picks_enabled_machine(seed, num_machines, switches):
+    strategy = PCTStrategy(seed, priority_switches=switches, expected_length=50)
+    strategy.prepare_iteration(0)
+    enabled = [MachineId(i, f"M{i}") for i in range(num_machines)]
+    for step in range(50):
+        assert strategy.next_machine(enabled, step) in enabled
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bools=st.lists(st.booleans(), max_size=10),
+    ints=st.lists(st.integers(min_value=0, max_value=100), max_size=10),
+)
+def test_trace_json_roundtrip(bools, ints):
+    trace = ScheduleTrace()
+    for value in bools:
+        trace.add_boolean_choice(value, "m")
+    for value in ints:
+        trace.add_integer_choice(value, "m")
+    assert ScheduleTrace.from_json(trace.to_json()).steps == trace.steps

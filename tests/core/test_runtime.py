@@ -1,0 +1,291 @@
+"""Behavioural tests of the serialized runtime: dispatch, receive, halting,
+monitors, liveness, deadlock detection and unhandled events."""
+
+import pytest
+
+from repro.core import (
+    Event,
+    FrameworkError,
+    Halt,
+    Machine,
+    Monitor,
+    Receive,
+    RoundRobinStrategy,
+    TestRuntime,
+    TestingConfig,
+    on_event,
+)
+
+
+class Ping(Event):
+    def __init__(self, sender):
+        self.sender = sender
+
+
+class Pong(Event):
+    pass
+
+
+class Note(Event):
+    def __init__(self, value=0):
+        self.value = value
+
+
+def make_runtime(**config_kwargs):
+    config = TestingConfig(iterations=1, **config_kwargs)
+    strategy = RoundRobinStrategy()
+    strategy.prepare_iteration(0)
+    return TestRuntime(strategy, config)
+
+
+class Echo(Machine):
+    @on_event(Ping)
+    def reply(self, event):
+        self.send(event.sender, Pong())
+
+
+class Caller(Machine):
+    def on_start(self, echo):
+        self.got_pong = False
+        self.send(echo, Ping(self.id))
+        yield Receive(Pong)
+        self.got_pong = True
+
+
+def test_request_response_with_receive():
+    runtime = make_runtime(max_steps=50)
+
+    def entry(rt):
+        echo = rt.create_machine(Echo)
+        rt.create_machine(Caller, echo)
+
+    assert runtime.run(entry) is None
+    caller = runtime.machines_of_type(Caller)[0]
+    assert caller.got_pong is True
+    assert runtime.termination_reason == "quiescence"
+
+
+def test_unhandled_event_is_a_bug():
+    class Silent(Machine):
+        pass
+
+    runtime = make_runtime(max_steps=20)
+
+    def entry(rt):
+        target = rt.create_machine(Silent)
+        rt.send_event(target, Note())
+
+    bug = runtime.run(entry)
+    assert bug is not None and bug.kind == "unhandled-event"
+
+
+def test_unhandled_event_can_be_ignored():
+    class Tolerant(Machine):
+        ignore_unhandled_events = True
+
+    runtime = make_runtime(max_steps=20)
+
+    def entry(rt):
+        target = rt.create_machine(Tolerant)
+        rt.send_event(target, Note())
+
+    assert runtime.run(entry) is None
+
+
+def test_halt_event_stops_machine_and_drops_messages():
+    runtime = make_runtime(max_steps=30)
+
+    def entry(rt):
+        echo = rt.create_machine(Echo)
+        rt.send_event(echo, Halt())
+        rt.send_event(echo, Ping(echo))
+
+    assert runtime.run(entry) is None
+    echo = runtime.machines_of_type(Echo)[0]
+    assert echo.is_halted
+
+
+def test_exception_in_handler_is_reported_as_bug():
+    class Crasher(Machine):
+        @on_event(Note)
+        def boom(self, event):
+            raise RuntimeError("kaboom")
+
+    runtime = make_runtime(max_steps=20)
+
+    def entry(rt):
+        target = rt.create_machine(Crasher)
+        rt.send_event(target, Note())
+
+    bug = runtime.run(entry)
+    assert bug is not None and bug.kind == "exception"
+    assert "kaboom" in bug.message
+
+
+def test_assertion_failure_is_safety_bug():
+    class Checker(Machine):
+        @on_event(Note)
+        def check(self, event):
+            self.assert_that(event.value > 0, "value must be positive")
+
+    runtime = make_runtime(max_steps=20)
+
+    def entry(rt):
+        target = rt.create_machine(Checker)
+        rt.send_event(target, Note(0))
+
+    bug = runtime.run(entry)
+    assert bug is not None and bug.kind == "safety"
+
+
+def test_state_transitions_run_entry_and_exit_actions():
+    from repro.core import on_entry, on_exit
+
+    class Stateful(Machine):
+        initial_state = "closed"
+
+        def on_start(self):
+            self.events = []
+            self.goto("open")
+
+        @on_exit("closed")
+        def leaving(self):
+            self.events.append("exit-closed")
+
+        @on_entry("open")
+        def entering(self):
+            self.events.append("enter-open")
+
+    runtime = make_runtime(max_steps=10)
+    runtime.run(lambda rt: rt.create_machine(Stateful))
+    machine = runtime.machines_of_type(Stateful)[0]
+    assert machine.current_state == "open"
+    assert machine.events == ["exit-closed", "enter-open"]
+
+
+def test_monitor_liveness_violation_at_bound():
+    class Progress(Event):
+        pass
+
+    class LivenessMonitor(Monitor):
+        initial_state = "hot"
+        hot_states = frozenset({"hot"})
+
+        @on_event(Progress)
+        def progressed(self):
+            self.goto("cold")
+
+    class Spinner(Machine):
+        @on_event(Note)
+        def spin(self):
+            self.send(self.id, Note())
+
+    runtime = make_runtime(max_steps=25)
+
+    def entry(rt):
+        rt.register_monitor(LivenessMonitor)
+        spinner = rt.create_machine(Spinner)
+        rt.send_event(spinner, Note())
+
+    bug = runtime.run(entry)
+    assert bug is not None and bug.kind == "liveness"
+
+
+def test_monitor_goes_cold_no_violation():
+    class Progress(Event):
+        pass
+
+    class LivenessMonitor(Monitor):
+        initial_state = "hot"
+        hot_states = frozenset({"hot"})
+
+        @on_event(Progress)
+        def progressed(self):
+            self.goto("cold")
+
+    class Worker(Machine):
+        @on_event(Note)
+        def work(self):
+            self.notify_monitor(LivenessMonitor, Progress())
+
+    runtime = make_runtime(max_steps=25)
+
+    def entry(rt):
+        rt.register_monitor(LivenessMonitor)
+        worker = rt.create_machine(Worker)
+        rt.send_event(worker, Note())
+
+    assert runtime.run(entry) is None
+
+
+def test_deadlock_detection_for_blocked_receive():
+    class Waiter(Machine):
+        def on_start(self):
+            yield Receive(Pong)
+
+    runtime = make_runtime(max_steps=20)
+    bug = runtime.run(lambda rt: rt.create_machine(Waiter))
+    assert bug is not None and bug.kind == "deadlock"
+
+
+def test_send_to_unknown_machine_is_framework_error():
+    from repro.core import MachineId
+
+    runtime = make_runtime(max_steps=5)
+    with pytest.raises(FrameworkError):
+        runtime.send_event(MachineId(99, "Ghost"), Note())
+
+
+def test_notify_unregistered_monitor_is_noop():
+    class SomeMonitor(Monitor):
+        @on_event(Note)
+        def handle(self, event):
+            pass
+
+    class Notifier(Machine):
+        @on_event(Note)
+        def notify(self, event):
+            self.notify_monitor(SomeMonitor, Note())
+
+    runtime = make_runtime(max_steps=20)
+
+    def entry(rt):
+        target = rt.create_machine(Notifier)
+        rt.send_event(target, Note())
+
+    assert runtime.run(entry) is None
+
+
+def test_count_pending_events():
+    runtime = make_runtime(max_steps=5)
+
+    class Sink(Machine):
+        ignore_unhandled_events = True
+
+    def entry(rt):
+        sink = rt.create_machine(Sink)
+        rt.send_event(sink, Note(1))
+        rt.send_event(sink, Note(2))
+        entry.sink = sink
+
+    runtime.run(entry)
+    # After the run the inbox has been drained; check the helper on a fresh runtime.
+    runtime2 = make_runtime(max_steps=5)
+    sink_id = runtime2.create_machine(Sink)
+    runtime2.send_event(sink_id, Note(1))
+    runtime2.send_event(sink_id, Note(2))
+    assert runtime2.count_pending_events(sink_id, Note) == 2
+    assert runtime2.count_pending_events(sink_id, Note, lambda e: e.value == 1) == 1
+
+
+def test_pause_yield_keeps_machine_runnable():
+    class Stepper(Machine):
+        def on_start(self, steps):
+            self.progress = 0
+            for _ in range(steps):
+                self.progress += 1
+                yield
+
+    runtime = make_runtime(max_steps=50)
+    runtime.run(lambda rt: rt.create_machine(Stepper, 5))
+    assert runtime.machines_of_type(Stepper)[0].progress == 5

@@ -1,0 +1,102 @@
+"""Tests for the modeled timer, harness statistics and coverage tracking."""
+
+from repro.core import (
+    CoverageTracker,
+    Machine,
+    StopTimer,
+    TestingConfig,
+    TimerMachine,
+    TimerTick,
+    on_event,
+    run_test,
+)
+from repro.core.statistics import (
+    HarnessDescription,
+    count_action_handlers,
+    count_source_lines,
+    count_state_transitions,
+)
+
+
+class TickCounter(Machine):
+    def on_start(self, bounded):
+        self.ticks = 0
+        self.timer = self.create(
+            TimerMachine, self.id, timer_name="t", max_ticks=10 if bounded else None
+        )
+
+    @on_event(TimerTick)
+    def count(self, event):
+        self.ticks += 1
+        if self.ticks >= 3:
+            self.send(self.timer, StopTimer())
+
+
+def test_bounded_timer_terminates_and_delivers_ticks():
+    report = run_test(
+        lambda rt: rt.create_machine(TickCounter, True),
+        TestingConfig(iterations=5, max_steps=200, seed=2),
+    )
+    assert not report.bug_found
+
+
+def test_timer_never_floods_target():
+    """At most one outstanding tick per timer sits in the target's inbox."""
+    from repro.core import RoundRobinStrategy, TestRuntime
+
+    strategy = RoundRobinStrategy()
+    strategy.prepare_iteration(0)
+    runtime = TestRuntime(strategy, TestingConfig(iterations=1, max_steps=100))
+    runtime.run(lambda rt: rt.create_machine(TickCounter, False))
+    counter = runtime.machines_of_type(TickCounter)[0]
+    pending = runtime.count_pending_events(counter.id, TimerTick)
+    assert pending <= 1
+
+
+def test_count_source_lines_ignores_comments():
+    import repro.core.ids as ids_module
+
+    loc = count_source_lines([ids_module])
+    assert 0 < loc < 100
+
+
+def test_statistics_from_machine_classes():
+    from repro.examplesys.harness.machines import ServerMachine, StorageNodeMachine
+    from repro.examplesys.harness.monitors import AckLivenessMonitor
+
+    classes = [ServerMachine, StorageNodeMachine, AckLivenessMonitor]
+    assert count_action_handlers(classes) > 0
+    assert count_state_transitions(classes) > 0
+
+
+def test_harness_description_compute():
+    import repro.examplesys.server as server_module
+    from repro.examplesys.harness.machines import ServerMachine
+
+    stats = HarnessDescription(
+        name="example",
+        system_modules=[server_module],
+        harness_modules=[server_module],
+        machine_classes=[ServerMachine],
+        bugs_found=2,
+    ).compute()
+    assert stats.system_loc > 0
+    assert stats.num_machines == 1
+    assert stats.as_row()["bugs"] == 2
+
+
+def test_coverage_tracker_merge_and_summary():
+    a = CoverageTracker()
+    a.record_machine("M")
+    a.record_event("E")
+    a.record_handled("M", "s", "E")
+    a.record_transition("M", "s", "t")
+    a.record_monitor_state("Mon", "hot")
+    b = CoverageTracker()
+    b.record_machine("M")
+    b.record_transition("M", "t", "s")
+    a.merge(b)
+    summary = a.summary()
+    assert summary["machines_created"] == 2
+    assert summary["transitions"] == 2
+    assert a.distinct_handled_tuples == 1

@@ -1,0 +1,136 @@
+"""Tests for the §2.2 example replication system and its harness."""
+
+import pytest
+
+from repro.core import TestingConfig, TestingEngine, run_test
+from repro.examplesys import ReplicationServer, ServerConfig, StorageNodeStore
+from repro.examplesys.harness import (
+    build_replication_test,
+    buggy_configuration,
+    fixed_configuration,
+    liveness_bug_configuration,
+    safety_bug_configuration,
+)
+
+
+class RecordingNetwork:
+    def __init__(self):
+        self.replications = []
+        self.acks = []
+
+    def send_replication_request(self, node_id, data):
+        self.replications.append((node_id, data))
+
+    def send_ack(self, data):
+        self.acks.append(data)
+
+
+def make_server(config):
+    network = RecordingNetwork()
+    return ReplicationServer([0, 1, 2], network, config), network
+
+
+def test_server_broadcasts_replication_requests():
+    server, network = make_server(fixed_configuration())
+    server.process_client_request(7)
+    assert network.replications == [(0, 7), (1, 7), (2, 7)]
+
+
+def test_fixed_server_acks_after_three_distinct_syncs():
+    server, network = make_server(fixed_configuration())
+    server.process_client_request(7)
+    for node in (0, 1, 2):
+        server.process_sync(node, 7)
+    assert network.acks == [7]
+
+
+def test_fixed_server_ignores_duplicate_syncs():
+    server, network = make_server(fixed_configuration())
+    server.process_client_request(7)
+    server.process_sync(0, 7)
+    server.process_sync(0, 7)
+    server.process_sync(0, 7)
+    assert network.acks == []
+
+
+def test_buggy_server_acks_on_duplicate_syncs():
+    server, network = make_server(safety_bug_configuration())
+    server.process_client_request(7)
+    for _ in range(3):
+        server.process_sync(0, 7)
+    assert network.acks == [7]
+
+
+def test_liveness_buggy_server_never_acks_second_request():
+    server, network = make_server(liveness_bug_configuration())
+    server.process_client_request(7)
+    for node in (0, 1, 2):
+        server.process_sync(node, 7)
+    server.process_client_request(8)
+    for node in (0, 1, 2):
+        server.process_sync(node, 8)
+    assert network.acks == [7]
+
+
+def test_stale_sync_triggers_re_replication():
+    server, network = make_server(fixed_configuration())
+    server.process_client_request(7)
+    server.process_sync(0, None)
+    assert (0, 7) in network.replications[3:]
+
+
+def test_storage_node_store_tracks_history():
+    store = StorageNodeStore(2)
+    store.store(5)
+    store.store(9)
+    assert store.latest == 9
+    assert store.writes == 2
+
+
+# ---------------------------------------------------------------------------
+# systematic testing integration
+# ---------------------------------------------------------------------------
+def test_safety_bug_found_by_systematic_testing():
+    report = run_test(
+        build_replication_test(safety_bug_configuration(), check_liveness=False),
+        TestingConfig(iterations=150, max_steps=600, seed=7),
+    )
+    assert report.bug_found
+    assert report.first_bug.kind == "safety"
+
+
+def test_liveness_bug_found_by_systematic_testing():
+    report = run_test(
+        build_replication_test(liveness_bug_configuration()),
+        TestingConfig(iterations=60, max_steps=600, seed=7),
+    )
+    assert report.bug_found
+    assert report.first_bug.kind == "liveness"
+
+
+def test_both_bugs_configuration_finds_a_bug_with_pct():
+    report = run_test(
+        build_replication_test(buggy_configuration()),
+        TestingConfig(iterations=60, max_steps=1500, seed=7, strategy="pct"),
+    )
+    assert report.bug_found
+
+
+def test_fixed_configuration_is_clean_under_fair_scheduling():
+    report = run_test(
+        build_replication_test(fixed_configuration()),
+        TestingConfig(iterations=150, max_steps=600, seed=7),
+    )
+    assert not report.bug_found
+
+
+def test_example_bug_trace_replays():
+    engine = TestingEngine(
+        build_replication_test(safety_bug_configuration(), check_liveness=False),
+        TestingConfig(iterations=150, max_steps=600, seed=7),
+    )
+    report = engine.run()
+    assert report.bug_found
+    replayed = engine.replay(report.first_bug.trace)
+    assert replayed is not None
+    assert replayed.kind == report.first_bug.kind

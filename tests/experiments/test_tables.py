@@ -1,0 +1,41 @@
+"""Tests for the Table 1 / Table 2 experiment generators."""
+
+from repro.experiments import (
+    all_bug_entries,
+    bug_entry,
+    format_table1,
+    format_table2,
+    generate_table1,
+    generate_table2,
+)
+
+
+def test_table1_has_all_case_studies():
+    rows = generate_table1()
+    names = [row.name for row in rows]
+    assert any("vNext" in name for name in names)
+    assert any("MigratingTable" in name for name in names)
+    assert any("Fabric" in name for name in names)
+    for row in rows:
+        assert row.system_loc > 0
+        assert row.harness_loc > 0
+        assert row.num_machines > 0
+    assert "sysLoC" in format_table1(rows)
+
+
+def test_bug_registry_matches_table2_order():
+    entries = all_bug_entries()
+    assert len(entries) == 12
+    assert entries[0].identifier == "ExtentNodeLivenessViolation"
+    assert entries[0].kind == "liveness"
+    assert sum(1 for e in entries if e.case_study == 2) == 11
+    assert sum(1 for e in entries if e.notional) == 3
+    assert bug_entry("DeletePrimaryKey").case_study == 2
+
+
+def test_generate_table2_small_budget_finds_easy_bugs():
+    rows = generate_table2(iterations=40, seed=5, bugs=["DeletePrimaryKey", "MigrateSkipPreferOld"])
+    assert len(rows) == 2
+    assert any(row.random.bug_found or row.pct.bug_found for row in rows)
+    text = format_table2(rows)
+    assert "DeletePrimaryKey" in text

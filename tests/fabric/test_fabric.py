@@ -1,0 +1,58 @@
+"""Tests for the Service Fabric model case study."""
+
+from repro.core import TestingConfig, run_test
+from repro.fabric import CounterService, StreamStageService, build_cscale_test, build_failover_test
+
+
+def test_counter_service_state_copy():
+    service = CounterService()
+    service.initialize()
+    service.apply(3)
+    service.apply(4)
+    clone = CounterService()
+    clone.set_state(service.get_state())
+    assert clone.value == 7 and clone.initialized
+
+
+def test_stream_stage_transforms_events():
+    stage = StreamStageService(multiplier=3)
+    stage.initialize()
+    assert stage.apply(2) == 6
+    assert stage.processed == [6]
+
+
+def test_uninitialized_service_raises():
+    service = CounterService()
+    try:
+        service.apply(1)
+    except AttributeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("expected AttributeError")
+
+
+def test_promotion_bug_found_by_systematic_testing():
+    report = run_test(build_failover_test(True), TestingConfig(iterations=100, max_steps=500, seed=3))
+    assert report.bug_found
+    assert report.first_bug.kind == "safety"
+    assert "promoted to active secondary" in report.first_bug.message
+
+
+def test_fixed_fabric_model_is_clean():
+    for strategy in ("random", "pct"):
+        report = run_test(
+            build_failover_test(False),
+            TestingConfig(iterations=100, max_steps=500, seed=3, strategy=strategy),
+        )
+        assert not report.bug_found
+
+
+def test_cscale_initialization_bug_found():
+    report = run_test(build_cscale_test(True), TestingConfig(iterations=100, max_steps=500, seed=3))
+    assert report.bug_found
+    assert report.first_bug.kind == "exception"
+
+
+def test_cscale_fixed_is_clean():
+    report = run_test(build_cscale_test(False), TestingConfig(iterations=100, max_steps=500, seed=3))
+    assert not report.bug_found

@@ -1,0 +1,166 @@
+"""Synchronous tests of the MigratingTable protocol and the migrator."""
+
+import pytest
+
+from repro.migratingtable import (
+    InMemoryChainTable,
+    MigratingTable,
+    MigratingTableConfig,
+    MigratingTableBug,
+    Migrator,
+    MigratorConfig,
+    OpKind,
+    PartitionState,
+    RowFilter,
+    TableOperation,
+    VERSION_PROPERTY,
+    read_partition_meta,
+    write_partition_meta,
+)
+
+PK = "P0"
+
+
+def run(generator):
+    return MigratingTable.run_to_completion(generator)
+
+
+def make_tables(rows=3):
+    old, new = InMemoryChainTable("old"), InMemoryChainTable("new")
+    for index in range(rows):
+        old.seed(PK, f"r{index}", {"value": index, VERSION_PROPERTY: 1}, version=1)
+    return old, new
+
+
+def test_partition_meta_roundtrip():
+    _old, new = make_tables()
+    assert read_partition_meta(new, PK).state is PartitionState.USE_OLD
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW, copy_cursor="r1")
+    meta = read_partition_meta(new, PK)
+    assert meta.state is PartitionState.PREFER_NEW
+    assert meta.copy_cursor == "r1"
+
+
+def test_reads_and_writes_in_use_old_state():
+    old, new = make_tables()
+    table = MigratingTable(old, new)
+    assert run(table.read_row(PK, "r0")).properties == {"value": 0}
+    result = run(table.execute(TableOperation(OpKind.REPLACE, PK, "r0", {"value": 9})))
+    assert result.ok and result.version == 2
+    assert old.get(PK, "r0").properties["value"] == 9
+    assert new.get(PK, "r0") is None
+
+
+def test_full_migration_preserves_content():
+    old, new = make_tables()
+    table = MigratingTable(old, new)
+    migrator = Migrator(old, new, [PK])
+    run(migrator.run())
+    assert migrator.partition_state(PK) is PartitionState.USE_NEW
+    rows = run(table.query_atomic(PK))
+    assert [(r.row_key, r.properties["value"], r.version) for r in rows] == [
+        ("r0", 0, 1), ("r1", 1, 1), ("r2", 2, 1)
+    ]
+    assert len(old.query_atomic(PK)) == 0
+
+
+def test_writes_after_migration_go_to_new_table():
+    old, new = make_tables()
+    run(Migrator(old, new, [PK]).run())
+    table = MigratingTable(old, new)
+    result = run(table.execute(TableOperation(OpKind.REPLACE, PK, "r1", {"value": 7})))
+    assert result.ok and result.version == 2
+    assert new.get(PK, "r1").properties["value"] == 7
+
+
+def test_delete_in_prefer_new_leaves_tombstone_and_hides_row():
+    old, new = make_tables()
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW)
+    table = MigratingTable(old, new)
+    assert run(table.execute(TableOperation(OpKind.DELETE, PK, "r0"))).ok
+    assert new.get(PK, "r0").is_tombstone()
+    assert run(table.read_row(PK, "r0")) is None
+    rows = run(table.query_atomic(PK))
+    assert "r0" not in [r.row_key for r in rows]
+
+
+def test_insert_over_tombstone_restores_row():
+    old, new = make_tables()
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW)
+    table = MigratingTable(old, new)
+    run(table.execute(TableOperation(OpKind.DELETE, PK, "r0")))
+    result = run(table.execute(TableOperation(OpKind.INSERT, PK, "r0", {"value": 4})))
+    assert result.ok and result.version == 1
+    assert run(table.read_row(PK, "r0")).properties == {"value": 4}
+
+
+def test_etag_conditional_ops_survive_migration():
+    old, new = make_tables()
+    table = MigratingTable(old, new)
+    run(Migrator(old, new, [PK]).run())
+    bad = run(table.execute(TableOperation(OpKind.REPLACE, PK, "r0", {"value": 5}, if_match=9)))
+    assert not bad.ok
+    good = run(table.execute(TableOperation(OpKind.REPLACE, PK, "r0", {"value": 5}, if_match=1)))
+    assert good.ok and good.version == 2
+
+
+def test_query_filter_applied_after_merge():
+    old, new = make_tables()
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW)
+    table = MigratingTable(old, new)
+    run(table.execute(TableOperation(OpKind.REPLACE, PK, "r0", {"value": 9})))
+    rows = run(table.query_atomic(PK, RowFilter("value", "<=", 4)))
+    assert [r.row_key for r in rows] == ["r1", "r2"]
+
+
+def test_streamed_query_equals_atomic_query_without_concurrency():
+    old, new = make_tables()
+    table = MigratingTable(old, new)
+    run(Migrator(old, new, [PK]).run())
+    atomic = run(table.query_atomic(PK))
+    streamed = run(table.query_streamed(PK))
+    assert [(r.row_key, r.version) for r in atomic] == [(r.row_key, r.version) for r in streamed]
+
+
+def test_migrate_skip_tombstone_state_leaves_phantom_rows():
+    old, new = make_tables()
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW)
+    table = MigratingTable(old, new)
+    run(table.execute(TableOperation(OpKind.DELETE, PK, "r0")))
+    migrator = Migrator(
+        old, new, [PK], MigratorConfig(bugs=frozenset({MigratingTableBug.MIGRATE_SKIP_USE_NEW_WITH_TOMBSTONES}))
+    )
+    run(migrator.run())
+    rows = run(table.query_atomic(PK))
+    assert "r0" in [r.row_key for r in rows]  # the phantom tombstone row
+
+
+def test_correct_migrator_cleans_tombstones():
+    old, new = make_tables()
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW)
+    table = MigratingTable(old, new)
+    run(table.execute(TableOperation(OpKind.DELETE, PK, "r0")))
+    run(Migrator(old, new, [PK]).run())
+    rows = run(table.query_atomic(PK))
+    assert "r0" not in [r.row_key for r in rows]
+
+
+def test_delete_primary_key_bug_resurrects_row():
+    old, new = make_tables()
+    buggy = MigratingTable(old, new, MigratingTableConfig(bugs=frozenset({MigratingTableBug.DELETE_PRIMARY_KEY})))
+    write_partition_meta(new, PK, state=PartitionState.PREFER_OLD)
+    # Copy r0 into the new table first (as the migrator would).
+    new.execute(TableOperation(OpKind.UPSERT, PK, "r0", dict(old.get(PK, "r0").properties)))
+    assert run(buggy.execute(TableOperation(OpKind.DELETE, PK, "r0"))).ok
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW)
+    assert run(buggy.read_row(PK, "r0")) is not None  # resurrected
+
+
+def test_correct_delete_in_prefer_old_is_permanent():
+    old, new = make_tables()
+    table = MigratingTable(old, new)
+    write_partition_meta(new, PK, state=PartitionState.PREFER_OLD)
+    new.execute(TableOperation(OpKind.UPSERT, PK, "r0", dict(old.get(PK, "r0").properties)))
+    run(table.execute(TableOperation(OpKind.DELETE, PK, "r0")))
+    write_partition_meta(new, PK, state=PartitionState.PREFER_NEW)
+    assert run(table.read_row(PK, "r0")) is None

@@ -1,0 +1,104 @@
+"""Unit tests for the IChainTable data model and reference implementation."""
+
+import pytest
+
+from repro.migratingtable import (
+    ErrorCode,
+    InMemoryChainTable,
+    OpKind,
+    RowFilter,
+    TableEntity,
+    TableOperation,
+)
+
+
+def op(kind, rk="r0", props=None, if_match=None, pk="P"):
+    return TableOperation(kind, pk, rk, props or {"value": 1}, if_match)
+
+
+@pytest.fixture
+def table():
+    return InMemoryChainTable()
+
+
+def test_insert_and_get(table):
+    result = table.execute(op(OpKind.INSERT))
+    assert result.ok and result.version == 1
+    assert table.get("P", "r0").properties == {"value": 1}
+
+
+def test_insert_conflict(table):
+    table.execute(op(OpKind.INSERT))
+    assert table.execute(op(OpKind.INSERT)).error is ErrorCode.CONFLICT
+
+
+def test_replace_requires_existing_row(table):
+    assert table.execute(op(OpKind.REPLACE)).error is ErrorCode.NOT_FOUND
+
+
+def test_replace_etag_check(table):
+    table.execute(op(OpKind.INSERT))
+    assert table.execute(op(OpKind.REPLACE, props={"value": 2}, if_match=5)).error is ErrorCode.ETAG_MISMATCH
+    result = table.execute(op(OpKind.REPLACE, props={"value": 2}, if_match=1))
+    assert result.ok and result.version == 2
+
+
+def test_merge_combines_properties(table):
+    table.execute(op(OpKind.INSERT, props={"a": 1}))
+    table.execute(op(OpKind.MERGE, props={"b": 2}))
+    assert table.get("P", "r0").properties == {"a": 1, "b": 2}
+
+
+def test_upsert_inserts_or_replaces(table):
+    assert table.execute(op(OpKind.UPSERT)).version == 1
+    assert table.execute(op(OpKind.UPSERT, props={"value": 9})).version == 2
+
+
+def test_delete_with_and_without_etag(table):
+    table.execute(op(OpKind.INSERT))
+    assert table.execute(op(OpKind.DELETE, if_match=9)).error is ErrorCode.ETAG_MISMATCH
+    assert table.execute(op(OpKind.DELETE, if_match=1)).ok
+    assert table.get("P", "r0") is None
+
+
+def test_query_atomic_sorted_and_filtered(table):
+    for index, rk in enumerate(["r2", "r0", "r1"]):
+        table.execute(op(OpKind.INSERT, rk=rk, props={"value": index}))
+    rows = table.query_atomic("P")
+    assert [r.row_key for r in rows] == ["r0", "r1", "r2"]
+    filtered = table.query_atomic("P", RowFilter("value", "<=", 1))
+    assert [r.row_key for r in filtered] == ["r0", "r2"]
+
+
+def test_query_only_returns_requested_partition(table):
+    table.execute(op(OpKind.INSERT, pk="A"))
+    table.execute(op(OpKind.INSERT, pk="B"))
+    assert len(table.query_atomic("A")) == 1
+
+
+def test_execute_batch_atomicity(table):
+    table.execute(op(OpKind.INSERT, rk="r0"))
+    results = table.execute_batch([
+        op(OpKind.INSERT, rk="r1"),
+        op(OpKind.INSERT, rk="r0"),  # conflict -> whole batch rolls back
+    ])
+    assert not all(r.ok for r in results)
+    assert table.get("P", "r1") is None
+
+
+def test_batch_rejects_multiple_partitions(table):
+    with pytest.raises(ValueError):
+        table.execute_batch([op(OpKind.INSERT, pk="A"), op(OpKind.INSERT, pk="B")])
+
+
+def test_row_filter_comparisons():
+    entity = TableEntity("P", "r", {"value": 5})
+    assert RowFilter("value", ">=", 5).matches(entity)
+    assert not RowFilter("value", "<", 5).matches(entity)
+    assert not RowFilter("missing", "==", 5).matches(entity)
+
+
+def test_entity_visible_properties_strip_internal_fields():
+    entity = TableEntity("P", "r", {"value": 5, "_mt_version": 3, "_tombstone": True})
+    assert entity.visible_properties() == {"value": 5}
+    assert entity.is_tombstone()

@@ -1,0 +1,125 @@
+"""Unit tests for the vNext Extent Manager, ExtentCenter and EN store."""
+
+from repro.vnext import (
+    ExtentCenter,
+    ExtentId,
+    ExtentManager,
+    ExtentManagerConfig,
+    ExtentNodeStore,
+    Heartbeat,
+    NullNetworkEngine,
+    RepairRequest,
+    SyncReport,
+)
+
+
+EXTENT = ExtentId(1)
+
+
+def test_extent_center_add_remove_replicas():
+    center = ExtentCenter()
+    center.add_replica(EXTENT, 0)
+    center.add_replica(EXTENT, 1)
+    assert center.replica_count(EXTENT) == 2
+    center.remove_replica(EXTENT, 0)
+    assert center.locations(EXTENT) == {1}
+
+
+def test_extent_center_remove_node_returns_affected_extents():
+    center = ExtentCenter()
+    center.add_replica(EXTENT, 0)
+    center.add_replica(ExtentId(2), 0)
+    assert sorted(e.value for e in center.remove_node(0)) == [1, 2]
+    assert center.replica_count(EXTENT) == 0
+
+
+def test_extent_center_update_from_sync_adds_and_removes():
+    center = ExtentCenter()
+    center.add_replica(EXTENT, 0)
+    center.add_replica(ExtentId(2), 0)
+    center.update_from_sync(0, [EXTENT])
+    assert center.locations(EXTENT) == {0}
+    assert center.locations(ExtentId(2)) == set()
+
+
+def make_manager(fixed=False):
+    config = ExtentManagerConfig(fix_stale_sync_report=fixed, heartbeat_expiration_ticks=2)
+    return ExtentManager(config, NullNetworkEngine())
+
+
+def test_heartbeat_registers_node():
+    manager = make_manager()
+    manager.process_message(Heartbeat(3))
+    assert manager.is_registered(3)
+
+
+def test_expiration_removes_silent_nodes_and_their_records():
+    manager = make_manager()
+    manager.process_heartbeat(0)
+    manager.process_sync_report(0, [EXTENT])
+    expired = []
+    for _ in range(4):
+        expired += manager.run_expiration_loop()
+    assert expired == [0]
+    assert manager.believed_replica_count(EXTENT) == 0
+
+
+def test_fresh_heartbeats_prevent_expiration():
+    manager = make_manager()
+    manager.process_heartbeat(0)
+    for _ in range(5):
+        manager.run_expiration_loop()
+        manager.process_heartbeat(0)
+    assert manager.is_registered(0)
+
+
+def test_repair_loop_schedules_repairs_for_under_replicated_extents():
+    manager = make_manager()
+    for node in (0, 1, 2, 3):
+        manager.process_heartbeat(node)
+    manager.process_sync_report(0, [EXTENT])
+    tasks = manager.run_repair_loop()
+    assert len(tasks) == 2
+    assert all(task.source_node_id == 0 for task in tasks)
+    sent = manager.network.sent
+    assert all(isinstance(message, RepairRequest) for _node, message in sent)
+
+
+def test_repair_loop_skips_fully_replicated_extents():
+    manager = make_manager()
+    for node in (0, 1, 2):
+        manager.process_heartbeat(node)
+        manager.process_sync_report(node, [EXTENT])
+    assert manager.run_repair_loop() == []
+
+
+def test_stale_sync_resurrects_records_without_fix():
+    manager = make_manager(fixed=False)
+    manager.process_heartbeat(0)
+    manager.process_sync_report(0, [EXTENT])
+    for _ in range(4):
+        manager.run_expiration_loop()
+    assert manager.believed_replica_count(EXTENT) == 0
+    manager.process_sync_report(0, [EXTENT])  # stale report from the dead node
+    assert manager.believed_replica_count(EXTENT) == 1
+
+
+def test_stale_sync_ignored_with_fix():
+    manager = make_manager(fixed=True)
+    manager.process_heartbeat(0)
+    manager.process_sync_report(0, [EXTENT])
+    for _ in range(4):
+        manager.run_expiration_loop()
+    manager.process_sync_report(0, [EXTENT])
+    assert manager.believed_replica_count(EXTENT) == 0
+
+
+def test_extent_node_store_sync_report():
+    store = ExtentNodeStore(7)
+    store.add_extent(EXTENT)
+    report = store.get_sync_report()
+    assert isinstance(report, SyncReport)
+    assert report.node_id == 7
+    assert report.extent_ids == (EXTENT,)
+    store.remove_extent(EXTENT)
+    assert not store.has_extent(EXTENT)

@@ -1,0 +1,65 @@
+"""Integration tests: the vNext harness under systematic testing."""
+
+import pytest
+
+from repro.core import TestingConfig, TestingEngine, run_test
+from repro.vnext.harness import (
+    RepairMonitor,
+    build_failover_test,
+    build_replication_scenario_test,
+)
+
+
+def test_liveness_bug_found_in_failover_scenario_random():
+    report = run_test(
+        build_failover_test(fixed=False),
+        TestingConfig(iterations=60, max_steps=3000, seed=11),
+    )
+    assert report.bug_found
+    assert report.first_bug.kind == "liveness"
+    assert "RepairMonitor" in report.first_bug.message
+
+
+def test_liveness_bug_found_in_failover_scenario_pct():
+    report = run_test(
+        build_failover_test(fixed=False),
+        TestingConfig(iterations=60, max_steps=3000, seed=11, strategy="pct"),
+    )
+    assert report.bug_found
+    assert report.first_bug.kind == "liveness"
+
+
+def test_liveness_bug_execution_is_long():
+    """The liveness bug needs far more nondeterministic choices than safety bugs."""
+    report = run_test(
+        build_failover_test(fixed=False),
+        TestingConfig(iterations=60, max_steps=3000, seed=11),
+    )
+    assert report.num_nondeterministic_choices > 1000
+
+
+def test_fixed_extent_manager_is_clean():
+    report = run_test(
+        build_failover_test(fixed=True),
+        TestingConfig(iterations=40, max_steps=3000, seed=11),
+    )
+    assert not report.bug_found
+
+
+def test_replication_scenario_reaches_full_replication():
+    report = run_test(
+        build_replication_scenario_test(fixed=True),
+        TestingConfig(iterations=30, max_steps=3000, seed=11),
+    )
+    assert not report.bug_found
+
+
+def test_vnext_bug_trace_replays():
+    engine = TestingEngine(
+        build_failover_test(fixed=False),
+        TestingConfig(iterations=60, max_steps=3000, seed=11),
+    )
+    report = engine.run()
+    assert report.bug_found
+    replayed = engine.replay(report.first_bug.trace)
+    assert replayed is not None and replayed.kind == "liveness"
