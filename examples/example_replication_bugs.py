@@ -1,28 +1,26 @@
 #!/usr/bin/env python
-"""The §2.2 example system: find its safety bug and its liveness bug."""
+"""The §2.2 example system: find its safety bug and its liveness bug.
 
-from repro.core import TestingConfig, run_test
-from repro.examplesys.harness import (
-    build_replication_test,
-    fixed_configuration,
-    liveness_bug_configuration,
-    safety_bug_configuration,
-)
+The three harness variants are registered scenarios, so this example drives
+them by name — the same names work with ``python -m repro run``.
+"""
+
+from repro import TestingConfig, run_scenario
 
 
 def main():
-    safety = run_test(
-        build_replication_test(safety_bug_configuration(), check_liveness=False),
+    safety = run_scenario(
+        "examplesys/safety-bug",
         TestingConfig(iterations=300, max_steps=600, seed=7),
     )
     print("[duplicate replica counting]", safety.summary())
-    liveness = run_test(
-        build_replication_test(liveness_bug_configuration()),
+    liveness = run_scenario(
+        "examplesys/liveness-bug",
         TestingConfig(iterations=100, max_steps=600, seed=7),
     )
     print("[missing counter reset]     ", liveness.summary())
-    fixed = run_test(
-        build_replication_test(fixed_configuration()),
+    fixed = run_scenario(
+        "examplesys/fixed",
         TestingConfig(iterations=300, max_steps=600, seed=7),
     )
     print("[both bugs fixed]           ", fixed.summary())

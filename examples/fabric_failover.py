@@ -1,17 +1,17 @@
 #!/usr/bin/env python
 """Case study 3: test a user service against the Service Fabric model and find
-the "promoted before state copy" bug (§5)."""
+the "promoted before state copy" bug (§5), using registered scenarios."""
 
-from repro.core import TestingConfig, run_test
-from repro.fabric import build_cscale_test, build_failover_test
+from repro import TestingConfig, run_scenario
 
 
 def main():
-    buggy = run_test(build_failover_test(True), TestingConfig(iterations=200, max_steps=500, seed=3))
+    config = TestingConfig(iterations=200, max_steps=500, seed=3)
+    buggy = run_scenario("fabric/promotion-before-copy", config)
     print("[Fabric model, buggy promotion]", buggy.summary())
-    fixed = run_test(build_failover_test(False), TestingConfig(iterations=200, max_steps=500, seed=3))
+    fixed = run_scenario("fabric/failover-fixed", config)
     print("[Fabric model, fixed]          ", fixed.summary())
-    cscale = run_test(build_cscale_test(True), TestingConfig(iterations=200, max_steps=500, seed=3))
+    cscale = run_scenario("fabric/cscale-initialization", config)
     print("[CScale-like stage, bug]       ", cscale.summary())
 
 

@@ -2,7 +2,7 @@
 """Case study 2: run a live migration end to end, then hunt a re-introduced
 MigratingTable bug with the systematic testing engine."""
 
-from repro.core import TestingConfig, run_test
+from repro import TestingConfig, run_scenario
 from repro.migratingtable import (
     InMemoryChainTable,
     MigratingTable,
@@ -12,9 +12,6 @@ from repro.migratingtable import (
     TableOperation,
     VERSION_PROPERTY,
 )
-from repro.migratingtable.harness import build_migration_test
-
-
 def synchronous_walkthrough():
     old, new = InMemoryChainTable("old"), InMemoryChainTable("new")
     for index in range(3):
@@ -30,8 +27,8 @@ def synchronous_walkthrough():
 
 
 def hunt_a_bug():
-    report = run_test(
-        build_migration_test([MigratingTableBug.DELETE_PRIMARY_KEY]),
+    report = run_scenario(
+        f"migratingtable/{MigratingTableBug.DELETE_PRIMARY_KEY.value}",
         TestingConfig(iterations=300, max_steps=4000, seed=5),
     )
     print("[DeletePrimaryKey]", report.summary())

@@ -1,28 +1,37 @@
 #!/usr/bin/env python
-"""Case study 1: find the Azure Storage vNext extent-repair liveness bug (§3.6),
-replay it, and show that the fixed Extent Manager passes a clean run."""
+"""Case study 1: find the Azure Storage vNext extent-repair liveness bug (§3.6)
+with a two-strategy portfolio, replay it, and validate the fix's clean run."""
 
-from repro.core import TestingConfig, TestingEngine, run_test
-from repro.vnext.harness import build_failover_test
+from repro import Portfolio, TestingConfig, run_scenario
+from repro.core import replay_trace
 
 
 def main():
-    config = TestingConfig(iterations=200, max_steps=3000, seed=11)
-    engine = TestingEngine(build_failover_test(fixed=False), config)
-    report = engine.run()
+    portfolio = Portfolio(
+        "vnext/extent-node-liveness",
+        strategies=["random", "pct"],
+        iterations=200,
+        num_workers=2,
+        seed=11,
+    )
+    report = portfolio.run()
     print("[buggy Extent Manager]", report.summary())
     if report.bug_found:
+        bug = report.first_bug
         interesting = [
             line
-            for line in report.first_bug.log
+            for line in bug.log
             if "expired" in line or "scheduled repairs" in line or "failing" in line or "RepairMonitor ->" in line
         ]
         print("key events of the buggy schedule:")
         for line in interesting[:12]:
             print(f"  {line}")
-        print("replay:", engine.replay(report.first_bug.trace))
+        winner = report.winning_result
+        print("replay:", replay_trace(report.scenario, bug.trace, winner.job.config))
 
-    fixed_report = run_test(build_failover_test(fixed=True), config)
+    fixed_report = run_scenario(
+        "vnext/failover-fixed", TestingConfig(iterations=200, max_steps=3000, seed=11)
+    )
     print("[fixed Extent Manager]", fixed_report.summary())
 
 

@@ -20,18 +20,27 @@ from .core import (
     Machine,
     MachineId,
     Monitor,
+    Portfolio,
+    PortfolioReport,
     Receive,
+    TestCase,
     TestReport,
     TestRuntime,
     TestingConfig,
     TestingEngine,
+    all_scenarios,
+    available_strategies,
+    get_scenario,
     on_entry,
     on_event,
     on_exit,
+    register_strategy,
+    run_scenario,
     run_test,
+    scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Event",
@@ -39,14 +48,23 @@ __all__ = [
     "Machine",
     "MachineId",
     "Monitor",
+    "Portfolio",
+    "PortfolioReport",
     "Receive",
+    "TestCase",
     "TestReport",
     "TestRuntime",
     "TestingConfig",
     "TestingEngine",
+    "all_scenarios",
+    "available_strategies",
+    "get_scenario",
     "on_entry",
     "on_event",
     "on_exit",
+    "register_strategy",
+    "run_scenario",
     "run_test",
+    "scenario",
     "__version__",
 ]

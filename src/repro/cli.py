@@ -1,0 +1,210 @@
+"""Unified command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``list-scenarios`` — enumerate every registered scenario (name, tags,
+  expected bug), optionally filtered by ``--tag``.
+* ``list-strategies`` — enumerate every registered scheduling strategy.
+* ``run`` — fan a scenario out across a strategy portfolio on a worker pool
+  and write the merged report (traces included) to a JSON file.
+* ``replay`` — load a report file and deterministically re-execute its
+  recorded bug trace against the scenario it names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .core.portfolio import Portfolio, PortfolioReport, replay_trace
+from .core.registry import all_scenarios, get_scenario
+from .core.strategy import available_strategies
+
+
+def _import_extra_modules(specs: Optional[List[str]]) -> None:
+    """Import user modules so their @scenario/@register_strategy run.
+
+    Accepts dotted module names or paths to ``.py`` files (e.g.
+    ``examples/quickstart.py``), making file-registered scenarios reachable
+    from the CLI.
+    """
+    for spec in specs or []:
+        if spec.endswith(".py"):
+            name = os.path.splitext(os.path.basename(spec))[0]
+            if name in sys.modules:  # already loaded; registration is global
+                continue
+            module_spec = importlib.util.spec_from_file_location(name, spec)
+            if module_spec is None or module_spec.loader is None:
+                raise ValueError(f"cannot import {spec!r}")
+            module = importlib.util.module_from_spec(module_spec)
+            sys.modules[name] = module
+            module_spec.loader.exec_module(module)
+        else:
+            importlib.import_module(spec)
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    _import_extra_modules(args.imports)
+    cases = all_scenarios(tag=args.tag)
+    if args.json:
+        print(json.dumps([case.to_dict() for case in cases], indent=2))
+        return 0
+    if not cases:
+        print("no scenarios registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+        return 1
+    width = max(len(case.name) for case in cases)
+    for case in cases:
+        bug = case.expected_bug or "-"
+        tags = ",".join(case.tags)
+        print(f"{case.name:{width}s}  bug={bug:40s} tags={tags}")
+    print(f"({len(cases)} scenarios)")
+    return 0
+
+
+def _cmd_list_strategies(args: argparse.Namespace) -> int:
+    names = available_strategies()
+    if args.json:
+        print(json.dumps(names, indent=2))
+    else:
+        for name in names:
+            print(name)
+        print(f"({len(names)} strategies)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _import_extra_modules(args.imports)
+    testcase = get_scenario(args.scenario)
+    overrides = {"seed": args.seed}
+    if args.max_steps is not None:
+        overrides["max_steps"] = args.max_steps
+    # Built through the constructor so __post_init__ validates the values.
+    config = testcase.default_config(**overrides)
+    portfolio = Portfolio(
+        testcase,
+        strategies=args.strategy or ["random", "pct"],
+        iterations=args.iterations,
+        num_workers=args.workers,
+        num_shards=args.shards,
+        seed=args.seed,
+        config=config,
+    )
+    report = portfolio.run()
+    print(report.summary())
+    if args.output:
+        report.save(args.output)
+        print(f"report written to {args.output}")
+    if args.expect_bug and not report.bug_found:
+        print("error: a bug was expected but none was found", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    _import_extra_modules(args.imports)
+    report = PortfolioReport.load(args.report)
+    bugs = [
+        (result, bug)
+        for result in report.results
+        for bug in result.report.bugs
+        if bug.trace is not None
+    ]
+    if not bugs:
+        print(f"error: {args.report} contains no replayable bug trace", file=sys.stderr)
+        return 1
+    if not (0 <= args.bug < len(bugs)):
+        print(f"error: --bug must be in [0, {len(bugs)})", file=sys.stderr)
+        return 1
+    result, bug = bugs[args.bug]
+    config = result.job.config
+    print(f"replaying bug #{args.bug} of {report.scenario!r} "
+          f"(job #{result.job.index}, {result.job.strategy}, seed {result.job.seed})")
+    print(f"recorded: {bug}")
+    replayed = replay_trace(report.scenario, bug.trace, config)
+    if replayed is None:
+        print("error: replay completed without reproducing the bug", file=sys.stderr)
+        return 1
+    print(f"replayed: {replayed}")
+    if replayed.kind != bug.kind or replayed.message != bug.message:
+        print("error: replay diverged from the recorded bug", file=sys.stderr)
+        return 1
+    print("replay reproduced the recorded bug deterministically")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Systematic testing of distributed-system models "
+        "(Deligiannis et al., FAST'16 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_import_option(subparser):
+        subparser.add_argument(
+            "--import",
+            dest="imports",
+            action="append",
+            metavar="MODULE_OR_FILE",
+            help="extra module (dotted name or .py path) whose @scenario / "
+            "@register_strategy registrations should be loaded first "
+            "(repeatable)",
+        )
+
+    list_scenarios = sub.add_parser("list-scenarios", help="enumerate registered scenarios")
+    list_scenarios.add_argument("--tag", help="only scenarios carrying this tag")
+    list_scenarios.add_argument("--json", action="store_true", help="machine-readable output")
+    add_import_option(list_scenarios)
+    list_scenarios.set_defaults(func=_cmd_list_scenarios)
+
+    list_strategies = sub.add_parser("list-strategies", help="enumerate registered strategies")
+    list_strategies.add_argument("--json", action="store_true", help="machine-readable output")
+    list_strategies.set_defaults(func=_cmd_list_strategies)
+
+    run = sub.add_parser("run", help="run a strategy portfolio over one scenario")
+    run.add_argument("--scenario", required=True, help="registered scenario name")
+    run.add_argument(
+        "--strategy",
+        action="append",
+        help="strategy to include (repeatable; default: random and pct)",
+    )
+    run.add_argument("--iterations", type=int, default=100,
+                     help="total execution budget per strategy (default 100)")
+    run.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
+    run.add_argument("--shards", type=int, default=None,
+                     help="seed shards per strategy (default: same as --workers)")
+    run.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
+    run.add_argument("--max-steps", type=int, default=None,
+                     help="override the scenario's per-execution step bound")
+    run.add_argument("--output", default="repro-report.json",
+                     help="JSON report path (default repro-report.json)")
+    run.add_argument("--expect-bug", action="store_true",
+                     help="exit non-zero if no bug is found")
+    add_import_option(run)
+    run.set_defaults(func=_cmd_run)
+
+    replay = sub.add_parser("replay", help="replay a bug trace from a report file")
+    replay.add_argument("report", help="JSON report written by `run`")
+    replay.add_argument("--bug", type=int, default=0,
+                        help="index of the bug to replay among the report's bugs (default 0)")
+    add_import_option(replay)
+    replay.set_defaults(func=_cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -7,15 +7,37 @@ The public surface of the framework:
   components.
 * :class:`Monitor` — safety and liveness (hot/cold) specification monitors.
 * :class:`TestingEngine`, :func:`run_test`, :class:`TestingConfig` — the
-  systematic testing entry points.
+  single-strategy systematic testing entry points.
+* :func:`scenario` / :class:`TestCase` — the declarative scenario registry
+  every case-study harness registers into.
+* :class:`Portfolio` / :func:`run_scenario` — multi-strategy, multi-process
+  portfolio runs over registered scenarios.
 * Scheduling strategies: random, priority-based (PCT), round-robin, DFS,
-  replay.
+  replay — an open set extended with :func:`register_strategy`.
 """
 
 from .config import TestingConfig
 from .coverage import CoverageTracker
 from .declarations import on_entry, on_event, on_exit
 from .engine import TestingEngine, TestReport, run_test
+from .portfolio import (
+    JobResult,
+    Portfolio,
+    PortfolioJob,
+    PortfolioReport,
+    merge_results,
+    replay_bug,
+    replay_trace,
+    run_scenario,
+)
+from .registry import (
+    TestCase,
+    all_scenarios,
+    get_scenario,
+    load_builtin_scenarios,
+    register,
+    scenario,
+)
 from .errors import (
     BugError,
     DeadlockError,
@@ -39,7 +61,9 @@ from .strategy import (
     ReplayStrategy,
     RoundRobinStrategy,
     SchedulingStrategy,
+    available_strategies,
     create_strategy,
+    register_strategy,
 )
 from .timer import StartTimer, StopTimer, TimerMachine
 from .trace import ScheduleTrace, TraceStep
@@ -55,11 +79,15 @@ __all__ = [
     "Halt",
     "HarnessDescription",
     "HarnessStatistics",
+    "JobResult",
     "LivenessViolationError",
     "Machine",
     "MachineId",
     "Monitor",
     "PCTStrategy",
+    "Portfolio",
+    "PortfolioJob",
+    "PortfolioReport",
     "RandomStrategy",
     "Receive",
     "ReplayDivergenceError",
@@ -71,6 +99,7 @@ __all__ = [
     "StartEvent",
     "StartTimer",
     "StopTimer",
+    "TestCase",
     "TestReport",
     "TestRuntime",
     "TestingConfig",
@@ -80,9 +109,20 @@ __all__ = [
     "TraceStep",
     "UnexpectedExceptionError",
     "UnhandledEventError",
+    "all_scenarios",
+    "available_strategies",
     "create_strategy",
+    "get_scenario",
+    "load_builtin_scenarios",
+    "merge_results",
     "on_entry",
     "on_event",
     "on_exit",
+    "register",
+    "register_strategy",
+    "replay_bug",
+    "replay_trace",
+    "run_scenario",
     "run_test",
+    "scenario",
 ]

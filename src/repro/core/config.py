@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -9,6 +10,8 @@ from typing import Optional
 @dataclass
 class TestingConfig:
     """Configuration of a systematic testing session.
+
+    ``__test__`` is False so pytest does not try to collect this class.
 
     Attributes:
         iterations: number of executions to explore (the paper used 100,000).
@@ -34,7 +37,12 @@ class TestingConfig:
             blocked in a receive" as a bug.
         stop_at_first_bug: stop the engine as soon as one bug is found.
         verbose: mirror the execution log to stdout while running.
+        extra: per-strategy option namespaces, keyed by strategy name
+            (e.g. ``extra["pct"] = {"priority_switches": 4}``); consumed by
+            each strategy's ``from_config``.
     """
+
+    __test__ = False  # not a pytest test class despite the name
 
     iterations: int = 100
     max_steps: int = 1000
@@ -49,6 +57,14 @@ class TestingConfig:
     verbose: bool = False
     max_bugs: Optional[int] = None
     extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "TestingConfig":
+        known = {f.name for f in dataclasses.fields(TestingConfig)}
+        return TestingConfig(**{k: v for k, v in payload.items() if k in known})
 
     def __post_init__(self) -> None:
         if self.iterations < 1:

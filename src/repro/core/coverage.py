@@ -48,6 +48,27 @@ class CoverageTracker:
     def distinct_transitions(self) -> int:
         return len(self.transitions)
 
+    def to_dict(self) -> Dict:
+        """JSON-safe representation (tuple keys become lists)."""
+        return {
+            "machines": dict(self.machines),
+            "events": dict(self.events),
+            "handled": [[*key, count] for key, count in sorted(self.handled.items())],
+            "transitions": sorted(list(t) for t in self.transitions),
+            "monitor_states": sorted(list(s) for s in self.monitor_states),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "CoverageTracker":
+        tracker = CoverageTracker()
+        tracker.machines.update(payload.get("machines", {}))
+        tracker.events.update(payload.get("events", {}))
+        for machine, state, event, count in payload.get("handled", []):
+            tracker.handled[(machine, state, event)] = count
+        tracker.transitions.update(tuple(t) for t in payload.get("transitions", []))
+        tracker.monitor_states.update(tuple(s) for s in payload.get("monitor_states", []))
+        return tracker
+
     def merge(self, other: "CoverageTracker") -> None:
         self.machines.update(other.machines)
         self.events.update(other.events)

@@ -12,6 +12,7 @@ replayable trace.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
@@ -21,7 +22,6 @@ from .coverage import CoverageTracker
 from .runtime import BugInfo, TestRuntime
 from .strategy import create_strategy
 from .strategy.base import SchedulingStrategy
-from .strategy.dfs_strategy import DFSStrategy
 from .strategy.replay import ReplayStrategy
 from .trace import ScheduleTrace
 
@@ -31,6 +31,8 @@ TestEntry = Callable[[TestRuntime], None]
 @dataclass
 class TestReport:
     """Outcome of a systematic testing session."""
+
+    __test__ = False  # not a pytest test class despite the name
 
     strategy: str
     iterations_requested: int
@@ -71,9 +73,53 @@ class TestReport:
             f"({self.num_nondeterministic_choices} nondeterministic choices): {bug.message}"
         )
 
+    # ------------------------------------------------------------------
+    # serialization: reports round-trip to JSON so that portfolio workers,
+    # result files and the replay CLI can exchange them across processes.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "iterations_requested": self.iterations_requested,
+            "iterations_executed": self.iterations_executed,
+            "bugs": [bug.to_dict() for bug in self.bugs],
+            "elapsed_seconds": self.elapsed_seconds,
+            "time_to_first_bug": self.time_to_first_bug,
+            "first_bug_iteration": self.first_bug_iteration,
+            "coverage": self.coverage.to_dict(),
+            "state_space_exhausted": self.state_space_exhausted,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "TestReport":
+        return TestReport(
+            strategy=payload["strategy"],
+            iterations_requested=payload["iterations_requested"],
+            iterations_executed=payload.get("iterations_executed", 0),
+            bugs=[BugInfo.from_dict(entry) for entry in payload.get("bugs", [])],
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            time_to_first_bug=payload.get("time_to_first_bug"),
+            first_bug_iteration=payload.get("first_bug_iteration"),
+            coverage=CoverageTracker.from_dict(payload.get("coverage", {})),
+            state_space_exhausted=payload.get("state_space_exhausted", False),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "TestReport":
+        return TestReport.from_dict(json.loads(text))
+
 
 class TestingEngine:
-    """Drives repeated controlled executions of a test harness."""
+    """Drives repeated controlled executions of a test harness.
+
+    Kept as the single-strategy building block; multi-strategy parallel runs
+    live in :class:`repro.core.portfolio.Portfolio`, which composes engines.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
 
     def __init__(
         self,
@@ -93,7 +139,7 @@ class TestingEngine:
         max_bugs = self.config.max_bugs if self.config.max_bugs is not None else float("inf")
         for iteration in range(self.config.iterations):
             self.strategy.prepare_iteration(iteration)
-            if isinstance(self.strategy, DFSStrategy) and self.strategy.exhausted:
+            if self.strategy.exhausted:
                 report.state_space_exhausted = True
                 break
             runtime = TestRuntime(self.strategy, self.config, coverage=report.coverage)

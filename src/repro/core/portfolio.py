@@ -1,0 +1,313 @@
+"""Parallel portfolio testing engine.
+
+The paper's evaluation runs a *portfolio* of schedulers over each harness:
+different strategies excel at different bugs, and independent seed shards
+multiply throughput.  :class:`Portfolio` fans one registered scenario out
+across ``strategies × seed shards`` jobs, executes them serially or on a
+``multiprocessing`` pool, and merges the per-job :class:`TestReport`s into a
+deterministic :class:`PortfolioReport`:
+
+* job enumeration order is fixed (strategy order, then shard index), and
+  results are merged in that order regardless of which worker finished first,
+  so two runs with the same seeds produce the same merged report (modulo wall
+  times);
+* the "winning" bug is the one of the lowest-numbered job that found any, not
+  the one that happened to cross the finish line first;
+* reports serialize to JSON (traces included), so a portfolio result written
+  by ``python -m repro run`` replays later via ``python -m repro replay``.
+
+Workers rebuild the scenario *by name* from :mod:`repro.core.registry`, which
+is what makes cross-process execution (and cross-process replay) possible
+without pickling closures.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from .config import TestingConfig
+from .engine import TestingEngine, TestReport
+from .registry import TestCase, get_scenario
+from .runtime import BugInfo
+from .trace import ScheduleTrace
+
+
+@dataclass(frozen=True)
+class PortfolioJob:
+    """One (scenario, strategy, seed shard) work unit."""
+
+    index: int
+    scenario: str
+    strategy: str
+    seed: int
+    config: TestingConfig
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "scenario": self.scenario,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PortfolioJob":
+        return PortfolioJob(
+            index=payload["index"],
+            scenario=payload["scenario"],
+            strategy=payload["strategy"],
+            seed=payload["seed"],
+            config=TestingConfig.from_dict(payload["config"]),
+        )
+
+
+@dataclass
+class JobResult:
+    """The report one job produced."""
+
+    job: PortfolioJob
+    report: TestReport
+
+    def to_dict(self) -> dict:
+        return {"job": self.job.to_dict(), "report": self.report.to_dict()}
+
+    @staticmethod
+    def from_dict(payload: dict) -> "JobResult":
+        return JobResult(
+            job=PortfolioJob.from_dict(payload["job"]),
+            report=TestReport.from_dict(payload["report"]),
+        )
+
+
+@dataclass
+class PortfolioReport:
+    """Deterministically merged outcome of a portfolio run."""
+
+    scenario: str
+    results: List[JobResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    num_workers: int = 1
+
+    @property
+    def bug_found(self) -> bool:
+        return any(result.report.bug_found for result in self.results)
+
+    @property
+    def winning_result(self) -> Optional[JobResult]:
+        """The lowest-numbered job that found a bug (deterministic)."""
+        for result in self.results:
+            if result.report.bug_found:
+                return result
+        return None
+
+    @property
+    def first_bug(self) -> Optional[BugInfo]:
+        winner = self.winning_result
+        return winner.report.first_bug if winner is not None else None
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(result.report.iterations_executed for result in self.results)
+
+    def summary(self) -> str:
+        strategies = sorted({result.job.strategy for result in self.results})
+        base = (
+            f"portfolio[{', '.join(strategies)}] on {self.scenario!r}: "
+            f"{len(self.results)} jobs, {self.total_iterations} executions "
+            f"in {self.elapsed_seconds:.2f}s ({self.num_workers} workers)"
+        )
+        winner = self.winning_result
+        if winner is None:
+            return f"{base} — no bug found"
+        return (
+            f"{base} — bug found by job #{winner.job.index} "
+            f"({winner.job.strategy}, seed {winner.job.seed}): "
+            f"{winner.report.first_bug.message}"
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "results": [result.to_dict() for result in self.results],
+            "elapsed_seconds": self.elapsed_seconds,
+            "num_workers": self.num_workers,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PortfolioReport":
+        return PortfolioReport(
+            scenario=payload["scenario"],
+            results=[JobResult.from_dict(entry) for entry in payload.get("results", [])],
+            elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+            num_workers=payload.get("num_workers", 1),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "PortfolioReport":
+        return PortfolioReport.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @staticmethod
+    def load(path: str) -> "PortfolioReport":
+        with open(path, "r", encoding="utf-8") as handle:
+            return PortfolioReport.from_json(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# worker entry point (top-level so it pickles under every start method)
+# ---------------------------------------------------------------------------
+def _execute_job(payload: dict) -> dict:
+    """Run one job in a (possibly separate) process; returns a JSON-safe dict."""
+    job = PortfolioJob.from_dict(payload)
+    testcase = get_scenario(job.scenario)
+    report = TestingEngine(testcase.build(), job.config).run()
+    return report.to_dict()
+
+
+def merge_results(jobs: Sequence[PortfolioJob], reports: Sequence[TestReport]) -> List[JobResult]:
+    """Pair jobs with their reports and order them by job index.
+
+    The merge is a pure function of its inputs: however the (job, report)
+    pairs arrive — serial loop, pool workers racing, results shuffled on the
+    way back — the output list is sorted by the deterministic job index.
+    """
+    if len(jobs) != len(reports):
+        raise ValueError(f"got {len(reports)} reports for {len(jobs)} jobs")
+    paired = [JobResult(job=job, report=report) for job, report in zip(jobs, reports)]
+    return sorted(paired, key=lambda result: result.job.index)
+
+
+class Portfolio:
+    """Fan one scenario out across strategies × seed shards.
+
+    Args:
+        scenario: a registered scenario name or a :class:`TestCase`.
+        strategies: strategy names to run (each must be registered).
+        iterations: *total* execution budget, split evenly across the shards
+            of each strategy (each strategy gets the full budget).
+        num_shards: seed shards per strategy; defaults to ``num_workers``.
+        num_workers: processes to run jobs on; 1 means serial in-process.
+        seed: base seed; shard ``s`` uses ``seed + s``.
+        config: template :class:`TestingConfig`; per-job copies override
+            ``strategy``/``seed``/``iterations``.  Defaults to the scenario's
+            :meth:`~repro.core.registry.TestCase.default_config`.
+    """
+
+    def __init__(
+        self,
+        scenario: "str | TestCase",
+        strategies: Sequence[str] = ("random", "pct"),
+        iterations: int = 100,
+        num_shards: Optional[int] = None,
+        num_workers: int = 1,
+        seed: int = 0,
+        config: Optional[TestingConfig] = None,
+    ) -> None:
+        self.testcase = scenario if isinstance(scenario, TestCase) else get_scenario(scenario)
+        if not strategies:
+            raise ValueError("a portfolio needs at least one strategy")
+        self.strategies = list(strategies)
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.iterations = iterations
+        self.num_workers = max(1, num_workers)
+        self.num_shards = num_shards if num_shards is not None else self.num_workers
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.seed = seed
+        self.config = config if config is not None else self.testcase.default_config()
+
+    # ------------------------------------------------------------------
+    def jobs(self) -> List[PortfolioJob]:
+        """Deterministic job enumeration: strategy order, then shard index."""
+        # A budget smaller than the shard count drops the surplus shards:
+        # every job must run at least one iteration, and the shard budgets
+        # must sum exactly to the requested total.
+        num_shards = min(self.num_shards, self.iterations)
+        base, remainder = divmod(self.iterations, num_shards)
+        jobs: List[PortfolioJob] = []
+        for strategy in self.strategies:
+            for shard in range(num_shards):
+                iterations = base + (1 if shard < remainder else 0)
+                jobs.append(
+                    PortfolioJob(
+                        index=len(jobs),
+                        scenario=self.testcase.name,
+                        strategy=strategy,
+                        seed=self.seed + shard,
+                        config=replace(
+                            self.config,
+                            strategy=strategy,
+                            seed=self.seed + shard,
+                            iterations=iterations,
+                        ),
+                    )
+                )
+        return jobs
+
+    def run(self) -> PortfolioReport:
+        """Execute every job and return the deterministically merged report."""
+        jobs = self.jobs()
+        started = time.perf_counter()
+        payloads = [job.to_dict() for job in jobs]
+        if self.num_workers == 1 or len(jobs) == 1:
+            raw = [_execute_job(payload) for payload in payloads]
+        else:
+            with multiprocessing.Pool(processes=min(self.num_workers, len(jobs))) as pool:
+                raw = pool.map(_execute_job, payloads)
+        reports = [TestReport.from_dict(entry) for entry in raw]
+        return PortfolioReport(
+            scenario=self.testcase.name,
+            results=merge_results(jobs, reports),
+            elapsed_seconds=time.perf_counter() - started,
+            num_workers=self.num_workers,
+        )
+
+
+# ---------------------------------------------------------------------------
+# convenience entry points
+# ---------------------------------------------------------------------------
+def run_scenario(
+    name: str, config: Optional[TestingConfig] = None, **config_overrides
+) -> TestReport:
+    """Run one registered scenario with a single strategy (serial)."""
+    testcase = get_scenario(name)
+    if config is not None and config_overrides:
+        raise ValueError(
+            "pass either an explicit config or keyword overrides, not both: "
+            f"got config and {sorted(config_overrides)}"
+        )
+    if config is None:
+        config = testcase.default_config(**config_overrides)
+    return TestingEngine(testcase.build(), config).run()
+
+
+def replay_bug(
+    scenario: str, bug: BugInfo, config: Optional[TestingConfig] = None
+) -> Optional[BugInfo]:
+    """Re-execute a recorded bug trace against its scenario, by name."""
+    if bug.trace is None:
+        raise ValueError("bug has no recorded trace to replay")
+    return replay_trace(scenario, bug.trace, config)
+
+
+def replay_trace(
+    scenario: str, trace: ScheduleTrace, config: Optional[TestingConfig] = None
+) -> Optional[BugInfo]:
+    """Deterministically re-execute ``trace`` against a registered scenario."""
+    testcase = get_scenario(scenario)
+    if config is None:
+        config = testcase.default_config()
+    return TestingEngine(testcase.build(), config).replay(trace)

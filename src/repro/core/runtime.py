@@ -44,16 +44,40 @@ class BugInfo:
     kind: str
     message: str
     step: int
-    exception: Optional[BaseException] = None
+    #: the live exception object; process-local, excluded from equality and
+    #: JSON serialization so reports round-trip across process boundaries.
+    exception: Optional[BaseException] = field(default=None, compare=False)
     trace: Optional[ScheduleTrace] = None
     log: List[str] = field(default_factory=list)
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.message} (at step {self.step})"
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "step": self.step,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+            "log": list(self.log),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "BugInfo":
+        trace = payload.get("trace")
+        return BugInfo(
+            kind=payload["kind"],
+            message=payload["message"],
+            step=int(payload["step"]),
+            trace=ScheduleTrace.from_dict(trace) if trace is not None else None,
+            log=list(payload.get("log", [])),
+        )
+
 
 class TestRuntime:
     """Single-execution serialized runtime under scheduler control."""
+
+    __test__ = False  # not a pytest test class despite the name
 
     def __init__(
         self,

@@ -1,9 +1,23 @@
-"""Scheduling strategies for the systematic testing engine."""
+"""Scheduling strategies for the systematic testing engine.
+
+The set of strategies is open: every strategy class self-registers with the
+:func:`register_strategy` decorator (see :mod:`repro.core.strategy.registry`),
+and :func:`create_strategy` builds whichever one a
+:class:`~repro.core.config.TestingConfig` names.  Importing this package
+registers the built-in strategies (random, pct/priority, round-robin, dfs).
+"""
 
 from __future__ import annotations
 
-from ..config import TestingConfig
 from .base import SchedulingStrategy
+from .registry import (
+    available_strategies,
+    create_strategy,
+    register_strategy,
+    strategy_class,
+)
+
+# Importing the modules below runs their @register_strategy decorators.
 from .dfs_strategy import DFSStrategy
 from .pct_strategy import PCTStrategy
 from .random_strategy import RandomStrategy
@@ -17,30 +31,8 @@ __all__ = [
     "RoundRobinStrategy",
     "DFSStrategy",
     "ReplayStrategy",
+    "available_strategies",
     "create_strategy",
+    "register_strategy",
+    "strategy_class",
 ]
-
-_STRATEGIES = {
-    "random": RandomStrategy,
-    "pct": PCTStrategy,
-    "priority": PCTStrategy,
-    "round-robin": RoundRobinStrategy,
-    "dfs": DFSStrategy,
-}
-
-
-def create_strategy(config: TestingConfig) -> SchedulingStrategy:
-    """Build the scheduling strategy described by ``config``."""
-    name = config.strategy.lower()
-    if name not in _STRATEGIES:
-        known = ", ".join(sorted(_STRATEGIES))
-        raise ValueError(f"unknown strategy {config.strategy!r}; known strategies: {known}")
-    if name in ("pct", "priority"):
-        fair_suffix_start = config.max_steps // 5 if config.pct_fair_suffix else None
-        return PCTStrategy(
-            seed=config.seed,
-            priority_switches=config.pct_priority_switches,
-            expected_length=config.max_steps,
-            fair_suffix_start=fair_suffix_start,
-        )
-    return _STRATEGIES[name](seed=config.seed)

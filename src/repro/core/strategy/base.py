@@ -14,9 +14,12 @@ execution with the iteration index, so strategies can reseed deterministically
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..ids import MachineId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..config import TestingConfig
 
 
 class SchedulingStrategy(abc.ABC):
@@ -25,8 +28,26 @@ class SchedulingStrategy(abc.ABC):
     #: human-readable name used in reports
     name = "abstract"
 
+    #: canonical registry name, set by ``@register_strategy``
+    registered_name = "abstract"
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
+        #: set to True by exhaustive strategies (e.g. DFS) once the bounded
+        #: state space has been fully explored; the engine stops early.
+        self.exhausted = False
+
+    @classmethod
+    def from_config(
+        cls, config: "TestingConfig", options: Optional[Mapping] = None
+    ) -> "SchedulingStrategy":
+        """Build an instance from a :class:`TestingConfig`.
+
+        ``options`` is the per-strategy namespace ``config.extra[<name>]``.
+        The default implementation only consumes the seed; strategies with
+        their own knobs override this.
+        """
+        return cls(seed=config.seed)
 
     def prepare_iteration(self, iteration: int) -> None:
         """Reset internal state before execution number ``iteration``."""

@@ -18,6 +18,7 @@ from typing import List, Sequence
 
 from ..ids import MachineId
 from .base import SchedulingStrategy
+from .registry import register_strategy
 
 
 @dataclass
@@ -26,6 +27,7 @@ class _ChoicePoint:
     index: int
 
 
+@register_strategy("dfs")
 class DFSStrategy(SchedulingStrategy):
     """Systematic enumeration of every bounded schedule."""
 

@@ -21,12 +21,17 @@ liveness checking needs.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from ..ids import MachineId
 from .base import SchedulingStrategy
+from .registry import register_strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import TestingConfig
 
 
+@register_strategy("pct", "priority")
 class PCTStrategy(SchedulingStrategy):
     """Priority-based scheduling with random priority change points."""
 
@@ -47,6 +52,26 @@ class PCTStrategy(SchedulingStrategy):
         self._priorities: Dict[MachineId, float] = {}
         self._change_points: List[int] = []
         self._low_priority_counter = 0
+
+    @classmethod
+    def from_config(
+        cls, config: "TestingConfig", options: Optional[Mapping] = None
+    ) -> "PCTStrategy":
+        """Options namespace ``config.extra["pct"]`` overrides the legacy
+        ``pct_*`` fields of :class:`TestingConfig`."""
+        options = dict(options or {})
+        priority_switches = int(options.get("priority_switches", config.pct_priority_switches))
+        fair_suffix = bool(options.get("fair_suffix", config.pct_fair_suffix))
+        expected_length = int(options.get("expected_length", config.max_steps))
+        fair_suffix_start = options.get(
+            "fair_suffix_start", config.max_steps // 5 if fair_suffix else None
+        )
+        return cls(
+            seed=config.seed,
+            priority_switches=priority_switches,
+            expected_length=expected_length,
+            fair_suffix_start=fair_suffix_start,
+        )
 
     def prepare_iteration(self, iteration: int) -> None:
         self._rng = random.Random(f"{self.seed}:{iteration}:pct")

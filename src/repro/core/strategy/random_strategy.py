@@ -14,8 +14,10 @@ from typing import Sequence
 
 from ..ids import MachineId
 from .base import SchedulingStrategy
+from .registry import register_strategy
 
 
+@register_strategy("random")
 class RandomStrategy(SchedulingStrategy):
     """Uniformly random scheduling and value choices."""
 

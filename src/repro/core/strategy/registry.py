@@ -1,0 +1,85 @@
+"""Open registry of scheduling strategies.
+
+Strategies self-register with :func:`register_strategy`, which replaces the
+closed ``_STRATEGIES`` dict that previously lived in
+:mod:`repro.core.strategy`.  Third-party strategies can plug into the engine,
+the :class:`~repro.core.portfolio.Portfolio` fan-out and the
+``python -m repro`` CLI simply by defining a subclass of
+:class:`~repro.core.strategy.base.SchedulingStrategy` and decorating it:
+
+.. code-block:: python
+
+    @register_strategy("my-scheduler", "my-alias")
+    class MyStrategy(SchedulingStrategy):
+        ...
+
+Per-strategy options travel in ``TestingConfig.extra[<name>]`` (a plain dict),
+which :func:`create_strategy` hands to the strategy's
+:meth:`~repro.core.strategy.base.SchedulingStrategy.from_config` constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..config import TestingConfig
+from .base import SchedulingStrategy
+
+#: name (or alias) -> strategy class
+_REGISTRY: Dict[str, Type[SchedulingStrategy]] = {}
+
+
+def register_strategy(name: str, *aliases: str):
+    """Class decorator registering a :class:`SchedulingStrategy` under ``name``.
+
+    Extra positional arguments register aliases for the same class.  Duplicate
+    names (or aliases) raise :class:`ValueError` — registrations are global,
+    so a collision is a programming error, not something to silently resolve.
+    """
+
+    def decorator(cls: Type[SchedulingStrategy]) -> Type[SchedulingStrategy]:
+        if not (isinstance(cls, type) and issubclass(cls, SchedulingStrategy)):
+            raise TypeError(f"@register_strategy expects a SchedulingStrategy subclass, got {cls!r}")
+        keys = [key.lower() for key in (name, *aliases)]
+        # Validate every name before touching the registry, so a collision on
+        # an alias cannot leave a half-registered strategy behind.
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate names in registration: {keys}")
+        for key in keys:
+            if key in _REGISTRY:
+                raise ValueError(
+                    f"strategy name {key!r} is already registered to "
+                    f"{_REGISTRY[key].__name__}"
+                )
+        for key in keys:
+            _REGISTRY[key] = cls
+        cls.registered_name = name
+        return cls
+
+    return decorator
+
+
+def available_strategies() -> List[str]:
+    """Sorted canonical names of every registered strategy (no aliases)."""
+    return sorted({cls.registered_name for cls in _REGISTRY.values()})
+
+
+def strategy_class(name: str) -> Type[SchedulingStrategy]:
+    """Look up a registered strategy class by name or alias."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown strategy {name!r}; known strategies: {known}")
+    return _REGISTRY[key]
+
+
+def create_strategy(config: TestingConfig) -> SchedulingStrategy:
+    """Build the scheduling strategy described by ``config``.
+
+    The strategy named ``config.strategy`` is instantiated through its
+    ``from_config`` classmethod, receiving the per-strategy option namespace
+    ``config.extra[<canonical name>]`` (falling back to the alias used).
+    """
+    cls = strategy_class(config.strategy)
+    options = config.extra.get(cls.registered_name, config.extra.get(config.strategy.lower(), {}))
+    return cls.from_config(config, options)

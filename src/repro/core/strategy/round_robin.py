@@ -12,8 +12,10 @@ from typing import Sequence
 
 from ..ids import MachineId
 from .base import SchedulingStrategy
+from .registry import register_strategy
 
 
+@register_strategy("round-robin")
 class RoundRobinStrategy(SchedulingStrategy):
     """Cycle through enabled machines in id order."""
 

@@ -79,17 +79,22 @@ class ScheduleTrace:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    def to_json(self, indent: int | None = None) -> str:
-        payload = {"steps": [step.to_dict() for step in self.steps], "log": self.log}
-        return json.dumps(payload, indent=indent)
+    def to_dict(self) -> dict:
+        return {"steps": [step.to_dict() for step in self.steps], "log": list(self.log)}
 
     @staticmethod
-    def from_json(text: str) -> "ScheduleTrace":
-        payload = json.loads(text)
+    def from_dict(payload: dict) -> "ScheduleTrace":
         return ScheduleTrace(
             steps=[TraceStep.from_dict(entry) for entry in payload.get("steps", [])],
             log=list(payload.get("log", [])),
         )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "ScheduleTrace":
+        return ScheduleTrace.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core import TestRuntime
+from repro.core.registry import scenario
 
 from ..server import ServerConfig
 from .machines import ServerMachine
@@ -68,3 +69,48 @@ def liveness_bug_configuration() -> ServerConfig:
 def fixed_configuration() -> ServerConfig:
     """Both bugs fixed."""
     return ServerConfig(count_duplicate_replicas=False, reset_counter_on_ack=True)
+
+
+# ---------------------------------------------------------------------------
+# registered scenarios (discoverable via `python -m repro list-scenarios`)
+# ---------------------------------------------------------------------------
+@scenario(
+    "examplesys/safety-bug",
+    tags=("examplesys", "safety", "bug"),
+    expected_bug="DuplicateReplicaCounting",
+    expected_bug_kind="safety",
+    max_steps=600,
+)
+def safety_bug_scenario():
+    """§2.2 replication system with the duplicate-replica-counting safety bug."""
+    return build_replication_test(safety_bug_configuration(), check_liveness=False)
+
+
+@scenario(
+    "examplesys/liveness-bug",
+    tags=("examplesys", "liveness", "bug"),
+    expected_bug="MissingCounterReset",
+    expected_bug_kind="liveness",
+    max_steps=600,
+)
+def liveness_bug_scenario():
+    """§2.2 replication system with the missing-counter-reset liveness bug."""
+    return build_replication_test(liveness_bug_configuration())
+
+
+@scenario(
+    "examplesys/both-bugs",
+    tags=("examplesys", "safety", "liveness", "bug"),
+    expected_bug="DuplicateReplicaCounting",
+    expected_bug_kind="safety",
+    max_steps=600,
+)
+def both_bugs_scenario():
+    """§2.2 replication system as shipped, with both bugs present."""
+    return build_replication_test(buggy_configuration())
+
+
+@scenario("examplesys/fixed", tags=("examplesys", "clean"), max_steps=600)
+def fixed_scenario():
+    """§2.2 replication system with both bugs fixed — clean-run validation."""
+    return build_replication_test(fixed_configuration())

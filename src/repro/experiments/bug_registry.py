@@ -1,4 +1,11 @@
-"""Registry of every re-introducible bug evaluated in Table 2."""
+"""Registry of every re-introducible bug evaluated in Table 2.
+
+Since the scenario-registry redesign, this module no longer wires harnesses
+up by hand: every Table 2 bug is a registered scenario (tagged ``table2``)
+in :mod:`repro.core.registry`, and :class:`BugEntry` is a thin, backward
+compatible view derived from it.  ``all_bug_entries``/``bug_entry`` keep
+their original signatures for the experiment generators and benchmarks.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core import TestRuntime
-from repro.migratingtable import ALL_BUGS, MigratingTableBug
-from repro.migratingtable.harness import build_directed_test, build_migration_test
-from repro.vnext.harness import build_failover_test
+from repro.core.registry import TestCase, all_scenarios
 
 TestFactory = Callable[[], Callable[[TestRuntime], None]]
 
@@ -25,31 +30,10 @@ class BugEntry:
     max_steps: int
     kind: str  # "liveness" or "safety"
     notional: bool = False
-
-
-def _vnext_entry() -> BugEntry:
-    return BugEntry(
-        case_study=1,
-        identifier="ExtentNodeLivenessViolation",
-        build_default_test=lambda: build_failover_test(fixed=False),
-        build_directed_test=None,
-        max_steps=3000,
-        kind="liveness",
-    )
-
-
-def _migratingtable_entry(bug: MigratingTableBug) -> BugEntry:
-    from repro.migratingtable.bugs import NOTIONAL_BUGS
-
-    return BugEntry(
-        case_study=2,
-        identifier=bug.value,
-        build_default_test=lambda bug=bug: build_migration_test([bug]),
-        build_directed_test=lambda bug=bug: build_directed_test(bug),
-        max_steps=4000,
-        kind="safety",
-        notional=bug in NOTIONAL_BUGS,
-    )
+    #: Name of the backing registered scenario (for portfolio/CLI runs).
+    scenario: str = ""
+    #: Name of the backing directed scenario, when one exists.
+    directed_scenario: Optional[str] = None
 
 
 #: The order in which the bugs appear in Table 2 of the paper.
@@ -69,11 +53,31 @@ TABLE2_ORDER = [
 ]
 
 
+def _entry_from_scenarios(default: TestCase, directed: Optional[TestCase]) -> BugEntry:
+    return BugEntry(
+        case_study=default.case_study or 0,
+        identifier=default.expected_bug,
+        build_default_test=default.build,
+        build_directed_test=directed.build if directed is not None else None,
+        max_steps=default.max_steps,
+        kind=default.expected_bug_kind or "safety",
+        notional="notional" in default.tags,
+        scenario=default.name,
+        directed_scenario=directed.name if directed is not None else None,
+    )
+
+
 def all_bug_entries() -> List[BugEntry]:
-    """Every Table 2 bug, in the paper's order."""
-    entries = {entry.identifier: entry for entry in
-               [_vnext_entry()] + [_migratingtable_entry(bug) for bug in ALL_BUGS]}
-    return [entries[name] for name in TABLE2_ORDER]
+    """Every Table 2 bug, in the paper's order, from the scenario registry."""
+    defaults = {case.expected_bug: case for case in all_scenarios(tag="table2")}
+    directed = {
+        case.expected_bug: case
+        for case in all_scenarios(tag="directed")
+        if case.expected_bug is not None
+    }
+    return [
+        _entry_from_scenarios(defaults[name], directed.get(name)) for name in TABLE2_ORDER
+    ]
 
 
 def bug_entry(identifier: str) -> BugEntry:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core import TestingConfig, TestingEngine
+from repro.core import TestingConfig, run_scenario
 
 from .bug_registry import BugEntry, all_bug_entries
 
@@ -48,7 +48,7 @@ def _hunt(entry: BugEntry, strategy: str, iterations: int, seed: int) -> Table2C
     config = TestingConfig(
         iterations=iterations, max_steps=entry.max_steps, seed=seed, strategy=strategy
     )
-    report = TestingEngine(entry.build_default_test(), config).run()
+    report = run_scenario(entry.scenario, config)
     if report.bug_found:
         return Table2Cell(
             True,
@@ -57,9 +57,9 @@ def _hunt(entry: BugEntry, strategy: str, iterations: int, seed: int) -> Table2C
             report.num_nondeterministic_choices,
             report.iterations_executed,
         )
-    if entry.build_directed_test is None:
+    if entry.directed_scenario is None:
         return Table2Cell(False, iterations=report.iterations_executed)
-    directed_report = TestingEngine(entry.build_directed_test(), config).run()
+    directed_report = run_scenario(entry.directed_scenario, config)
     if directed_report.bug_found:
         return Table2Cell(
             True,

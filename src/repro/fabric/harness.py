@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core import Machine, MachineId, TestRuntime, on_event
+from repro.core.registry import scenario
 
 from .model import (
     ClientRequest,
@@ -244,3 +245,43 @@ def build_cscale_test(skip_stage_initialization: bool = False) -> Callable[[Test
         runtime.create_machine(FabricTestDriver, stage_cls, config, 2, name="Driver")
 
     return test_entry
+
+
+# ---------------------------------------------------------------------------
+# registered scenarios (discoverable via `python -m repro list-scenarios`)
+# ---------------------------------------------------------------------------
+@scenario(
+    "fabric/promotion-before-copy",
+    tags=("fabric", "safety", "bug"),
+    expected_bug="PromotedBeforeCopy",
+    expected_bug_kind="safety",
+    max_steps=500,
+    case_study=3,
+)
+def promotion_bug_scenario():
+    """§5 primary-failure scenario on the Fabric model with the promotion bug."""
+    return build_failover_test(allow_promote_without_copy=True)
+
+
+@scenario(
+    "fabric/failover-fixed",
+    tags=("fabric", "clean"),
+    max_steps=500,
+    case_study=3,
+)
+def failover_fixed_scenario():
+    """§5 primary-failure scenario with the promotion bug fixed — clean run."""
+    return build_failover_test(allow_promote_without_copy=False)
+
+
+@scenario(
+    "fabric/cscale-initialization",
+    tags=("fabric", "safety", "bug"),
+    expected_bug="CScaleStageInitialization",
+    expected_bug_kind="safety",
+    max_steps=500,
+    case_study=3,
+)
+def cscale_bug_scenario():
+    """CScale-like stream stage whose pipeline wiring step was forgotten."""
+    return build_cscale_test(skip_stage_initialization=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, List, Optional
 
 from repro.core import TestRuntime
+from repro.core.registry import TestCase, register
 
 from ..bugs import MigratingTableBug
 from ..migrating_table import MigratingTableConfig
@@ -167,3 +168,51 @@ def build_directed_test(bug: MigratingTableBug) -> Callable[[TestRuntime], None]
     return build_migration_test(
         bugs=[bug], num_services=1, scripted_operations=directed_operations_for(bug)
     )
+
+
+# ---------------------------------------------------------------------------
+# registered scenarios: one default-harness and one directed scenario per
+# re-introducible Table 2 bug, plus the bug-free harness as a clean run.
+# ---------------------------------------------------------------------------
+def _register_scenarios() -> None:
+    from ..bugs import NOTIONAL_BUGS
+
+    for bug in MigratingTableBug:
+        notional = ("notional",) if bug in NOTIONAL_BUGS else ()
+        register(
+            TestCase(
+                name=f"migratingtable/{bug.value}",
+                build=lambda bug=bug: build_migration_test([bug]),
+                tags=("migratingtable", "safety", "bug", "table2") + notional,
+                description=f"default migration harness with the {bug.value} bug re-introduced",
+                expected_bug=bug.value,
+                expected_bug_kind="safety",
+                max_steps=4000,
+                case_study=2,
+            )
+        )
+        register(
+            TestCase(
+                name=f"migratingtable/{bug.value}/directed",
+                build=lambda bug=bug: build_directed_test(bug),
+                tags=("migratingtable", "safety", "bug", "directed") + notional,
+                description=f"directed (scripted-input) harness targeting the {bug.value} bug",
+                expected_bug=bug.value,
+                expected_bug_kind="safety",
+                max_steps=4000,
+                case_study=2,
+            )
+        )
+    register(
+        TestCase(
+            name="migratingtable/no-bugs",
+            build=lambda: build_migration_test([]),
+            tags=("migratingtable", "clean"),
+            description="default migration harness with no bug re-introduced — clean run",
+            max_steps=4000,
+            case_study=2,
+        )
+    )
+
+
+_register_scenarios()

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.core import TestRuntime
+from repro.core.registry import scenario
 
 from ..extent_manager import ExtentManagerConfig
 from .machines import TestingDriverMachine
@@ -52,3 +53,41 @@ def build_replication_scenario_test(fixed: bool = False, num_nodes: int = 3) -> 
     """Scenario 1: a single replica must be replicated to the target count."""
     config = fixed_manager_config() if fixed else buggy_manager_config()
     return build_vnext_test(TestingDriverMachine.REPLICATION, config, num_nodes)
+
+
+# ---------------------------------------------------------------------------
+# registered scenarios (discoverable via `python -m repro list-scenarios`)
+# ---------------------------------------------------------------------------
+@scenario(
+    "vnext/extent-node-liveness",
+    tags=("vnext", "liveness", "bug", "table2"),
+    expected_bug="ExtentNodeLivenessViolation",
+    expected_bug_kind="liveness",
+    max_steps=3000,
+    case_study=1,
+)
+def extent_node_liveness_scenario():
+    """§3.6 failover scenario against the shipped (stale-sync-report) manager."""
+    return build_failover_test(fixed=False)
+
+
+@scenario(
+    "vnext/failover-fixed",
+    tags=("vnext", "clean"),
+    max_steps=3000,
+    case_study=1,
+)
+def failover_fixed_scenario():
+    """§3.6 failover scenario against the fixed Extent Manager — clean run."""
+    return build_failover_test(fixed=True)
+
+
+@scenario(
+    "vnext/replication",
+    tags=("vnext", "clean"),
+    max_steps=3000,
+    case_study=1,
+)
+def replication_scenario():
+    """§3.4 scenario 1: replicate a single extent replica to the target count."""
+    return build_replication_scenario_test(fixed=False)

@@ -1,0 +1,160 @@
+"""Tests for report serialization and the parallel portfolio engine."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Portfolio,
+    PortfolioReport,
+    TestReport,
+    TestingConfig,
+    merge_results,
+    replay_trace,
+    run_scenario,
+)
+
+
+def _timing_free(payload):
+    """Strip run metadata (wall clock, pool size) so that two runs of the
+    same seeds compare equal on results alone."""
+    if isinstance(payload, dict):
+        return {
+            key: _timing_free(value)
+            for key, value in payload.items()
+            if key not in ("elapsed_seconds", "time_to_first_bug", "num_workers")
+        }
+    if isinstance(payload, list):
+        return [_timing_free(entry) for entry in payload]
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# TestReport JSON round-trip
+# ---------------------------------------------------------------------------
+def test_report_json_round_trip_equals_original():
+    report = run_scenario(
+        "examplesys/safety-bug", TestingConfig(iterations=150, max_steps=600, seed=7)
+    )
+    assert report.bug_found
+    restored = TestReport.from_json(report.to_json())
+    assert restored == report
+    assert restored.first_bug.trace.steps == report.first_bug.trace.steps
+    assert restored.coverage.summary() == report.coverage.summary()
+
+
+def test_report_round_trip_without_bug():
+    report = run_scenario(
+        "examplesys/fixed", TestingConfig(iterations=5, max_steps=200, seed=1)
+    )
+    assert not report.bug_found
+    assert TestReport.from_dict(report.to_dict()) == report
+
+
+# ---------------------------------------------------------------------------
+# portfolio
+# ---------------------------------------------------------------------------
+def test_portfolio_job_enumeration_is_deterministic():
+    portfolio = Portfolio(
+        "examplesys/safety-bug", strategies=["random", "pct"], iterations=100,
+        num_shards=4, seed=3,
+    )
+    jobs = portfolio.jobs()
+    assert [job.index for job in jobs] == list(range(8))
+    assert [job.strategy for job in jobs] == ["random"] * 4 + ["pct"] * 4
+    assert [job.seed for job in jobs] == [3, 4, 5, 6] * 2
+    # The shard budgets sum to the requested total for each strategy.
+    assert sum(job.config.iterations for job in jobs if job.strategy == "random") == 100
+    assert portfolio.jobs() == jobs
+
+
+def test_portfolio_merge_is_deterministic_for_fixed_seeds():
+    def run_once(workers):
+        return Portfolio(
+            "examplesys/safety-bug",
+            strategies=["random", "pct"],
+            iterations=120,
+            num_shards=2,
+            num_workers=workers,
+            seed=7,
+        ).run()
+
+    serial = run_once(1)
+    parallel = run_once(2)
+    assert serial.bug_found and parallel.bug_found
+    # Same seeds => identical merged results, no matter how many workers ran
+    # them or in which order they finished (only wall times may differ).
+    assert _timing_free(serial.to_dict()) == _timing_free(parallel.to_dict())
+    assert serial.winning_result.job.index == parallel.winning_result.job.index
+
+
+def test_merge_results_orders_by_job_index_regardless_of_arrival():
+    portfolio = Portfolio(
+        "examplesys/safety-bug", strategies=["random"], iterations=20, num_shards=3, seed=1
+    )
+    jobs = portfolio.jobs()
+    reports = [
+        TestReport(strategy=job.strategy, iterations_requested=job.config.iterations)
+        for job in jobs
+    ]
+    shuffled = list(zip(jobs, reports))
+    random.Random(0).shuffle(shuffled)
+    merged = merge_results([job for job, _ in shuffled], [rep for _, rep in shuffled])
+    assert [result.job.index for result in merged] == [0, 1, 2]
+
+
+def test_merge_results_length_mismatch_raises():
+    portfolio = Portfolio("examplesys/safety-bug", strategies=["random"], iterations=10)
+    jobs = portfolio.jobs()
+    with pytest.raises(ValueError, match="reports"):
+        merge_results(jobs, [])
+
+
+def test_portfolio_report_json_round_trip_and_replay():
+    report = Portfolio(
+        "examplesys/safety-bug",
+        strategies=["random", "pct"],
+        iterations=150,
+        num_workers=2,
+        seed=7,
+    ).run()
+    assert report.bug_found
+    restored = PortfolioReport.from_json(report.to_json())
+    assert restored.to_dict() == report.to_dict()
+    # The serialized trace replays deterministically against the scenario,
+    # reconstructed by name as a fresh process would.
+    bug = restored.first_bug
+    winner = restored.winning_result
+    replayed = replay_trace(restored.scenario, bug.trace, winner.job.config)
+    assert replayed is not None
+    assert replayed.kind == bug.kind
+    assert replayed.message == bug.message
+
+
+def test_portfolio_rejects_empty_strategy_list():
+    with pytest.raises(ValueError, match="at least one strategy"):
+        Portfolio("examplesys/safety-bug", strategies=[])
+
+
+def test_portfolio_budget_smaller_than_shard_count():
+    # iterations < num_shards must not produce zero-iteration jobs or
+    # overspend; surplus shards are dropped.
+    portfolio = Portfolio(
+        "examplesys/safety-bug", strategies=["random"], iterations=3, num_shards=4
+    )
+    jobs = portfolio.jobs()
+    assert len(jobs) == 3
+    assert all(job.config.iterations == 1 for job in jobs)
+    assert sum(job.config.iterations for job in jobs) == 3
+
+
+def test_portfolio_budget_splits_remainder_across_shards():
+    jobs = Portfolio(
+        "examplesys/safety-bug", strategies=["random"], iterations=10, num_shards=3
+    ).jobs()
+    assert [job.config.iterations for job in jobs] == [4, 3, 3]
+
+
+def test_run_scenario_rejects_config_plus_overrides():
+    with pytest.raises(ValueError, match="not both"):
+        run_scenario("examplesys/fixed", TestingConfig(iterations=1), seed=5)

@@ -1,0 +1,125 @@
+"""Tests for the scenario registry and the pluggable strategy registry."""
+
+import pytest
+
+from repro.core import TestingConfig, all_scenarios, get_scenario, load_builtin_scenarios
+from repro.core.registry import TestCase, register, scenario
+from repro.core.strategy import (
+    PCTStrategy,
+    RandomStrategy,
+    SchedulingStrategy,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+    strategy_class,
+)
+
+
+def _noop_build():
+    return lambda runtime: None
+
+
+# ---------------------------------------------------------------------------
+# scenario registry
+# ---------------------------------------------------------------------------
+def test_duplicate_scenario_registration_raises():
+    register(TestCase(name="test-registry/unique", build=_noop_build))
+    with pytest.raises(ValueError, match="already registered"):
+        register(TestCase(name="test-registry/unique", build=_noop_build))
+
+
+def test_scenario_decorator_registers_and_returns_factory():
+    @scenario("test-registry/decorated", tags=("smoke",), max_steps=42)
+    def decorated():
+        """One-line description."""
+        return _noop_build()
+
+    case = get_scenario("test-registry/decorated")
+    assert case is decorated.testcase
+    assert case.description == "One-line description."
+    assert case.max_steps == 42
+    assert case.default_config().max_steps == 42
+    assert callable(decorated())
+
+
+def test_unknown_scenario_error_lists_registered_names():
+    with pytest.raises(KeyError) as excinfo:
+        get_scenario("no/such/scenario")
+    assert "examplesys/safety-bug" in str(excinfo.value)
+
+
+def test_builtin_scenarios_span_all_four_case_studies():
+    load_builtin_scenarios()
+    packages = {case.name.split("/")[0] for case in all_scenarios()}
+    assert {"examplesys", "vnext", "migratingtable", "fabric"} <= packages
+    assert len(all_scenarios()) >= 10
+
+
+def test_tag_filtering():
+    table2 = all_scenarios(tag="table2")
+    assert len(table2) == 12
+    assert all("table2" in case.tags for case in table2)
+
+
+# ---------------------------------------------------------------------------
+# strategy registry
+# ---------------------------------------------------------------------------
+def test_builtin_strategies_registered():
+    assert {"random", "pct", "round-robin", "dfs"} <= set(available_strategies())
+    assert strategy_class("priority") is PCTStrategy  # alias
+
+
+def test_duplicate_strategy_registration_raises():
+    with pytest.raises(ValueError, match="already registered"):
+        register_strategy("random")(RandomStrategy)
+
+
+def test_alias_collision_leaves_registry_untouched():
+    class Colliding(RandomStrategy):
+        pass
+
+    before = available_strategies()
+    with pytest.raises(ValueError, match="already registered"):
+        register_strategy("test-registry-new-name", "pct")(Colliding)
+    # Nothing was half-registered: the primary name is absent and the
+    # advertised strategy set is unchanged.
+    assert available_strategies() == before
+    with pytest.raises(ValueError, match="unknown strategy"):
+        strategy_class("test-registry-new-name")
+
+
+def test_create_strategy_unknown_name_lists_registered_names():
+    with pytest.raises(ValueError) as excinfo:
+        create_strategy(TestingConfig(strategy="nope"))
+    message = str(excinfo.value)
+    for name in ("random", "pct", "dfs", "round-robin"):
+        assert name in message
+
+
+def test_registered_strategy_usable_through_config():
+    @register_strategy("test-registry-fifo")
+    class FifoStrategy(SchedulingStrategy):
+        name = "test-registry-fifo"
+
+        def next_machine(self, enabled, step):
+            return enabled[0]
+
+        def next_boolean(self, requester, step):
+            return False
+
+        def next_integer(self, requester, max_value, step):
+            return 0
+
+    built = create_strategy(TestingConfig(strategy="test-registry-fifo"))
+    assert isinstance(built, FifoStrategy)
+
+
+def test_pct_options_namespace_in_config_extra():
+    config = TestingConfig(
+        strategy="pct",
+        max_steps=1000,
+        extra={"pct": {"priority_switches": 7, "fair_suffix": False}},
+    )
+    built = create_strategy(config)
+    assert built.priority_switches == 7
+    assert built.fair_suffix_start is None

@@ -1,0 +1,108 @@
+"""End-to-end tests of the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_scenarios_enumerates_all_packages(capsys):
+    assert main(["list-scenarios", "--json"]) == 0
+    cases = json.loads(capsys.readouterr().out)
+    assert len(cases) >= 10
+    packages = {case["name"].split("/")[0] for case in cases}
+    assert {"examplesys", "vnext", "migratingtable", "fabric"} <= packages
+
+
+def test_list_scenarios_tag_filter(capsys):
+    assert main(["list-scenarios", "--tag", "table2", "--json"]) == 0
+    cases = json.loads(capsys.readouterr().out)
+    assert len(cases) == 12
+    assert all("table2" in case["tags"] for case in cases)
+
+
+def test_list_strategies(capsys):
+    assert main(["list-strategies", "--json"]) == 0
+    names = json.loads(capsys.readouterr().out)
+    assert {"random", "pct", "round-robin", "dfs"} <= set(names)
+
+
+def test_run_then_replay_round_trips(tmp_path, capsys):
+    report_path = str(tmp_path / "report.json")
+    code = main([
+        "run",
+        "--scenario", "examplesys/safety-bug",
+        "--strategy", "random",
+        "--strategy", "pct",
+        "--iterations", "200",
+        "--workers", "2",
+        "--seed", "7",
+        "--output", report_path,
+        "--expect-bug",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bug found" in out
+    payload = json.loads(open(report_path).read())
+    assert payload["scenario"] == "examplesys/safety-bug"
+
+    assert main(["replay", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "replay reproduced the recorded bug deterministically" in out
+
+
+def test_run_unknown_scenario_fails_cleanly(capsys):
+    assert main(["run", "--scenario", "no/such", "--iterations", "1"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_replay_missing_file_fails_cleanly(tmp_path, capsys):
+    assert main(["replay", str(tmp_path / "missing.json")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_invalid_max_steps_rejected(capsys):
+    code = main([
+        "run", "--scenario", "examplesys/fixed", "--iterations", "1",
+        "--max-steps", "0",
+    ])
+    assert code == 2
+    assert "max_steps" in capsys.readouterr().err
+
+
+def test_import_option_loads_file_registered_scenarios(tmp_path, capsys):
+    module = tmp_path / "extra_scenarios.py"
+    module.write_text(
+        "from repro import scenario\n"
+        "from repro.examplesys.harness import build_replication_test, safety_bug_configuration\n"
+        "@scenario('cli-test/extra', tags=('cli-test',), max_steps=600)\n"
+        "def extra():\n"
+        "    return build_replication_test(safety_bug_configuration(), check_liveness=False)\n"
+    )
+    assert main(["list-scenarios", "--tag", "cli-test", "--json",
+                 "--import", str(module)]) == 0
+    cases = json.loads(capsys.readouterr().out)
+    assert [case["name"] for case in cases] == ["cli-test/extra"]
+
+    report_path = str(tmp_path / "extra.json")
+    assert main(["run", "--scenario", "cli-test/extra", "--iterations", "150",
+                 "--strategy", "random", "--seed", "7",
+                 "--output", report_path, "--expect-bug",
+                 "--import", str(module)]) == 0
+    capsys.readouterr()
+    assert main(["replay", report_path, "--import", str(module)]) == 0
+    assert "replay reproduced" in capsys.readouterr().out
+
+
+def test_run_clean_scenario_with_expect_bug_fails(tmp_path, capsys):
+    code = main([
+        "run",
+        "--scenario", "examplesys/fixed",
+        "--iterations", "5",
+        "--seed", "1",
+        "--output", str(tmp_path / "clean.json"),
+        "--expect-bug",
+    ])
+    assert code == 1
+    assert "expected" in capsys.readouterr().err
