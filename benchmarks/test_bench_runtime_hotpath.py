@@ -1,0 +1,123 @@
+"""Benchmark: hot-path overhaul speedup vs. the seed runtime, with proof of
+behavioral equivalence.
+
+``BaselineRuntime`` (``repro.core._baseline``) reinstates the seed's per-step
+path — eager f-string logging, full enabled-set scans, uncached handler
+resolution — so the before/after comparison runs in one process and is
+robust to machine load.  The acceptance bar for the overhaul is a >= 3x
+random-scheduler throughput improvement with byte-identical traces and
+identical bug-detection results.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import TestingConfig
+from repro.core._baseline import BaselineRuntime
+from repro.core.engine import TestingEngine
+from repro.core.registry import get_scenario
+from repro.core.runtime import TestRuntime
+from repro.core.strategy import create_strategy
+from repro.examplesys.harness import build_replication_test, fixed_configuration
+
+#: Required speedup of the reworked runtime over the seed reference.
+REQUIRED_SPEEDUP = 3.0
+
+#: The timing assertion is enforced by default (local runs, the dedicated
+#: CI benchmark gate) but can be relaxed to report-only with
+#: ``REPRO_BENCH_ASSERT_SPEEDUP=0`` so that ordinary test-suite CI jobs on
+#: loaded shared runners cannot go red on a measurement outlier.
+ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP", "1") != "0"
+
+_CONFIG = TestingConfig(iterations=30, max_steps=400, seed=7, strategy="random")
+
+
+def _engine(runtime_cls):
+    return TestingEngine(
+        build_replication_test(fixed_configuration()), _CONFIG, runtime_cls=runtime_cls
+    )
+
+
+def _best_of(runtime_cls, rounds=5):
+    _engine(runtime_cls).run()  # warmup
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        _engine(runtime_cls).run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_bench_random_scheduler_speedup_vs_seed(benchmark):
+    import gc
+
+    # Interleave the measurements so background load hits both sides alike,
+    # and keep the GC out of the timed regions so an unlucky collection
+    # cannot skew one side of the ratio.
+    baseline_best, new_best = float("inf"), float("inf")
+    _engine(BaselineRuntime).run()
+    _engine(TestRuntime).run()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(7):
+            gc.collect()
+            started = time.perf_counter()
+            _engine(BaselineRuntime).run()
+            baseline_best = min(baseline_best, time.perf_counter() - started)
+            gc.collect()
+            started = time.perf_counter()
+            _engine(TestRuntime).run()
+            new_best = min(new_best, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    report = benchmark.pedantic(lambda: _engine(TestRuntime).run(), rounds=1, iterations=1)
+    assert report.iterations_executed == _CONFIG.iterations
+
+    speedup = baseline_best / new_best
+    print()
+    print(f"[hotpath] seed reference: {_CONFIG.iterations / baseline_best:.0f} exec/s "
+          f"({baseline_best * 1000:.1f} ms)")
+    print(f"[hotpath] reworked:       {_CONFIG.iterations / new_best:.0f} exec/s "
+          f"({new_best * 1000:.1f} ms)")
+    print(f"[hotpath] speedup:        {speedup:.2f}x (required: {REQUIRED_SPEEDUP:.1f}x)")
+    if ASSERT_SPEEDUP:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"random-scheduler throughput regressed: {speedup:.2f}x < {REQUIRED_SPEEDUP:.1f}x "
+            f"over the seed reference"
+        )
+
+
+@pytest.mark.parametrize("scenario_name", ["examplesys/safety-bug", "examplesys/fixed"])
+def test_bench_traces_and_bugs_unchanged(scenario_name):
+    """The asserted speedup changes nothing observable for the measured
+    (random) strategy: same schedules, same bugs.
+
+    This is the benchmark's self-check only; the exhaustive equivalence
+    matrix over all four strategies lives in
+    ``tests/core/test_runtime_equivalence.py``.
+    """
+    testcase = get_scenario(scenario_name)
+    config = testcase.default_config(
+        strategy="random", seed=7, iterations=5,
+        max_steps=300, stop_at_first_bug=False, max_bugs=2,
+    )
+
+    def explore(runtime_cls):
+        strategy = create_strategy(config)
+        traces, bugs = [], []
+        for iteration in range(config.iterations):
+            strategy.prepare_iteration(iteration)
+            if strategy.exhausted:
+                break
+            runtime = runtime_cls(strategy, config)
+            bug = runtime.run(testcase.build())
+            traces.append(list(runtime.trace.steps))
+            bugs.append(None if bug is None else (bug.kind, bug.message, bug.step))
+        return traces, bugs
+
+    assert explore(TestRuntime) == explore(BaselineRuntime)

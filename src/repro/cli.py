@@ -14,38 +14,17 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
-import importlib
-import importlib.util
 import json
-import os
 import sys
 from typing import List, Optional
 
 from .core.portfolio import Portfolio, PortfolioReport, replay_trace
-from .core.registry import all_scenarios, get_scenario
+from .core.registry import all_scenarios, get_scenario, import_scenario_modules
 from .core.strategy import available_strategies
 
-
-def _import_extra_modules(specs: Optional[List[str]]) -> None:
-    """Import user modules so their @scenario/@register_strategy run.
-
-    Accepts dotted module names or paths to ``.py`` files (e.g.
-    ``examples/quickstart.py``), making file-registered scenarios reachable
-    from the CLI.
-    """
-    for spec in specs or []:
-        if spec.endswith(".py"):
-            name = os.path.splitext(os.path.basename(spec))[0]
-            if name in sys.modules:  # already loaded; registration is global
-                continue
-            module_spec = importlib.util.spec_from_file_location(name, spec)
-            if module_spec is None or module_spec.loader is None:
-                raise ValueError(f"cannot import {spec!r}")
-            module = importlib.util.module_from_spec(module_spec)
-            sys.modules[name] = module
-            module_spec.loader.exec_module(module)
-        else:
-            importlib.import_module(spec)
+# Shared with the portfolio workers, which re-run the same imports inside
+# spawn-started processes (see repro.core.registry.import_scenario_modules).
+_import_extra_modules = import_scenario_modules
 
 
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
@@ -93,6 +72,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_shards=args.shards,
         seed=args.seed,
         config=config,
+        imports=tuple(args.imports or ()),
+        start_method=args.start_method,
     )
     report = portfolio.run()
     print(report.summary())
@@ -181,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     run.add_argument("--max-steps", type=int, default=None,
                      help="override the scenario's per-execution step bound")
+    run.add_argument("--start-method", default=None,
+                     choices=["fork", "spawn", "forkserver"],
+                     help="multiprocessing start method for the worker pool "
+                     "(default: platform default)")
     run.add_argument("--output", default="repro-report.json",
                      help="JSON report path (default repro-report.json)")
     run.add_argument("--expect-bug", action="store_true",

@@ -36,7 +36,13 @@ class TestingConfig:
         report_deadlocks: treat "no runnable machine while some machine is
             blocked in a receive" as a bug.
         stop_at_first_bug: stop the engine as soon as one bug is found.
-        verbose: mirror the execution log to stdout while running.
+        verbose: mirror the execution log to stdout while running.  Verbose
+            runs pay the string-formatting cost per log call; non-verbose
+            runs defer all formatting until a bug is recorded.
+        max_log_records: capacity of the runtime's deferred-log ring buffer.
+            Only the most recent entries are kept; bug reports carry this
+            tail of the execution log.  Raising it buys more bug context at
+            the price of memory per in-flight execution.
         extra: per-strategy option namespaces, keyed by strategy name
             (e.g. ``extra["pct"] = {"priority_switches": 4}``); consumed by
             each strategy's ``from_config``.
@@ -55,6 +61,7 @@ class TestingConfig:
     report_deadlocks: bool = True
     stop_at_first_bug: bool = True
     verbose: bool = False
+    max_log_records: int = 8192
     max_bugs: Optional[int] = None
     extra: dict = field(default_factory=dict)
 
@@ -73,3 +80,5 @@ class TestingConfig:
             raise ValueError("max_steps must be >= 1")
         if self.pct_priority_switches < 0:
             raise ValueError("pct_priority_switches must be >= 0")
+        if self.max_log_records < 1:
+            raise ValueError("max_log_records must be >= 1")

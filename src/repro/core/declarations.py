@@ -98,6 +98,10 @@ class StateMachineSpec:
     handlers: dict = field(default_factory=dict)
     entry_actions: dict = field(default_factory=dict)
     exit_actions: dict = field(default_factory=dict)
+    #: memoized ``(state, event_type) -> Optional[HandlerInfo]`` resolutions;
+    #: dispatch is a hot path, and resolution (wildcard states, base-class
+    #: matches) is pure, so every answer — including "no handler" — is cached.
+    _resolution_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def states(self) -> set:
@@ -122,8 +126,20 @@ class StateMachineSpec:
 
         Resolution prefers a state-specific handler for the exact event type,
         then a state-specific handler for a base type, then wildcard-state
-        handlers with the same precedence.
+        handlers with the same precedence.  Results are memoized per
+        ``(state, event_type)`` pair, so repeated dispatch of the same event
+        type in the same state costs one dict lookup.
         """
+        key = (state, event_type)
+        try:
+            return self._resolution_cache[key]
+        except KeyError:
+            pass
+        info = self._resolve_handler(state, event_type)
+        self._resolution_cache[key] = info
+        return info
+
+    def _resolve_handler(self, state: str, event_type: type) -> Optional[HandlerInfo]:
         for candidate_state in (state, ANY_STATE):
             info = self.handlers.get((candidate_state, event_type))
             if info is not None:

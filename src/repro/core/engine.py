@@ -126,10 +126,15 @@ class TestingEngine:
         test_entry: TestEntry,
         config: Optional[TestingConfig] = None,
         strategy: Optional[SchedulingStrategy] = None,
+        runtime_cls: type = TestRuntime,
     ) -> None:
         self.test_entry = test_entry
         self.config = config or TestingConfig()
         self.strategy = strategy or create_strategy(self.config)
+        #: runtime class instantiated per iteration; overridable so the
+        #: seed-reference runtime (repro.core._baseline) and the before/after
+        #: benchmarks can drive the same engine loop.
+        self.runtime_cls = runtime_cls
 
     # ------------------------------------------------------------------
     def run(self) -> TestReport:
@@ -142,7 +147,7 @@ class TestingEngine:
             if self.strategy.exhausted:
                 report.state_space_exhausted = True
                 break
-            runtime = TestRuntime(self.strategy, self.config, coverage=report.coverage)
+            runtime = self.runtime_cls(self.strategy, self.config, coverage=report.coverage)
             bug = runtime.run(self.test_entry)
             report.iterations_executed += 1
             if bug is not None:
@@ -160,7 +165,7 @@ class TestingEngine:
         """Deterministically re-execute a recorded schedule trace."""
         strategy = ReplayStrategy(trace)
         strategy.prepare_iteration(0)
-        runtime = TestRuntime(strategy, self.config)
+        runtime = self.runtime_cls(strategy, self.config)
         return runtime.run(self.test_entry)
 
 

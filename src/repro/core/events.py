@@ -76,6 +76,13 @@ class Receive:
     ``event_types`` restricts which event classes satisfy the receive; an
     optional ``predicate`` adds a further filter on the event instance.  The
     machine is only schedulable while a matching event sits in its inbox.
+
+    ``predicate`` must be a pure function of the event it is given: the
+    runtime maintains the enabled set incrementally and evaluates the
+    predicate when an event is *enqueued*, so a predicate whose answer
+    depends on mutable state outside the event could leave a machine's
+    runnability stale.  (No modeled system should need such a predicate —
+    machines share no state by construction.)
     """
 
     def __init__(self, *event_types: type, predicate=None) -> None:

@@ -25,9 +25,22 @@ class MachineId:
     type_name: str = field(compare=False)
     name: str = field(compare=False, default="")
 
-    def __str__(self) -> str:
+    def __post_init__(self) -> None:
+        # Ids are stringified on the scheduling hot path (one trace label per
+        # step), so the printable form is built once.  The slot is set with
+        # object.__setattr__ because the dataclass is frozen.
         label = self.name or self.type_name
-        return f"{label}({self.value})"
+        object.__setattr__(self, "_str", f"{label}({self.value})")
+        object.__setattr__(self, "_hash", hash(self.value))
+
+    def __str__(self) -> str:
+        return self._str
+
+    def __hash__(self) -> int:
+        # Ids key the runtime's machine table and are hashed on every
+        # scheduling step; equality compares ``value`` alone (the other
+        # fields are compare=False), so hashing ``value`` alone is consistent.
+        return self._hash
 
     def __repr__(self) -> str:
         return f"MachineId({self.value}, {self.type_name!r}, {self.name!r})"

@@ -62,6 +62,15 @@ class Machine:
         self._halted = False
         self._coroutine = None
         self._pending_receive: Optional[Receive] = None
+        #: mirror of this machine's membership in the runtime's enabled set;
+        #: maintained by the runtime and by :meth:`_enqueue`.
+        self._enabled = False
+        #: per-instance handle on the (class-cached) spec, so dispatch and
+        #: transitions skip a dict lookup per event.
+        self._spec = type(self).spec()
+        #: bound handler methods, cached by method name on first dispatch
+        #: (avoids descriptor lookup + bound-method allocation per event).
+        self._bound_handlers: dict = {}
 
     # ------------------------------------------------------------------
     # class-level metadata
@@ -104,7 +113,7 @@ class Machine:
     # ------------------------------------------------------------------
     def send(self, target: MachineId, event: Event) -> None:
         """Enqueue ``event`` in ``target``'s inbox (non-blocking)."""
-        self._runtime.send_event(target, event, sender=self._id)
+        self._runtime.send_event(target, event, self._id)
 
     def create(self, machine_cls: type, *args: Any, name: str = "", **kwargs: Any) -> MachineId:
         """Create a new machine and return its id.
@@ -168,14 +177,26 @@ class Machine:
     # logging
     # ------------------------------------------------------------------
     def log(self, message: str) -> None:
-        """Record a message in the execution log (shown in bug traces)."""
-        self._runtime.log(f"{self._id}: {message}")
+        """Record a message in the execution log (shown in bug traces).
+
+        The message is captured lazily: the final ``"<id>: <message>"``
+        string is only built if the log is materialized (bug found, or
+        ``verbose`` mirroring enabled).
+        """
+        self._runtime.log("{}: {}", self._id, message)
 
     # ------------------------------------------------------------------
     # runtime-facing helpers (not part of the user API)
     # ------------------------------------------------------------------
     def _enqueue(self, event: Event) -> None:
         self._inbox.append(event)
+        # Incremental enabled-set maintenance: a new event can only make
+        # this machine runnable (never less runnable), and only does so if
+        # the machine is not blocked in a receive the event fails to match.
+        if not self._enabled and not self._halted:
+            receive = self._pending_receive
+            if receive is None or receive.matches(event):
+                self._runtime._mark_enabled(self)
 
     def _has_work(self) -> bool:
         if self._halted:

@@ -47,6 +47,9 @@ class Monitor:
         self._current_state = type(self).initial_state
         #: Number of consecutive runtime steps spent in a hot state.
         self._hot_since_step: Optional[int] = None
+        #: per-instance handle on the (class-cached) spec so event dispatch
+        #: skips a dict lookup per notification.
+        self._spec = type(self).spec()
 
     @classmethod
     def spec(cls) -> StateMachineSpec:
@@ -73,7 +76,7 @@ class Monitor:
 
     def goto(self, state: str) -> None:
         """Transition the monitor to ``state`` (running any entry action)."""
-        spec = type(self).spec()
+        spec = self._spec
         exit_action = spec.exit_actions.get(self._current_state)
         if exit_action is not None:
             getattr(self, exit_action)()
@@ -91,15 +94,16 @@ class Monitor:
         self._runtime.check_assertion(condition, message, source=type(self).__name__)
 
     def log(self, message: str) -> None:
-        self._runtime.log(f"{type(self).__name__}: {message}")
+        # Lazy capture, like Machine.log: the final string is only built if
+        # the log is materialized (bug found or verbose mirroring).
+        self._runtime.log("{}: {}", type(self).__name__, message)
 
     # ------------------------------------------------------------------
     # hook for the runtime
     # ------------------------------------------------------------------
     def handle(self, event: Event) -> None:
         """Dispatch ``event`` to the handler registered for the current state."""
-        spec = type(self).spec()
-        info = spec.handler_for(self._current_state, type(event))
+        info = self._spec.handler_for(self._current_state, type(event))
         if info is None:
             raise FrameworkError(
                 f"monitor {type(self).__name__} has no handler for "

@@ -18,7 +18,12 @@ deterministic :class:`PortfolioReport`:
 
 Workers rebuild the scenario *by name* from :mod:`repro.core.registry`, which
 is what makes cross-process execution (and cross-process replay) possible
-without pickling closures.
+without pickling closures.  Scenarios registered by user modules (the CLI's
+``--import``) are included: every job carries its import specs, and the
+worker re-imports them before the registry lookup, so portfolios work under
+the ``spawn`` start method (the default on macOS and Windows, where a fresh
+worker interpreter knows nothing about the parent's imports) exactly as they
+do under ``fork``.
 """
 
 from __future__ import annotations
@@ -31,20 +36,26 @@ from typing import List, Optional, Sequence
 
 from .config import TestingConfig
 from .engine import TestingEngine, TestReport
-from .registry import TestCase, get_scenario
+from .registry import TestCase, get_scenario, import_scenario_modules
 from .runtime import BugInfo
 from .trace import ScheduleTrace
 
 
 @dataclass(frozen=True)
 class PortfolioJob:
-    """One (scenario, strategy, seed shard) work unit."""
+    """One (scenario, strategy, seed shard) work unit.
+
+    ``imports`` lists the modules/files whose import registered the scenario
+    (empty for builtins); workers replay them so the job is self-contained
+    under every multiprocessing start method.
+    """
 
     index: int
     scenario: str
     strategy: str
     seed: int
     config: TestingConfig
+    imports: tuple = ()
 
     def to_dict(self) -> dict:
         return {
@@ -53,6 +64,7 @@ class PortfolioJob:
             "strategy": self.strategy,
             "seed": self.seed,
             "config": self.config.to_dict(),
+            "imports": list(self.imports),
         }
 
     @staticmethod
@@ -63,6 +75,7 @@ class PortfolioJob:
             strategy=payload["strategy"],
             seed=payload["seed"],
             config=TestingConfig.from_dict(payload["config"]),
+            imports=tuple(payload.get("imports", ())),
         )
 
 
@@ -171,6 +184,10 @@ class PortfolioReport:
 def _execute_job(payload: dict) -> dict:
     """Run one job in a (possibly separate) process; returns a JSON-safe dict."""
     job = PortfolioJob.from_dict(payload)
+    # Replay the parent's --import registrations first: a spawn-started
+    # worker is a fresh interpreter that only knows the builtin scenarios,
+    # so get_scenario() on a user scenario would otherwise raise KeyError.
+    import_scenario_modules(job.imports)
     testcase = get_scenario(job.scenario)
     report = TestingEngine(testcase.build(), job.config).run()
     return report.to_dict()
@@ -203,6 +220,13 @@ class Portfolio:
         config: template :class:`TestingConfig`; per-job copies override
             ``strategy``/``seed``/``iterations``.  Defaults to the scenario's
             :meth:`~repro.core.registry.TestCase.default_config`.
+        imports: module names / ``.py`` paths whose import registers the
+            scenario (for user scenarios loaded via ``--import``); carried in
+            every job payload and re-imported by workers, which is what makes
+            the portfolio work under the ``spawn`` start method.
+        start_method: multiprocessing start method for the worker pool
+            (``"fork"``, ``"spawn"``, ``"forkserver"``); None uses the
+            platform default.
     """
 
     def __init__(
@@ -214,6 +238,8 @@ class Portfolio:
         num_workers: int = 1,
         seed: int = 0,
         config: Optional[TestingConfig] = None,
+        imports: Sequence[str] = (),
+        start_method: Optional[str] = None,
     ) -> None:
         self.testcase = scenario if isinstance(scenario, TestCase) else get_scenario(scenario)
         if not strategies:
@@ -228,6 +254,8 @@ class Portfolio:
             raise ValueError("num_shards must be >= 1")
         self.seed = seed
         self.config = config if config is not None else self.testcase.default_config()
+        self.imports = tuple(imports)
+        self.start_method = start_method
 
     # ------------------------------------------------------------------
     def jobs(self) -> List[PortfolioJob]:
@@ -253,6 +281,7 @@ class Portfolio:
                             seed=self.seed + shard,
                             iterations=iterations,
                         ),
+                        imports=self.imports,
                     )
                 )
         return jobs
@@ -265,7 +294,12 @@ class Portfolio:
         if self.num_workers == 1 or len(jobs) == 1:
             raw = [_execute_job(payload) for payload in payloads]
         else:
-            with multiprocessing.Pool(processes=min(self.num_workers, len(jobs))) as pool:
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method is not None
+                else multiprocessing
+            )
+            with context.Pool(processes=min(self.num_workers, len(jobs))) as pool:
                 raw = pool.map(_execute_job, payloads)
         reports = [TestReport.from_dict(entry) for entry in raw]
         return PortfolioReport(

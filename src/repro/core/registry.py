@@ -26,6 +26,9 @@ duplicates raise — collisions are programming errors.
 from __future__ import annotations
 
 import importlib
+import importlib.util
+import os
+import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -163,3 +166,30 @@ def load_builtin_scenarios() -> None:
     """
     for module in BUILTIN_SCENARIO_MODULES:
         importlib.import_module(module)
+
+
+def import_scenario_modules(specs: Optional[Sequence[str]]) -> None:
+    """Import user modules so their ``@scenario``/``@register_strategy`` run.
+
+    Accepts dotted module names or paths to ``.py`` files (e.g.
+    ``examples/quickstart.py``).  Used by the CLI's ``--import`` option and
+    re-run inside portfolio worker processes: under the ``spawn`` start
+    method a fresh interpreter knows nothing about the parent's imports, so
+    every job carries its import specs and replays them before looking up
+    its scenario by name.  Already-loaded modules are skipped (registration
+    is global), which makes re-importing idempotent in forked and in-process
+    workers too.
+    """
+    for spec in specs or []:
+        if spec.endswith(".py"):
+            name = os.path.splitext(os.path.basename(spec))[0]
+            if name in sys.modules:  # already loaded; registration is global
+                continue
+            module_spec = importlib.util.spec_from_file_location(name, spec)
+            if module_spec is None or module_spec.loader is None:
+                raise ValueError(f"cannot import {spec!r}")
+            module = importlib.util.module_from_spec(module_spec)
+            sys.modules[name] = module
+            module_spec.loader.exec_module(module)
+        else:
+            importlib.import_module(spec)

@@ -10,13 +10,39 @@ a buggy one) can be replayed deterministically.
 One :class:`TestRuntime` instance corresponds to one execution; the
 :class:`~repro.core.engine.TestingEngine` creates a fresh runtime per
 iteration.
+
+Hot-path design
+---------------
+
+Table 2 of the paper rests on running very large numbers of controlled
+executions, so the per-step path is engineered to do no avoidable work on
+executions that find no bug:
+
+* **Lazy structured logging.**  :meth:`TestRuntime.log` records
+  ``(template, args)`` tuples in a bounded ring buffer instead of building
+  strings eagerly.  ``repr()``/``str.format`` run only when ``verbose`` is
+  set (mirroring to stdout) or when a bug is recorded and the log has to be
+  materialized for the report — never on the no-bug fast path.
+* **Incremental enabled set.**  Machines register/deregister their
+  runnability on enqueue/dequeue/halt/receive-match, so the scheduler reads
+  a maintained, id-ordered list instead of re-scanning every machine on
+  every step.  The order (ascending machine id == creation order) is exactly
+  the order the previous full-scan implementation produced, so all
+  strategies — including replay — see identical enabled sequences and emit
+  byte-identical :class:`ScheduleTrace` steps.
+* **Cached handler resolution.**  ``spec().handler_for`` memoizes its
+  ``(state, event_type) -> handler`` resolution (see
+  :mod:`repro.core.declarations`), so dispatch stops re-walking the handler
+  table for every event.
 """
 
 from __future__ import annotations
 
-import inspect
+from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from types import GeneratorType
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .config import TestingConfig
 from .coverage import CoverageTracker
@@ -34,7 +60,47 @@ from .ids import MachineId
 from .machine import Machine, MachineHaltRequested
 from .monitors import Monitor
 from .strategy.base import SchedulingStrategy
-from .trace import ScheduleTrace
+from .trace import BOOLEAN, INTEGER, SCHEDULE, ScheduleTrace, TraceStep
+
+#: One deferred log entry: a flat ``(template, *args)`` tuple (flat rather
+#: than nested to save one allocation per record on the hot path).  Arguments
+#: are formatted (and therefore ``repr()``-ed) only when the log is
+#: materialized, so they should be values whose printable form is stable for
+#: the duration of the execution (ids, event payloads, state names).
+LogRecord = Tuple[Any, ...]
+
+
+#: Runtime-control events, dispatched outside the user handler table.
+_CONTROL_EVENTS = (Halt, StartEvent)
+
+#: ``tuple.__new__`` bound once: constructing a TraceStep through it skips
+#: the generated NamedTuple ``__new__`` (a Python-level function) while
+#: producing an identical object; used at the per-step trace-record sites.
+_new_step = tuple.__new__
+
+
+def format_log_record(record: LogRecord) -> str:
+    """Materialize one deferred log record into its final string."""
+    return record[0].format(*record[1:]) if len(record) > 1 else record[0]
+
+
+class _VerboseLogSink:
+    """Log sink that mirrors every record to stdout as it is appended.
+
+    Non-verbose runtimes use the raw ring-buffer deque as their sink, so the
+    per-record cost is a single C-level ``deque.append``; this wrapper is
+    swapped in only when ``config.verbose`` is set and pays the formatting
+    cost eagerly (that is the point of verbose mode).
+    """
+
+    __slots__ = ("_log",)
+
+    def __init__(self, log: "deque[LogRecord]") -> None:
+        self._log = log
+
+    def append(self, record: LogRecord) -> None:
+        self._log.append(record)
+        print(f"[repro] {format_log_record(record)}")
 
 
 @dataclass
@@ -54,23 +120,32 @@ class BugInfo:
         return f"[{self.kind}] {self.message} (at step {self.step})"
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "kind": self.kind,
             "message": self.message,
             "step": self.step,
             "trace": self.trace.to_dict() if self.trace is not None else None,
-            "log": list(self.log),
         }
+        # The runtime stores the same materialized log on the bug and on its
+        # replayable trace; serialize it once (on the trace) and only emit a
+        # separate "log" key when the two genuinely differ (hand-built bugs).
+        if self.trace is None or self.log != self.trace.log:
+            payload["log"] = list(self.log)
+        return payload
 
     @staticmethod
     def from_dict(payload: dict) -> "BugInfo":
         trace = payload.get("trace")
+        trace = ScheduleTrace.from_dict(trace) if trace is not None else None
+        log = payload.get("log")
+        if log is None:
+            log = trace.log if trace is not None else []
         return BugInfo(
             kind=payload["kind"],
             message=payload["message"],
             step=int(payload["step"]),
-            trace=ScheduleTrace.from_dict(trace) if trace is not None else None,
-            log=list(payload.get("log", [])),
+            trace=trace,
+            log=list(log),
         )
 
 
@@ -96,7 +171,30 @@ class TestRuntime:
         self._machines: Dict[MachineId, Machine] = {}
         self._monitors: Dict[type, Monitor] = {}
         self._next_machine_value = 0
-        self._log: List[str] = []
+        #: deferred (template, args) records in a ring buffer; bounded so
+        #: that executions that run for millions of steps cannot grow memory
+        #: without bound.  Only the most recent ``config.max_log_records``
+        #: entries survive, which is what a bug report needs (the tail
+        #: leading up to the violation).
+        self._log: deque[LogRecord] = deque(maxlen=self.config.max_log_records)
+        #: where hot-path call sites append records: the raw deque normally,
+        #: a stdout-mirroring wrapper when ``verbose`` is on.
+        self._sink = _VerboseLogSink(self._log) if self.config.verbose else self._log
+        #: machine ids currently runnable, kept sorted ascending by id value
+        #: (== creation order); maintained incrementally, never rebound.
+        #: ``_enabled_values`` mirrors it with the raw integer values so the
+        #: bisect maintenance compares C ints, not Python-level MachineId.
+        self._enabled_ids: List[MachineId] = []
+        self._enabled_values: List[int] = []
+        #: immutable snapshot handed to strategies, rebuilt lazily only on
+        #: steps where the enabled set actually changed.  A tuple, so a
+        #: strategy that tries to mutate its argument fails loudly instead
+        #: of corrupting the bookkeeping.
+        self._enabled_snapshot: tuple = ()
+        self._enabled_dirty = True
+        #: hot-path machine lookup keyed by the id's integer value: hashing
+        #: an int is C-level, hashing a MachineId calls back into Python.
+        self._machines_by_value: Dict[int, Machine] = {}
 
     # ------------------------------------------------------------------
     # registration API (used by the test entry point and by machines)
@@ -117,11 +215,14 @@ class TestRuntime:
         machine = machine_cls(self, machine_id)
         machine._start_args = (args, kwargs)
         self._machines[machine_id] = machine
+        self._machines_by_value[machine_id.value] = machine
         machine._enqueue(StartEvent())
         if self.coverage is not None:
             self.coverage.record_machine(machine_cls.__name__)
-        origin = f" by {creator}" if creator is not None else ""
-        self.log(f"created {machine_id}{origin}")
+        if creator is not None:
+            self.log("created {} by {}", machine_id, creator)
+        else:
+            self.log("created {}", machine_id)
         return machine_id
 
     def register_monitor(self, monitor_cls: type) -> Monitor:
@@ -132,7 +233,7 @@ class TestRuntime:
             raise FrameworkError(f"monitor {monitor_cls.__name__} is already registered")
         monitor = monitor_cls(self)
         self._monitors[monitor_cls] = monitor
-        self.log(f"registered monitor {monitor_cls.__name__}")
+        self.log("registered monitor {}", monitor_cls.__name__)
         return monitor
 
     # ------------------------------------------------------------------
@@ -158,6 +259,21 @@ class TestRuntime:
                 count += 1
         return count
 
+    def has_pending_event(self, target: MachineId, event_type: type, predicate=None) -> bool:
+        """Whether at least one matching event is queued at ``target``.
+
+        Early-exit variant of :meth:`count_pending_events` for callers that
+        only need existence (e.g. the modeled timer's one-outstanding-tick
+        rule), so the common hot case stops at the first match.
+        """
+        machine = self._machines_by_value.get(target.value)
+        if machine is None:
+            return False
+        for event in machine._inbox:
+            if isinstance(event, event_type) and (predicate is None or predicate(event)):
+                return True
+        return False
+
     def machines_of_type(self, machine_cls: type) -> List[Machine]:
         return [m for m in self._machines.values() if isinstance(m, machine_cls)]
 
@@ -166,36 +282,58 @@ class TestRuntime:
 
     @property
     def execution_log(self) -> List[str]:
-        return list(self._log)
+        """The execution log, materialized on demand (see :meth:`log`)."""
+        return [format_log_record(record) for record in self._log]
+
+    @property
+    def enabled_machine_ids(self) -> List[MachineId]:
+        """Snapshot of the currently runnable machine ids (ascending id)."""
+        return list(self._enabled_ids)
 
     # ------------------------------------------------------------------
     # machine-facing services
     # ------------------------------------------------------------------
     def send_event(self, target: MachineId, event: Event, sender: Optional[MachineId] = None) -> None:
+        # Hot path: one call per message sent.  Enqueue, enabled-set update
+        # and coverage bookkeeping are inlined (see Machine._enqueue for the
+        # reference form of the enabled-set rule).
         if not isinstance(event, Event):
             raise FrameworkError(f"send expects an Event instance, got {event!r}")
-        machine = self._machines.get(target)
+        machine = self._machines_by_value.get(target.value)
         if machine is None:
             raise FrameworkError(f"send to unknown machine {target}")
-        source = f"{sender} -> " if sender is not None else ""
-        if machine.is_halted:
-            self.log(f"dropped {source}{target}: {event!r} (target halted)")
+        if machine._halted:
+            if sender is not None:
+                self._sink.append(("dropped {} -> {}: {!r} (target halted)", sender, target, event))
+            else:
+                self._sink.append(("dropped {}: {!r} (target halted)", target, event))
             return
-        machine._enqueue(event)
-        self.log(f"sent {source}{target}: {event!r}")
+        machine._inbox.append(event)
+        if not machine._enabled:
+            receive = machine._pending_receive
+            if receive is None or receive.matches(event):
+                self._mark_enabled(machine)
+        if sender is not None:
+            self._sink.append(("sent {} -> {}: {!r}", sender, target, event))
+        else:
+            self._sink.append(("sent {}: {!r}", target, event))
         if self.coverage is not None:
-            self.coverage.record_event(type(event).__name__)
+            self.coverage.events[type(event).__name__] += 1
 
     def next_boolean(self, requester: MachineId) -> bool:
         value = self.strategy.next_boolean(requester, self.step_count)
-        self.trace.add_boolean_choice(value, str(requester))
+        # Inlined trace.add_boolean_choice; requester._str is the cached
+        # str(), and tuple.__new__ skips the NamedTuple __new__ wrapper.
+        self.trace.steps.append(
+            _new_step(TraceStep, (BOOLEAN, 1 if value else 0, requester._str))
+        )
         return value
 
     def next_integer(self, requester: MachineId, max_value: int) -> int:
         if max_value < 1:
             raise FrameworkError("next_integer requires max_value >= 1")
         value = self.strategy.next_integer(requester, max_value, self.step_count)
-        self.trace.add_integer_choice(value, str(requester))
+        self.trace.steps.append(_new_step(TraceStep, (INTEGER, value, requester._str)))
         return value
 
     def check_assertion(self, condition: bool, message: str, source: str) -> None:
@@ -205,19 +343,19 @@ class TestRuntime:
     def notify_monitor(self, monitor_cls: type, event: Event, source: Optional[MachineId] = None) -> None:
         monitor = self._monitors.get(monitor_cls)
         if monitor is None:
-            self.log(f"monitor {monitor_cls.__name__} not registered; dropping {event!r}")
+            self.log("monitor {} not registered; dropping {!r}", monitor_cls.__name__, event)
             return
-        self.log(f"monitor {monitor_cls.__name__} <- {event!r} (from {source})")
+        self.log("monitor {} <- {!r} (from {})", monitor_cls.__name__, event, source)
         monitor.handle(event)
 
     def transition_machine(self, machine: Machine, state: str) -> None:
-        spec = type(machine).spec()
+        spec = machine._spec
         exit_action = spec.exit_actions.get(machine._current_state)
         if exit_action is not None:
             self._run_plain_action(machine, exit_action)
         previous = machine._current_state
         machine._current_state = state
-        self.log(f"{machine.id}: {previous} -> {state}")
+        self.log("{}: {} -> {}", machine._id, previous, state)
         if self.coverage is not None:
             self.coverage.record_transition(type(machine).__name__, previous, state)
         entry_action = spec.entry_actions.get(state)
@@ -225,15 +363,51 @@ class TestRuntime:
             self._run_plain_action(machine, entry_action)
 
     def record_monitor_state(self, monitor: Monitor, state: str) -> None:
-        hot = " (hot)" if state in type(monitor).hot_states else ""
-        self.log(f"monitor {type(monitor).__name__} -> {state}{hot}")
+        if state in type(monitor).hot_states:
+            self.log("monitor {} -> {} (hot)", type(monitor).__name__, state)
+        else:
+            self.log("monitor {} -> {}", type(monitor).__name__, state)
         if self.coverage is not None:
             self.coverage.record_monitor_state(type(monitor).__name__, state)
 
-    def log(self, message: str) -> None:
-        self._log.append(message)
-        if self.config.verbose:
-            print(f"[repro] {message}")
+    def log(self, template: str, *args: Any) -> None:
+        """Record a deferred log entry (``str.format`` template + arguments).
+
+        The string is only built when the log is materialized — at bug-record
+        time or via :attr:`execution_log` — or immediately when ``verbose``
+        mirroring to stdout is enabled.  Call sites therefore pay a tuple
+        append, not a ``repr()``, on the no-bug fast path.  The buffer is a
+        ring bounded by ``config.max_log_records``.
+        """
+        self._sink.append((template, *args))
+
+    # ------------------------------------------------------------------
+    # enabled-set bookkeeping
+    # ------------------------------------------------------------------
+    # The runnability predicate (``Machine._has_work``) only changes when a
+    # machine's inbox, coroutine or halted flag changes.  Inboxes of *other*
+    # machines only ever grow during a step (sends/creates), which can only
+    # enable them — handled at enqueue time by ``Machine._enqueue``.  All
+    # disabling mutations (dequeue, receive-wait, halt, inbox clear) happen
+    # to the machine currently executing a step, so one recheck of that
+    # machine after its step keeps the set exact.
+
+    def _mark_enabled(self, machine: Machine) -> None:
+        if not machine._enabled:
+            machine._enabled = True
+            value = machine._id.value
+            index = bisect_left(self._enabled_values, value)
+            self._enabled_values.insert(index, value)
+            self._enabled_ids.insert(index, machine._id)
+            self._enabled_dirty = True
+
+    def _mark_disabled(self, machine: Machine) -> None:
+        if machine._enabled:
+            machine._enabled = False
+            index = bisect_left(self._enabled_values, machine._id.value)
+            del self._enabled_values[index]
+            del self._enabled_ids[index]
+            self._enabled_dirty = True
 
     # ------------------------------------------------------------------
     # execution
@@ -250,82 +424,173 @@ class TestRuntime:
         except MachineHaltRequested:
             raise FrameworkError("halt() called outside of a machine handler")
         if self.bug is not None:
+            # Materialize the deferred log exactly once: the bug report and
+            # the replayable trace both carry it (JSON-saved traces replay
+            # with their execution log intact).
+            materialized = self.execution_log
+            self.trace.log = materialized
             self.bug.trace = self.trace
-            self.bug.log = self.execution_log
+            self.bug.log = list(materialized)
         return self.bug
 
     def _execution_loop(self) -> None:
-        while self.step_count < self.config.max_steps:
-            enabled = [m for m in self._machines.values() if m._has_work()]
-            if not enabled:
+        # Locals for everything touched once per step: attribute loads in this
+        # loop are a measurable fraction of per-execution cost.
+        enabled_ids = self._enabled_ids
+        machines_by_value = self._machines_by_value
+        next_machine = self.strategy.next_machine
+        trace_steps_append = self.trace.steps.append
+        sink_append = self._sink.append
+        coverage = self.coverage
+        coverage_handled = coverage.handled if coverage is not None else None
+        max_steps = self.config.max_steps
+        step_count = self.step_count
+        while step_count < max_steps:
+            if not enabled_ids:
                 self.termination_reason = "quiescence"
                 return
-            enabled_ids = [m.id for m in enabled]
-            chosen_id = self.strategy.next_machine(enabled_ids, self.step_count)
-            if chosen_id not in self._machines:
+            # Strategies receive an immutable snapshot, never the live list
+            # the bookkeeping maintains; it is rebuilt only on steps where
+            # the enabled set changed.
+            if self._enabled_dirty:
+                snapshot = self._enabled_snapshot = tuple(enabled_ids)
+                self._enabled_dirty = False
+            else:
+                snapshot = self._enabled_snapshot
+            chosen_id = next_machine(snapshot, step_count)
+            machine = machines_by_value.get(chosen_id.value)
+            if machine is None:
                 raise FrameworkError(f"strategy chose unknown machine {chosen_id}")
-            self.trace.add_scheduling_choice(chosen_id.value, str(chosen_id))
-            self.step_count += 1
+            if not machine._enabled:
+                # A known machine that is currently not runnable: scheduling
+                # it would dequeue from an empty/unmatched inbox.  That is a
+                # strategy bug, not a bug in the system under test.
+                raise FrameworkError(
+                    f"strategy chose disabled machine {chosen_id}; "
+                    f"enabled machines: {[str(mid) for mid in enabled_ids]}"
+                )
+            # Inlined trace.add_scheduling_choice; _str is the cached str(),
+            # and tuple.__new__ skips the NamedTuple __new__ wrapper.
+            trace_steps_append(_new_step(TraceStep, (SCHEDULE, chosen_id.value, chosen_id._str)))
+            # step_count is mirrored back to the instance before any user
+            # code can observe it (next_boolean/next_integer read it).
+            step_count += 1
+            self.step_count = step_count
+            # One scheduled step, dispatch inlined (this block runs once per
+            # scheduling decision; the call overhead of a _execute_step
+            # helper is measurable at Table 2 execution counts).  The common
+            # case — a plain event with a cached handler resolution — stays
+            # in this frame; coroutine resumption and control events take
+            # the helper paths.
             try:
-                self._execute_step(self._machines[chosen_id])
+                if machine._coroutine is not None:
+                    self._execute_coroutine_step(machine)
+                else:
+                    event = machine._inbox.popleft()
+                    event_type = type(event)
+                    if isinstance(event, _CONTROL_EVENTS):
+                        self._dispatch_control_event(machine, event)
+                    else:
+                        spec = machine._spec
+                        try:
+                            info = spec._resolution_cache[
+                                (machine._current_state, event_type)
+                            ]
+                        except KeyError:
+                            info = spec.handler_for(machine._current_state, event_type)
+                        if info is None:
+                            self._on_unhandled_event(machine, event, event_type)
+                        else:
+                            sink_append((
+                                "{}: handling {!r} in state {!r}",
+                                machine._id, event, machine._current_state,
+                            ))
+                            if coverage_handled is not None:
+                                coverage_handled[
+                                    (type(machine).__name__, machine._current_state,
+                                     event_type.__name__)
+                                ] += 1
+                            # Bound handlers are cached per machine: a dict
+                            # hit instead of descriptor lookup + bound-method
+                            # allocation per dispatch.
+                            name = info.method_name
+                            handler = machine._bound_handlers.get(name)
+                            if handler is None:
+                                handler = getattr(machine, name)
+                                machine._bound_handlers[name] = handler
+                            result = handler(event) if info.wants_event else handler()
+                            if result is not None:
+                                self._maybe_start_coroutine(machine, result)
+            except MachineHaltRequested:
+                self._halt_machine(machine)
             except BugError as error:
                 self._record_bug(error)
                 return
+            except FrameworkError:
+                raise
+            except Exception as exc:
+                error = UnexpectedExceptionError(
+                    f"{machine.id}: unexpected {type(exc).__name__}: {exc}"
+                )
+                error.__cause__ = exc
+                self._record_bug(error)
+                return
+            # The executed machine is the only one whose runnability can
+            # have *decreased* during the step (sends to other machines only
+            # enable, handled at enqueue time), so one recheck keeps the
+            # enabled set exact.  The no-receive case of Machine._has_work is
+            # unrolled here; blocked-in-receive machines take the slow path.
+            if machine._halted:
+                has_work = False
+            elif machine._pending_receive is None:
+                has_work = machine._coroutine is not None or bool(machine._inbox)
+            else:
+                has_work = machine._has_work()
+            if has_work:
+                if not machine._enabled:
+                    self._mark_enabled(machine)
+            elif machine._enabled:
+                self._mark_disabled(machine)
         self.termination_reason = "bound"
 
-    def _execute_step(self, machine: Machine) -> None:
-        try:
-            if machine._coroutine is not None:
-                if machine._pending_receive is None:
-                    # Paused at a plain ``yield``: resume at this scheduling point.
-                    self._advance_coroutine(machine, None)
-                    return
-                event = machine._dequeue_matching(machine._pending_receive)
-                self.log(f"{machine.id}: resumed with {event!r}")
-                machine._pending_receive = None
-                self._advance_coroutine(machine, event)
-            else:
-                event = machine._inbox.popleft()
-                self._dispatch_event(machine, event)
-        except MachineHaltRequested:
-            self._halt_machine(machine)
-        except (BugError, FrameworkError):
-            raise
-        except Exception as exc:
-            raise UnexpectedExceptionError(
-                f"{machine.id}: unexpected {type(exc).__name__}: {exc}"
-            ) from exc
+    def _execute_coroutine_step(self, machine: Machine) -> None:
+        """Resume a machine whose handler is paused in a generator."""
+        if machine._pending_receive is None:
+            # Paused at a plain ``yield``: resume at this scheduling point.
+            self._advance_coroutine(machine, None)
+            return
+        event = machine._dequeue_matching(machine._pending_receive)
+        self._sink.append(("{}: resumed with {!r}", machine._id, event))
+        machine._pending_receive = None
+        self._advance_coroutine(machine, event)
 
-    def _dispatch_event(self, machine: Machine, event: Event) -> None:
+    def _dispatch_control_event(self, machine: Machine, event: Event) -> None:
+        """Handle the two runtime-control events (Halt, StartEvent)."""
         if isinstance(event, Halt):
             self._halt_machine(machine)
             return
-        if isinstance(event, StartEvent):
-            args, kwargs = getattr(machine, "_start_args", ((), {}))
-            self.log(f"{machine.id}: starting")
-            result = machine.on_start(*args, **kwargs)
+        args, kwargs = getattr(machine, "_start_args", ((), {}))
+        self._sink.append(("{}: starting", machine._id))
+        result = machine.on_start(*args, **kwargs)
+        if result is not None:
             self._maybe_start_coroutine(machine, result)
+
+    def _on_unhandled_event(self, machine: Machine, event: Event, event_type: type) -> None:
+        if machine.ignore_unhandled_events:
+            self._sink.append((
+                "{}: ignored unhandled {!r} in state {!r}",
+                machine._id, event, machine._current_state,
+            ))
             return
-        spec = type(machine).spec()
-        info = spec.handler_for(machine.current_state, type(event))
-        if info is None:
-            if machine.ignore_unhandled_events:
-                self.log(f"{machine.id}: ignored unhandled {event!r} in state {machine.current_state!r}")
-                return
-            raise UnhandledEventError(
-                f"{machine.id}: no handler for {type(event).__name__} in state {machine.current_state!r}"
-            )
-        self.log(f"{machine.id}: handling {event!r} in state {machine.current_state!r}")
-        if self.coverage is not None:
-            self.coverage.record_handled(type(machine).__name__, machine.current_state, type(event).__name__)
-        handler = getattr(machine, info.method_name)
-        result = handler(event) if info.wants_event else handler()
-        self._maybe_start_coroutine(machine, result)
+        raise UnhandledEventError(
+            f"{machine.id}: no handler for {event_type.__name__} "
+            f"in state {machine.current_state!r}"
+        )
 
     def _maybe_start_coroutine(self, machine: Machine, result: Any) -> None:
         if result is None:
             return
-        if inspect.isgenerator(result):
+        if isinstance(result, GeneratorType):
             machine._coroutine = result
             self._advance_coroutine(machine, None)
             return
@@ -342,7 +607,7 @@ class TestRuntime:
             return
         if isinstance(yielded, Receive):
             machine._pending_receive = yielded
-            self.log(f"{machine.id}: waiting for {yielded!r}")
+            self.log("{}: waiting for {!r}", machine._id, yielded)
             return
         if yielded is None:
             # A bare ``yield`` is an explicit scheduling point: the machine
@@ -362,7 +627,7 @@ class TestRuntime:
             )
 
     def _halt_machine(self, machine: Machine) -> None:
-        if machine.is_halted:
+        if machine._halted:
             return
         machine._halted = True
         if machine._coroutine is not None:
@@ -370,8 +635,9 @@ class TestRuntime:
             machine._coroutine = None
         machine._pending_receive = None
         machine._inbox.clear()
+        self._mark_disabled(machine)
         machine.on_halt()
-        self.log(f"{machine.id}: halted")
+        self.log("{}: halted", machine._id)
 
     # ------------------------------------------------------------------
     # end-of-execution checks
@@ -410,4 +676,4 @@ class TestRuntime:
             step=self.step_count,
             exception=error,
         )
-        self.log(f"BUG ({error.kind}): {error}")
+        self.log("BUG ({}): {}", error.kind, error)

@@ -54,7 +54,13 @@ class SchedulingStrategy(abc.ABC):
 
     @abc.abstractmethod
     def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
-        """Choose which enabled machine executes the next step."""
+        """Choose which enabled machine executes the next step.
+
+        ``enabled`` lists the runnable machines in ascending id (== creation)
+        order.  It is an immutable snapshot (a tuple, possibly shared across
+        consecutive steps): treat it as read-only — copy it first if you need
+        to reorder (``sorted(enabled, key=...)`` does exactly that).
+        """
 
     @abc.abstractmethod
     def next_boolean(self, requester: MachineId, step: int) -> bool:

@@ -25,16 +25,24 @@ class RandomStrategy(SchedulingStrategy):
 
     def __init__(self, seed: int = 0) -> None:
         super().__init__(seed)
-        self._rng = random.Random(seed)
+        self._reseed(random.Random(seed))
+
+    def _reseed(self, rng: random.Random) -> None:
+        self._rng = rng
+        # next_machine runs once per scheduling step; Random._randbelow is
+        # what randrange(n) delegates to (same value sequence, same RNG
+        # consumption) minus the argument-normalization wrapper.
+        self._randbelow = rng._randbelow
+        self._random = rng.random
 
     def prepare_iteration(self, iteration: int) -> None:
-        self._rng = random.Random(f"{self.seed}:{iteration}")
+        self._reseed(random.Random(f"{self.seed}:{iteration}"))
 
     def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
-        return enabled[self._rng.randrange(len(enabled))]
+        return enabled[self._randbelow(len(enabled))]
 
     def next_boolean(self, requester: MachineId, step: int) -> bool:
-        return self._rng.random() < 0.5
+        return self._random() < 0.5
 
     def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
-        return self._rng.randrange(max_value)
+        return self._randbelow(max_value)

@@ -57,29 +57,29 @@ class TimerMachine(Machine):
         self.always_fire = always_fire
         self.rounds = 0
         self.active = True
-        self.send(self.id, _TimerLoop())
+        # Loop-round plumbing allocated once: the loop event has at most one
+        # outstanding copy (it is this machine's own self-message), and the
+        # tick predicate closes over nothing that changes between rounds.
+        self._loop_event = _TimerLoop()
+        name = timer_name
+        self._tick_predicate = lambda tick: tick.timer_name == name
+        self.send(self._id, self._loop_event)
 
     @on_event(_TimerLoop)
     def run_loop(self) -> None:
         if not self.active:
             return
         self.rounds += 1
-        if not self._tick_already_pending() and (self.always_fire or self.random()):
+        # At most one outstanding tick per timer: a timeout the target has
+        # not observed yet is not duplicated (mirroring a periodic timer),
+        # which also stops unfair scheduling prefixes from flooding the
+        # target's inbox with redundant timeouts.
+        if not self._runtime.has_pending_event(
+            self.target, TimerTick, self._tick_predicate
+        ) and (self.always_fire or self.random()):
             self.send(self.target, TimerTick(self.timer_name))
         if self.max_ticks is None or self.rounds < self.max_ticks:
-            self.send(self.id, _TimerLoop())
-
-    def _tick_already_pending(self) -> bool:
-        """True when the target has not yet consumed the previous tick.
-
-        Keeping at most one outstanding tick per timer mirrors how a periodic
-        timer behaves (a timeout that has not been observed yet is not
-        duplicated) and prevents unfair scheduling prefixes from flooding the
-        target's inbox with redundant timeouts.
-        """
-        return self._runtime.count_pending_events(
-            self.target, TimerTick, lambda tick: tick.timer_name == self.timer_name
-        ) > 0
+            self.send(self._id, self._loop_event)
 
     @on_event(StopTimer)
     def stop(self) -> None:

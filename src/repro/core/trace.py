@@ -5,13 +5,23 @@ execution: which machine was scheduled at each step, and the value of every
 boolean/integer choice.  A trace uniquely determines an execution, so a bug
 trace can be replayed deterministically (see
 :class:`repro.core.strategy.replay.ReplayStrategy`).
+
+``log`` carries the (materialized) execution log of the recorded run.  It is
+populated by the runtime at bug-record time — traces of bug-free executions
+keep it empty, because their logs are never materialized — so a JSON-saved
+bug trace replayed later still shows what the original execution did.
+
+:class:`TraceStep` is a :class:`~typing.NamedTuple`: one step is appended per
+nondeterministic decision, which makes step construction part of the
+scheduling hot path, and tuple construction is several times cheaper than a
+(frozen) dataclass.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Iterator, List, NamedTuple
 
 
 SCHEDULE = "sched"
@@ -19,8 +29,7 @@ BOOLEAN = "bool"
 INTEGER = "int"
 
 
-@dataclass(frozen=True)
-class TraceStep:
+class TraceStep(NamedTuple):
     """One nondeterministic decision.
 
     ``kind`` is one of :data:`SCHEDULE`, :data:`BOOLEAN` or :data:`INTEGER`.

@@ -1,0 +1,85 @@
+"""Regression tests: portfolios with ``--import``-registered scenarios under
+the ``spawn`` start method.
+
+Spawn-started workers are fresh interpreters: they re-import ``repro`` but
+know nothing about user modules the parent imported.  The seed
+``_execute_job`` only loaded builtins, so ``get_scenario`` raised
+``KeyError`` for any user scenario on macOS/Windows (where spawn is the
+default).  Jobs now carry their import specs and workers replay them.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.portfolio import Portfolio, PortfolioJob, _execute_job
+from repro.core.registry import import_scenario_modules
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+QUICKSTART = os.path.join(REPO_ROOT, "examples", "quickstart.py")
+
+
+@pytest.fixture()
+def quickstart_scenario():
+    import_scenario_modules([QUICKSTART])
+    return "quickstart/dropped-response"
+
+
+def test_job_payload_round_trips_imports(quickstart_scenario):
+    portfolio = Portfolio(
+        quickstart_scenario,
+        strategies=["random"],
+        iterations=2,
+        imports=(QUICKSTART,),
+    )
+    job = portfolio.jobs()[0]
+    assert job.imports == (QUICKSTART,)
+    assert PortfolioJob.from_dict(job.to_dict()) == job
+
+
+def test_worker_entry_point_reimports_user_scenarios(quickstart_scenario):
+    """_execute_job resolves a user scenario from its payload alone."""
+    portfolio = Portfolio(
+        quickstart_scenario,
+        strategies=["random"],
+        iterations=2,
+        seed=5,
+        imports=(QUICKSTART,),
+    )
+    payload = portfolio.jobs()[0].to_dict()
+    report = _execute_job(payload)
+    assert report["iterations_executed"] >= 1
+
+
+def test_spawn_portfolio_runs_imported_scenario(quickstart_scenario):
+    """End to end: spawn workers re-import the scenario and match serial results."""
+    def build(num_workers):
+        return Portfolio(
+            quickstart_scenario,
+            strategies=["random"],
+            iterations=4,
+            num_shards=2,
+            num_workers=num_workers,
+            seed=3,
+            imports=(QUICKSTART,),
+            start_method="spawn" if num_workers > 1 else None,
+        )
+
+    serial = build(1).run()
+    spawned = build(2).run()
+
+    def fingerprint(report):
+        return [
+            (r.job.index, r.job.strategy, r.job.seed,
+             r.report.iterations_executed, r.report.bug_found)
+            for r in report.results
+        ]
+
+    assert fingerprint(spawned) == fingerprint(serial)
+    assert spawned.num_workers == 2
+
+
+def test_spawn_context_available():
+    """The platform must offer spawn for the regression above to be meaningful."""
+    assert "spawn" in multiprocessing.get_all_start_methods()

@@ -1,0 +1,220 @@
+"""Regression tests for the hot-path runtime overhaul.
+
+The overhaul (lazy structured logging, incremental enabled-set scheduling,
+cached handler resolution) must be invisible to every consumer: traces,
+found bugs and materialized logs have to match the seed implementation
+bit for bit.  ``repro.core._baseline.BaselineRuntime`` pins down the seed
+behavior, and these tests run both runtimes side by side.
+"""
+
+import pytest
+
+from repro.core import FrameworkError, TestingConfig, TestRuntime
+from repro.core._baseline import BaselineRuntime
+from repro.core.ids import MachineId
+from repro.core.machine import Machine
+from repro.core.registry import get_scenario
+from repro.core.strategy import create_strategy
+from repro.core.strategy.base import SchedulingStrategy
+from repro.core.declarations import on_event
+from repro.core.events import Event
+
+
+ALL_STRATEGIES = ["random", "pct", "round-robin", "dfs"]
+SCENARIOS = ["examplesys/safety-bug", "examplesys/fixed"]
+
+
+def _explore(runtime_cls, scenario_name, strategy_name, iterations=5):
+    """Run ``iterations`` executions and collect traces/bugs/logs."""
+    testcase = get_scenario(scenario_name)
+    config = testcase.default_config(
+        strategy=strategy_name, seed=11, iterations=iterations,
+        max_steps=300, stop_at_first_bug=False, max_bugs=3,
+    )
+    strategy = create_strategy(config)
+    traces, bugs, logs = [], [], []
+    for iteration in range(iterations):
+        strategy.prepare_iteration(iteration)
+        if strategy.exhausted:
+            break
+        runtime = runtime_cls(strategy, config)
+        bug = runtime.run(testcase.build())
+        traces.append(list(runtime.trace.steps))
+        bugs.append(None if bug is None else (bug.kind, bug.message, bug.step))
+        logs.append(runtime.execution_log)
+    return traces, bugs, logs
+
+
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+@pytest.mark.parametrize("scenario_name", SCENARIOS)
+def test_traces_identical_to_seed_implementation(scenario_name, strategy_name):
+    """Enabled-set bookkeeping yields byte-identical schedules for every strategy."""
+    new_traces, new_bugs, new_logs = _explore(TestRuntime, scenario_name, strategy_name)
+    old_traces, old_bugs, old_logs = _explore(BaselineRuntime, scenario_name, strategy_name)
+    assert new_traces == old_traces
+    assert new_bugs == old_bugs
+    assert new_logs == old_logs
+
+
+def test_replay_trace_identical_across_runtimes():
+    """A bug trace recorded by the new runtime replays on the baseline too."""
+    testcase = get_scenario("examplesys/safety-bug")
+    config = testcase.default_config(strategy="random", seed=7, iterations=50)
+    strategy = create_strategy(config)
+    bug = None
+    for iteration in range(config.iterations):
+        strategy.prepare_iteration(iteration)
+        runtime = TestRuntime(strategy, config)
+        bug = runtime.run(testcase.build())
+        if bug is not None:
+            break
+    assert bug is not None, "the safety-bug scenario should fail within 50 iterations"
+
+    from repro.core.strategy.replay import ReplayStrategy
+
+    for runtime_cls in (TestRuntime, BaselineRuntime):
+        replay = ReplayStrategy(bug.trace)
+        replay.prepare_iteration(0)
+        replayed = runtime_cls(replay, config).run(testcase.build())
+        assert replayed is not None
+        assert (replayed.kind, replayed.message) == (bug.kind, bug.message)
+
+
+# ---------------------------------------------------------------------------
+# lazy-log semantics
+# ---------------------------------------------------------------------------
+class _ReprCounting(Event):
+    calls = 0
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __repr__(self):
+        type(self).calls += 1
+        return f"_ReprCounting({self.payload})"
+
+
+class _Echo(Machine):
+    @on_event(_ReprCounting)
+    def on_msg(self, event):
+        pass
+
+
+class _Sender(Machine):
+    def on_start(self, peer):
+        for index in range(5):
+            self.send(peer, _ReprCounting(index))
+
+
+def _entry(runtime):
+    peer = runtime.create_machine(_Echo)
+    runtime.create_machine(_Sender, peer)
+
+
+def test_repr_never_runs_on_bug_free_fast_path():
+    _ReprCounting.calls = 0
+    config = TestingConfig(strategy="round-robin", seed=0, max_steps=100)
+    strategy = create_strategy(config)
+    strategy.prepare_iteration(0)
+    runtime = TestRuntime(strategy, config)
+    assert runtime.run(_entry) is None
+    assert _ReprCounting.calls == 0, "repr() must not run when no bug is found"
+    # Materializing on demand formats the deferred records.
+    log = runtime.execution_log
+    assert _ReprCounting.calls > 0
+    assert any("_ReprCounting" in line for line in log)
+
+
+def test_log_ring_buffer_is_bounded():
+    config = TestingConfig(strategy="round-robin", seed=0, max_steps=100, max_log_records=4)
+    strategy = create_strategy(config)
+    strategy.prepare_iteration(0)
+    runtime = TestRuntime(strategy, config)
+    runtime.run(_entry)
+    assert len(runtime.execution_log) == 4  # only the tail survives
+
+
+def test_trace_log_populated_at_bug_record_time():
+    testcase = get_scenario("examplesys/safety-bug")
+    config = testcase.default_config(strategy="random", seed=7, iterations=50)
+    strategy = create_strategy(config)
+    for iteration in range(config.iterations):
+        strategy.prepare_iteration(iteration)
+        runtime = TestRuntime(strategy, config)
+        bug = runtime.run(testcase.build())
+        if bug is None:
+            # Bug-free executions never materialize their log.
+            assert runtime.trace.log == []
+            continue
+        assert bug.trace.log == bug.log
+        assert bug.log, "bug reports carry the materialized execution log"
+        # The serialized trace round-trips with its log.
+        from repro.core.trace import ScheduleTrace
+
+        loaded = ScheduleTrace.from_json(bug.trace.to_json())
+        assert loaded.log == bug.log
+        return
+    pytest.fail("the safety-bug scenario should fail within 50 iterations")
+
+
+# ---------------------------------------------------------------------------
+# strategy-misbehavior validation
+# ---------------------------------------------------------------------------
+class _MisbehavingStrategy(SchedulingStrategy):
+    """Returns a known-but-disabled machine after the warm-up steps."""
+
+    name = "misbehaving"
+
+    def __init__(self, victim_factory):
+        super().__init__(seed=0)
+        self._victim_factory = victim_factory
+
+    def next_machine(self, enabled, step):
+        victim = self._victim_factory(enabled)
+        return victim if victim is not None else enabled[0]
+
+    def next_boolean(self, requester, step):
+        return False
+
+    def next_integer(self, requester, max_value, step):
+        return 0
+
+
+class _Idle(Machine):
+    def on_start(self):
+        pass
+
+
+def _two_idle_machines(runtime):
+    runtime.create_machine(_Idle)
+    runtime.create_machine(_Idle)
+
+
+def test_choosing_disabled_machine_is_framework_error_not_bug():
+    """A strategy bug must not be reported as a bug in the system under test."""
+    state = {"drained": None}
+
+    def pick(enabled):
+        # Once a machine has drained its inbox it drops out of the enabled
+        # set; schedule it again anyway.
+        if state["drained"] is not None and all(
+            mid.value != state["drained"] for mid in enabled
+        ):
+            return MachineId(state["drained"], "_Idle")
+        state["drained"] = enabled[0].value
+        return enabled[0]
+
+    runtime = TestRuntime(_MisbehavingStrategy(pick), TestingConfig(max_steps=10))
+    with pytest.raises(FrameworkError, match="disabled machine"):
+        runtime.run(_two_idle_machines)
+    assert runtime.bug is None, "framework errors are not bugs in the tested system"
+
+
+def test_choosing_unknown_machine_is_framework_error():
+    def pick(enabled):
+        return MachineId(999, "Ghost")
+
+    runtime = TestRuntime(_MisbehavingStrategy(pick), TestingConfig(max_steps=10))
+    with pytest.raises(FrameworkError, match="unknown machine"):
+        runtime.run(_two_idle_machines)
+    assert runtime.bug is None
