@@ -23,6 +23,7 @@ from .core import (
     Portfolio,
     PortfolioReport,
     Receive,
+    Shrinker,
     TestCase,
     TestReport,
     TestRuntime,
@@ -51,6 +52,7 @@ __all__ = [
     "Portfolio",
     "PortfolioReport",
     "Receive",
+    "Shrinker",
     "TestCase",
     "TestReport",
     "TestRuntime",

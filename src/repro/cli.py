@@ -6,18 +6,25 @@ Subcommands:
   expected bug), optionally filtered by ``--tag``.
 * ``list-strategies`` — enumerate every registered scheduling strategy.
 * ``run`` — fan a scenario out across a strategy portfolio on a worker pool
-  and write the merged report (traces included) to a JSON file.
+  and write the merged report (traces included) to a JSON file; ``--shrink``
+  minimizes the winning bug trace before the report is written.
 * ``replay`` — load a report file and deterministically re-execute its
-  recorded bug trace against the scenario it names.
+  recorded bug trace against the scenario it names (``--shrunk`` replays the
+  minimized trace instead).
+* ``shrink`` — load a report file, delta-debug its bug trace down to a
+  minimal counterexample, and write the report back with ``shrunk_trace``
+  and shrink statistics attached.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
 
+from .core.engine import TestingEngine
 from .core.portfolio import Portfolio, PortfolioReport, replay_trace
 from .core.registry import all_scenarios, get_scenario, import_scenario_modules
 from .core.strategy import available_strategies
@@ -74,6 +81,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config=config,
         imports=tuple(args.imports or ()),
         start_method=args.start_method,
+        shrink=args.shrink,
     )
     report = portfolio.run()
     print(report.summary())
@@ -86,35 +94,102 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_replay(args: argparse.Namespace) -> int:
-    _import_extra_modules(args.imports)
-    report = PortfolioReport.load(args.report)
-    bugs = [
+def _replayable_bugs(report: PortfolioReport):
+    """Every (job result, bug) pair of the report that carries a trace."""
+    return [
         (result, bug)
         for result in report.results
         for bug in result.report.bugs
         if bug.trace is not None
     ]
+
+
+def _select_bug(report: PortfolioReport, path: str, index: int):
+    """Pick the ``--bug``-selected pair, or print an error and return None."""
+    bugs = _replayable_bugs(report)
     if not bugs:
-        print(f"error: {args.report} contains no replayable bug trace", file=sys.stderr)
-        return 1
-    if not (0 <= args.bug < len(bugs)):
+        print(f"error: {path} contains no replayable bug trace", file=sys.stderr)
+        return None
+    if not (0 <= index < len(bugs)):
         print(f"error: --bug must be in [0, {len(bugs)})", file=sys.stderr)
+        return None
+    return bugs[index]
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    _import_extra_modules(args.imports)
+    report = PortfolioReport.load(args.report)
+    selected = _select_bug(report, args.report, args.bug)
+    if selected is None:
         return 1
-    result, bug = bugs[args.bug]
+    result, bug = selected
     config = result.job.config
-    print(f"replaying bug #{args.bug} of {report.scenario!r} "
+    if args.shrunk:
+        if bug.shrunk_trace is None:
+            print(f"error: bug #{args.bug} has no shrunk trace; run "
+                  f"`python -m repro shrink {args.report}` first", file=sys.stderr)
+            return 1
+        trace = bug.shrunk_trace
+    else:
+        trace = bug.trace
+    which = "shrunk trace of bug" if args.shrunk else "bug"
+    print(f"replaying {which} #{args.bug} of {report.scenario!r} "
           f"(job #{result.job.index}, {result.job.strategy}, seed {result.job.seed})")
     print(f"recorded: {bug}")
-    replayed = replay_trace(report.scenario, bug.trace, config)
+    replayed = replay_trace(report.scenario, trace, config)
     if replayed is None:
         print("error: replay completed without reproducing the bug", file=sys.stderr)
         return 1
     print(f"replayed: {replayed}")
+    if args.shrunk:
+        # The shrunk execution is shorter than the recorded one, so messages
+        # (step counts, per-machine tallies) legitimately differ; the bug
+        # *class* must match.
+        if replayed.kind != bug.kind:
+            print("error: shrunk-trace replay found a different bug class", file=sys.stderr)
+            return 1
+        print("shrunk trace reproduced the recorded bug class deterministically")
+        return 0
     if replayed.kind != bug.kind or replayed.message != bug.message:
         print("error: replay diverged from the recorded bug", file=sys.stderr)
         return 1
     print("replay reproduced the recorded bug deterministically")
+    return 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    _import_extra_modules(args.imports)
+    report = PortfolioReport.load(args.report)
+    selected = _select_bug(report, args.report, args.bug)
+    if selected is None:
+        return 1
+    result, bug = selected
+    testcase = get_scenario(report.scenario)
+    config = result.job.config
+    if args.max_replays is not None:
+        config = dataclasses.replace(config, shrink_max_replays=args.max_replays)
+    print(f"shrinking bug #{args.bug} of {report.scenario!r} "
+          f"(job #{result.job.index}, {result.job.strategy}, seed {result.job.seed})")
+    print(f"recorded: {bug}")
+    engine = TestingEngine(testcase.build(), config)
+    shrink_result = engine.shrink_bug(bug)
+    stats = shrink_result.stats
+    print(stats.summary())
+    print(f"minimal: {shrink_result.bug}")
+    # Sanity: the minimized trace must replay in *strict* mode to the same
+    # bug class (it was recorded from an actual execution, so it does unless
+    # the program under test is nondeterministic outside runtime control).
+    replayed = engine.replay(shrink_result.trace)
+    if replayed is None or replayed.kind != bug.kind:
+        print("error: shrunk trace does not replay to the same bug class", file=sys.stderr)
+        return 1
+    output = args.output or args.report
+    report.save(output)
+    print(f"report with shrunk trace written to {output}")
+    if args.expect_reduction is not None and stats.reduction < args.expect_reduction:
+        print(f"error: expected a >= {args.expect_reduction:g}x reduction, "
+              f"got {stats.reduction:.1f}x", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -170,6 +245,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="JSON report path (default repro-report.json)")
     run.add_argument("--expect-bug", action="store_true",
                      help="exit non-zero if no bug is found")
+    run.add_argument("--shrink", action="store_true",
+                     help="minimize the winning bug trace before writing the report")
     add_import_option(run)
     run.set_defaults(func=_cmd_run)
 
@@ -177,8 +254,25 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("report", help="JSON report written by `run`")
     replay.add_argument("--bug", type=int, default=0,
                         help="index of the bug to replay among the report's bugs (default 0)")
+    replay.add_argument("--shrunk", action="store_true",
+                        help="replay the minimized trace instead of the recorded one")
     add_import_option(replay)
     replay.set_defaults(func=_cmd_replay)
+
+    shrink = sub.add_parser(
+        "shrink", help="minimize a bug trace in a report file (delta debugging)"
+    )
+    shrink.add_argument("report", help="JSON report written by `run`")
+    shrink.add_argument("--bug", type=int, default=0,
+                        help="index of the bug to shrink among the report's bugs (default 0)")
+    shrink.add_argument("--output", default=None,
+                        help="where to write the updated report (default: in place)")
+    shrink.add_argument("--max-replays", type=int, default=None,
+                        help="candidate-replay budget (default: config's shrink_max_replays)")
+    shrink.add_argument("--expect-reduction", type=float, default=None, metavar="X",
+                        help="exit non-zero unless the trace shrank by at least X times")
+    add_import_option(shrink)
+    shrink.set_defaults(func=_cmd_shrink)
     return parser
 
 

@@ -53,7 +53,8 @@ from .ids import MachineId
 from .machine import Machine
 from .monitors import Monitor
 from .runtime import BugInfo, TestRuntime
-from .statistics import HarnessDescription, HarnessStatistics
+from .shrink import Shrinker, ShrinkResult, ShrinkStats, shrink_bug
+from .statistics import HarnessDescription, HarnessStatistics, aggregate_statistics
 from .strategy import (
     DFSStrategy,
     PCTStrategy,
@@ -96,6 +97,9 @@ __all__ = [
     "SafetyViolationError",
     "ScheduleTrace",
     "SchedulingStrategy",
+    "ShrinkResult",
+    "ShrinkStats",
+    "Shrinker",
     "StartEvent",
     "StartTimer",
     "StopTimer",
@@ -109,6 +113,7 @@ __all__ = [
     "TraceStep",
     "UnexpectedExceptionError",
     "UnhandledEventError",
+    "aggregate_statistics",
     "all_scenarios",
     "available_strategies",
     "create_strategy",
@@ -125,4 +130,5 @@ __all__ = [
     "run_scenario",
     "run_test",
     "scenario",
+    "shrink_bug",
 ]

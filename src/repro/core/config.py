@@ -43,6 +43,10 @@ class TestingConfig:
             Only the most recent entries are kept; bug reports carry this
             tail of the execution log.  Raising it buys more bug context at
             the price of memory per in-flight execution.
+        shrink_max_replays: candidate-replay budget of the trace shrinker
+            (:mod:`repro.core.shrink`); each candidate costs one controlled
+            execution, so this bounds the worst-case cost of ``shrink=True``
+            runs and of ``python -m repro shrink``.
         extra: per-strategy option namespaces, keyed by strategy name
             (e.g. ``extra["pct"] = {"priority_switches": 4}``); consumed by
             each strategy's ``from_config``.
@@ -63,6 +67,7 @@ class TestingConfig:
     verbose: bool = False
     max_log_records: int = 8192
     max_bugs: Optional[int] = None
+    shrink_max_replays: int = 500
     extra: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -82,3 +87,5 @@ class TestingConfig:
             raise ValueError("pct_priority_switches must be >= 0")
         if self.max_log_records < 1:
             raise ValueError("max_log_records must be >= 1")
+        if self.shrink_max_replays < 1:
+            raise ValueError("shrink_max_replays must be >= 1")

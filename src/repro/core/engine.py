@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 from .config import TestingConfig
 from .coverage import CoverageTracker
 from .runtime import BugInfo, TestRuntime
+from .shrink import Shrinker, ShrinkResult
 from .strategy import create_strategy
 from .strategy.base import SchedulingStrategy
 from .strategy.replay import ReplayStrategy
@@ -127,6 +128,7 @@ class TestingEngine:
         config: Optional[TestingConfig] = None,
         strategy: Optional[SchedulingStrategy] = None,
         runtime_cls: type = TestRuntime,
+        shrink: bool = False,
     ) -> None:
         self.test_entry = test_entry
         self.config = config or TestingConfig()
@@ -135,6 +137,9 @@ class TestingEngine:
         #: seed-reference runtime (repro.core._baseline) and the before/after
         #: benchmarks can drive the same engine loop.
         self.runtime_cls = runtime_cls
+        #: when True, every bug found by :meth:`run` is shrunk before the
+        #: report is returned (``bug.shrunk_trace`` / ``bug.shrink``).
+        self.shrink = shrink
 
     # ------------------------------------------------------------------
     def run(self) -> TestReport:
@@ -157,22 +162,37 @@ class TestingEngine:
                     report.first_bug_iteration = iteration
                 if self.config.stop_at_first_bug or len(report.bugs) >= max_bugs:
                     break
+        if self.shrink and report.bugs:
+            for bug in report.bugs:
+                if bug.trace is not None:
+                    self.shrink_bug(bug)
         report.elapsed_seconds = time.perf_counter() - started
         return report
 
     # ------------------------------------------------------------------
-    def replay(self, trace: ScheduleTrace) -> Optional[BugInfo]:
-        """Deterministically re-execute a recorded schedule trace."""
-        strategy = ReplayStrategy(trace)
+    def replay(self, trace: ScheduleTrace, tolerant: bool = False) -> Optional[BugInfo]:
+        """Deterministically re-execute a recorded schedule trace.
+
+        ``tolerant`` selects the guided-replay mode: instead of raising on a
+        divergence, the execution falls back to a deterministic default
+        schedule (see :class:`~repro.core.strategy.replay.ReplayStrategy`).
+        """
+        strategy = ReplayStrategy(trace, tolerant=tolerant)
         strategy.prepare_iteration(0)
         runtime = self.runtime_cls(strategy, self.config)
         return runtime.run(self.test_entry)
+
+    def shrink_bug(self, bug: BugInfo) -> ShrinkResult:
+        """Minimize ``bug``'s trace and attach ``shrunk_trace``/``shrink``."""
+        shrinker = Shrinker(self.test_entry, self.config, runtime_cls=self.runtime_cls)
+        return shrinker.shrink_bug(bug)
 
 
 def run_test(
     test_entry: TestEntry,
     config: Optional[TestingConfig] = None,
     strategy: Optional[SchedulingStrategy] = None,
+    shrink: bool = False,
 ) -> TestReport:
     """Convenience wrapper: build an engine, run it, return the report."""
-    return TestingEngine(test_entry, config, strategy).run()
+    return TestingEngine(test_entry, config, strategy, shrink=shrink).run()

@@ -35,9 +35,11 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from .config import TestingConfig
+from .coverage import CoverageTracker
 from .engine import TestingEngine, TestReport
 from .registry import TestCase, get_scenario, import_scenario_modules
 from .runtime import BugInfo
+from .shrink import ShrinkResult
 from .trace import ScheduleTrace
 
 
@@ -127,6 +129,14 @@ class PortfolioReport:
     def total_iterations(self) -> int:
         return sum(result.report.iterations_executed for result in self.results)
 
+    @property
+    def merged_coverage(self) -> CoverageTracker:
+        """Coverage aggregated across every worker's report (job-index order)."""
+        merged = CoverageTracker()
+        for result in self.results:
+            merged.merge(result.report.coverage)
+        return merged
+
     def summary(self) -> str:
         strategies = sorted({result.job.strategy for result in self.results})
         base = (
@@ -137,10 +147,12 @@ class PortfolioReport:
         winner = self.winning_result
         if winner is None:
             return f"{base} — no bug found"
+        bug = winner.report.first_bug
+        shrink_note = f" [{bug.shrink.summary()}]" if bug.shrink is not None else ""
         return (
             f"{base} — bug found by job #{winner.job.index} "
             f"({winner.job.strategy}, seed {winner.job.seed}): "
-            f"{winner.report.first_bug.message}"
+            f"{bug.message}{shrink_note}"
         )
 
     # ------------------------------------------------------------------
@@ -227,6 +239,10 @@ class Portfolio:
         start_method: multiprocessing start method for the worker pool
             (``"fork"``, ``"spawn"``, ``"forkserver"``); None uses the
             platform default.
+        shrink: when True, the winning bug trace (lowest-numbered job that
+            found one) is minimized with :class:`~repro.core.shrink.Shrinker`
+            before the reports are merged, so the saved report already
+            carries ``shrunk_trace`` and its shrink statistics.
     """
 
     def __init__(
@@ -240,6 +256,7 @@ class Portfolio:
         config: Optional[TestingConfig] = None,
         imports: Sequence[str] = (),
         start_method: Optional[str] = None,
+        shrink: bool = False,
     ) -> None:
         self.testcase = scenario if isinstance(scenario, TestCase) else get_scenario(scenario)
         if not strategies:
@@ -256,6 +273,7 @@ class Portfolio:
         self.config = config if config is not None else self.testcase.default_config()
         self.imports = tuple(imports)
         self.start_method = start_method
+        self.shrink = shrink
 
     # ------------------------------------------------------------------
     def jobs(self) -> List[PortfolioJob]:
@@ -302,12 +320,31 @@ class Portfolio:
             with context.Pool(processes=min(self.num_workers, len(jobs))) as pool:
                 raw = pool.map(_execute_job, payloads)
         reports = [TestReport.from_dict(entry) for entry in raw]
+        if self.shrink:
+            self._shrink_winning_bug(jobs, reports)
         return PortfolioReport(
             scenario=self.testcase.name,
             results=merge_results(jobs, reports),
             elapsed_seconds=time.perf_counter() - started,
             num_workers=self.num_workers,
         )
+
+    def _shrink_winning_bug(
+        self, jobs: Sequence[PortfolioJob], reports: Sequence[TestReport]
+    ) -> Optional[ShrinkResult]:
+        """Minimize the winning bug trace in place, before the merge.
+
+        The winner is the same bug :attr:`PortfolioReport.winning_result`
+        will select — the first bug of the lowest-numbered job that found one
+        — so the shrink effort goes exactly to the trace users will replay.
+        Runs in the parent process: one bug, one deterministic shrink.
+        """
+        for job, report in sorted(zip(jobs, reports), key=lambda pair: pair[0].index):
+            bug = report.first_bug
+            if bug is not None and bug.trace is not None:
+                engine = TestingEngine(self.testcase.build(), job.config)
+                return engine.shrink_bug(bug)
+        return None
 
 
 # ---------------------------------------------------------------------------

@@ -115,6 +115,10 @@ class BugInfo:
     exception: Optional[BaseException] = field(default=None, compare=False)
     trace: Optional[ScheduleTrace] = None
     log: List[str] = field(default_factory=list)
+    #: minimized counterexample produced by :mod:`repro.core.shrink`, plus its
+    #: shrink statistics; both None until a shrinker has run on this bug.
+    shrunk_trace: Optional[ScheduleTrace] = None
+    shrink: Optional["ShrinkStats"] = None  # noqa: F821 - see repro.core.shrink
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.message} (at step {self.step})"
@@ -131,6 +135,17 @@ class BugInfo:
         # separate "log" key when the two genuinely differ (hand-built bugs).
         if self.trace is None or self.log != self.trace.log:
             payload["log"] = list(self.log)
+        # Shrink results are optional: payloads of unshrunk bugs stay
+        # byte-identical to what previous versions wrote.  When shrinking
+        # achieved nothing (shrunk == recorded trace) only the statistics
+        # are emitted — from_dict points shrunk_trace back at trace — so the
+        # full step list and log are never serialized twice.
+        if self.shrunk_trace is not None and (
+            self.trace is None or self.shrunk_trace.steps != self.trace.steps
+        ):
+            payload["shrunk_trace"] = self.shrunk_trace.to_dict()
+        if self.shrink is not None:
+            payload["shrink"] = self.shrink.to_dict()
         return payload
 
     @staticmethod
@@ -140,12 +155,26 @@ class BugInfo:
         log = payload.get("log")
         if log is None:
             log = trace.log if trace is not None else []
+        shrunk = payload.get("shrunk_trace")
+        shrink_stats = payload.get("shrink")
+        if shrunk is not None:
+            shrunk = ScheduleTrace.from_dict(shrunk)
+        elif shrink_stats is not None:
+            # stats without a shrunk_trace key: the shrink achieved no
+            # reduction and to_dict elided the duplicate trace.
+            shrunk = trace
+        if shrink_stats is not None:
+            from .shrink import ShrinkStats  # late import: shrink imports runtime
+
+            shrink_stats = ShrinkStats.from_dict(shrink_stats)
         return BugInfo(
             kind=payload["kind"],
             message=payload["message"],
             step=int(payload["step"]),
             trace=trace,
             log=list(log),
+            shrunk_trace=shrunk,
+            shrink=shrink_stats,
         )
 
 

@@ -84,6 +84,22 @@ class HarnessStatistics:
         }
 
 
+def aggregate_statistics(rows: Sequence[HarnessStatistics]) -> dict:
+    """Sum the numeric columns of several Table 1 rows into a totals row.
+
+    Used to aggregate per-case-study (or per-portfolio-worker) statistics
+    into one overview row; the ``system`` column lists the merged names.
+    The column set is taken from :meth:`HarnessStatistics.as_row`, so the
+    two stay in sync by construction.
+    """
+    dicts = [row.as_row() for row in rows]
+    numeric_keys = [key for key in (dicts[0] if dicts else {}) if key != "system"]
+    total = {"system": "+".join(entry["system"] for entry in dicts)}
+    for key in numeric_keys:
+        total[key] = sum(entry[key] for entry in dicts)
+    return total
+
+
 @dataclass
 class HarnessDescription:
     """Inputs needed to compute a :class:`HarnessStatistics` row."""

@@ -1,19 +1,38 @@
-"""Trace replay strategy.
+"""Trace replay strategy, strict and tolerant (guided).
 
 Given a :class:`~repro.core.trace.ScheduleTrace` recorded by a previous
 execution, this strategy reproduces the exact same sequence of decisions,
-which deterministically replays the execution (and therefore the bug).  If
-the program under test has changed in a way that makes the recorded trace
-inapplicable, a :class:`~repro.core.errors.ReplayDivergenceError` is raised.
+which deterministically replays the execution (and therefore the bug).
+
+Two modes:
+
+* **strict** (the default): any mismatch between the recorded trace and what
+  the program under test actually requests — trace exhausted early, wrong
+  choice kind, recorded machine not enabled, integer out of range — raises a
+  :class:`~repro.core.errors.ReplayDivergenceError` (a
+  :class:`~repro.core.errors.FrameworkError`).  This is the right mode for
+  replaying a bug report: a divergence means the program changed.
+* **tolerant** (``tolerant=True``): the strategy *guides* the execution along
+  the trace, falling back to a deterministic default pick (lowest-id enabled
+  machine, ``False``, ``0``) at every decision the trace cannot answer —
+  recorded machine not enabled, integer out of range, wrong choice kind,
+  trace exhausted — and then continues following the remaining recorded
+  steps.  The resulting execution is still fully deterministic — replaying
+  the same candidate twice yields byte-identical traces — which is what the
+  delta-debugging shrinker (:mod:`repro.core.shrink`) needs: it feeds in
+  mutilated candidate traces (chunks removed, values rewritten) and observes
+  whether the bug still occurs; the per-decision fallback lets the suffix of
+  a candidate keep guiding the run after a local divergence instead of
+  crashing or degenerating into an all-default schedule.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..errors import ReplayDivergenceError
 from ..ids import MachineId
-from ..trace import BOOLEAN, INTEGER, SCHEDULE, ScheduleTrace
+from ..trace import BOOLEAN, INTEGER, SCHEDULE, ScheduleTrace, TraceStep
 from .base import SchedulingStrategy
 
 
@@ -22,45 +41,89 @@ class ReplayStrategy(SchedulingStrategy):
 
     name = "replay"
 
-    def __init__(self, trace: ScheduleTrace) -> None:
+    def __init__(self, trace: ScheduleTrace, tolerant: bool = False) -> None:
         super().__init__(seed=0)
         self._trace = trace
         self._cursor = 0
+        self._tolerant = tolerant
+        #: True once at least one decision could not be answered from the
+        #: recorded trace (tolerant mode only; strict mode raises instead).
+        self.diverged = False
+        #: scheduling-step index of the first such fallback, or None.
+        self.divergence_step: Optional[int] = None
+        #: number of decisions answered by a default fallback pick.
+        self.fallback_picks = 0
 
     def prepare_iteration(self, iteration: int) -> None:
         self._cursor = 0
+        self.diverged = False
+        self.divergence_step = None
+        self.fallback_picks = 0
 
-    def _next_step(self, expected_kind: str):
+    @property
+    def steps_followed(self) -> int:
+        """Number of recorded steps consumed so far."""
+        return self._cursor
+
+    def _diverge(self, message: str, step: int) -> None:
+        """Strict mode: raise.  Tolerant mode: note the fallback and go on."""
+        if not self._tolerant:
+            raise ReplayDivergenceError(message)
+        if not self.diverged:
+            self.diverged = True
+            self.divergence_step = step
+        self.fallback_picks += 1
+
+    def _next_step(self, expected_kind: str, step: int) -> Optional[TraceStep]:
+        """Consume and return the next recorded step if it has the expected
+        kind; otherwise (exhausted or wrong kind) note a divergence and
+        return None, leaving mismatched steps in place for later decisions
+        of their own kind."""
         if self._cursor >= len(self._trace.steps):
-            raise ReplayDivergenceError(
+            self._diverge(
                 f"trace exhausted after {self._cursor} steps but the program "
-                f"requested another {expected_kind} choice"
+                f"requested another {expected_kind} choice",
+                step,
             )
-        step = self._trace.steps[self._cursor]
+            return None
+        recorded = self._trace.steps[self._cursor]
+        if recorded.kind != expected_kind:
+            self._diverge(
+                f"trace step {self._cursor} is a {recorded.kind!r} choice but "
+                f"the program requested a {expected_kind!r} choice",
+                step,
+            )
+            return None
         self._cursor += 1
-        if step.kind != expected_kind:
-            raise ReplayDivergenceError(
-                f"trace step {self._cursor - 1} is a {step.kind!r} choice but the "
-                f"program requested a {expected_kind!r} choice"
-            )
-        return step
+        return recorded
 
     def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
-        recorded = self._next_step(SCHEDULE)
-        for machine in enabled:
-            if machine.value == recorded.value:
-                return machine
-        raise ReplayDivergenceError(
-            f"recorded machine {recorded.label or recorded.value} is not enabled at step {step}"
-        )
+        recorded = self._next_step(SCHEDULE, step)
+        if recorded is not None:
+            for machine in enabled:
+                if machine.value == recorded.value:
+                    return machine
+            self._diverge(
+                f"recorded machine {recorded.label or recorded.value} "
+                f"is not enabled at step {step}",
+                step,
+            )
+        # Deterministic fallback: the lowest-id enabled machine (enabled is
+        # handed over in ascending id order).
+        return enabled[0]
 
     def next_boolean(self, requester: MachineId, step: int) -> bool:
-        return bool(self._next_step(BOOLEAN).value)
+        recorded = self._next_step(BOOLEAN, step)
+        return bool(recorded.value) if recorded is not None else False
 
     def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
-        value = self._next_step(INTEGER).value
-        if value >= max_value:
-            raise ReplayDivergenceError(
-                f"recorded integer choice {value} out of range [0, {max_value})"
+        recorded = self._next_step(INTEGER, step)
+        if recorded is None:
+            return 0
+        if not 0 <= recorded.value < max_value:
+            self._diverge(
+                f"recorded integer choice {recorded.value} out of range [0, {max_value})",
+                step,
             )
-        return value
+            return 0
+        return recorded.value

@@ -28,6 +28,11 @@ SCHEDULE = "sched"
 BOOLEAN = "bool"
 INTEGER = "int"
 
+#: Every kind a serialized trace step may carry; ``from_dict`` rejects
+#: anything else so corrupted/hand-edited trace files fail at load time
+#: with the offending step index instead of misbehaving during replay.
+VALID_KINDS = frozenset((SCHEDULE, BOOLEAN, INTEGER))
+
 
 class TraceStep(NamedTuple):
     """One nondeterministic decision.
@@ -93,10 +98,16 @@ class ScheduleTrace:
 
     @staticmethod
     def from_dict(payload: dict) -> "ScheduleTrace":
-        return ScheduleTrace(
-            steps=[TraceStep.from_dict(entry) for entry in payload.get("steps", [])],
-            log=list(payload.get("log", [])),
-        )
+        steps: List[TraceStep] = []
+        for index, entry in enumerate(payload.get("steps", [])):
+            step = TraceStep.from_dict(entry)
+            if step.kind not in VALID_KINDS:
+                raise ValueError(
+                    f"trace step {index}: unknown kind {step.kind!r} "
+                    f"(expected one of {sorted(VALID_KINDS)})"
+                )
+            steps.append(step)
+        return ScheduleTrace(steps=steps, log=list(payload.get("log", [])))
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,154 @@
+"""Merge/aggregation paths of coverage tracking and harness statistics.
+
+The portfolio engine merges per-worker reports; these tests pin down the
+coverage-map merge semantics (empty, disjoint, overlapping) and the
+aggregation of statistics across jobs that previously only had smoke
+coverage.
+"""
+
+from repro.core import (
+    CoverageTracker,
+    Portfolio,
+    aggregate_statistics,
+)
+from repro.core.statistics import HarnessStatistics
+
+
+def make_tracker(machines=(), events=(), handled=(), transitions=(), monitor_states=()):
+    tracker = CoverageTracker()
+    for name in machines:
+        tracker.record_machine(name)
+    for name in events:
+        tracker.record_event(name)
+    for triple in handled:
+        tracker.record_handled(*triple)
+    for triple in transitions:
+        tracker.record_transition(*triple)
+    for pair in monitor_states:
+        tracker.record_monitor_state(*pair)
+    return tracker
+
+
+# ---------------------------------------------------------------------------
+# CoverageTracker.merge
+# ---------------------------------------------------------------------------
+def test_merge_empty_into_empty():
+    a = CoverageTracker()
+    a.merge(CoverageTracker())
+    assert a.summary() == {
+        "machine_types": 0,
+        "machines_created": 0,
+        "event_types": 0,
+        "events_sent": 0,
+        "handled_tuples": 0,
+        "transitions": 0,
+        "monitor_states": 0,
+    }
+
+
+def test_merge_empty_into_populated_is_identity():
+    a = make_tracker(machines=["M", "M"], events=["E"], transitions=[("M", "s", "t")])
+    before = a.to_dict()
+    a.merge(CoverageTracker())
+    assert a.to_dict() == before
+
+
+def test_merge_disjoint_maps_unions_everything():
+    a = make_tracker(
+        machines=["A"], events=["EA"],
+        handled=[("A", "s", "EA")], transitions=[("A", "s", "t")],
+        monitor_states=[("MonA", "hot")],
+    )
+    b = make_tracker(
+        machines=["B"], events=["EB"],
+        handled=[("B", "s", "EB")], transitions=[("B", "s", "t")],
+        monitor_states=[("MonB", "cold")],
+    )
+    a.merge(b)
+    assert a.machines == {"A": 1, "B": 1}
+    assert a.events == {"EA": 1, "EB": 1}
+    assert a.distinct_handled_tuples == 2
+    assert a.distinct_transitions == 2
+    assert len(a.monitor_states) == 2
+
+
+def test_merge_overlapping_maps_adds_counts_and_unions_sets():
+    a = make_tracker(
+        machines=["M", "M"], events=["E"],
+        handled=[("M", "s", "E"), ("M", "s", "E")],
+        transitions=[("M", "s", "t")],
+    )
+    b = make_tracker(
+        machines=["M"], events=["E", "E"],
+        handled=[("M", "s", "E")],
+        transitions=[("M", "s", "t"), ("M", "t", "s")],
+    )
+    a.merge(b)
+    assert a.machines["M"] == 3
+    assert a.events["E"] == 3
+    assert a.handled[("M", "s", "E")] == 3
+    # transitions are a set: the shared edge is not double counted
+    assert a.distinct_transitions == 2
+
+
+def test_merge_roundtrips_through_json_safe_dict():
+    a = make_tracker(machines=["M"], handled=[("M", "s", "E")],
+                     transitions=[("M", "s", "t")], monitor_states=[("Mon", "hot")])
+    b = make_tracker(machines=["M"], events=["E"])
+    a.merge(b)
+    restored = CoverageTracker.from_dict(a.to_dict())
+    assert restored.to_dict() == a.to_dict()
+    assert restored.summary() == a.summary()
+
+
+# ---------------------------------------------------------------------------
+# aggregation across portfolio workers
+# ---------------------------------------------------------------------------
+def test_portfolio_merged_coverage_aggregates_all_jobs():
+    portfolio = Portfolio(
+        "examplesys/safety-bug",
+        strategies=["random", "round-robin"],
+        iterations=20,
+        num_shards=2,
+        seed=3,
+    )
+    report = portfolio.run()
+    merged = report.merged_coverage
+    per_job_totals = [
+        sum(result.report.coverage.machines.values()) for result in report.results
+    ]
+    assert sum(merged.machines.values()) == sum(per_job_totals)
+    # every per-job transition shows up in the merged set
+    for result in report.results:
+        assert result.report.coverage.transitions <= merged.transitions
+    # merging is idempotent on the report (a fresh tracker every call)
+    assert report.merged_coverage.to_dict() == merged.to_dict()
+
+
+def test_aggregate_statistics_sums_rows():
+    rows = [
+        HarnessStatistics(
+            name="a", system_loc=100, harness_loc=50, num_machines=3,
+            num_state_transitions=7, num_action_handlers=9, bugs_found=1,
+        ),
+        HarnessStatistics(
+            name="b", system_loc=10, harness_loc=5, num_machines=1,
+            num_state_transitions=2, num_action_handlers=4, bugs_found=0,
+        ),
+    ]
+    total = aggregate_statistics(rows)
+    assert total["system"] == "a+b"
+    assert total["system_loc"] == 110
+    assert total["harness_loc"] == 55
+    assert total["machines"] == 4
+    assert total["state_transitions"] == 9
+    assert total["action_handlers"] == 13
+    assert total["bugs"] == 1
+
+
+def test_aggregate_statistics_of_single_row_matches_as_row():
+    row = HarnessStatistics(
+        name="solo", system_loc=1, harness_loc=2, num_machines=3,
+        num_state_transitions=4, num_action_handlers=5, bugs_found=6,
+    )
+    assert aggregate_statistics([row]) == row.as_row()

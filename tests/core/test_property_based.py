@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for core invariants."""
 
-from hypothesis import given, settings, strategies as st
+import pytest
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core import (
     Event,
@@ -8,6 +9,7 @@ from repro.core import (
     ScheduleTrace,
     TestingConfig,
     TestingEngine,
+    get_scenario,
     on_event,
 )
 from repro.core.strategy.pct_strategy import PCTStrategy
@@ -90,3 +92,51 @@ def test_trace_json_roundtrip(bools, ints):
     for value in ints:
         trace.add_integer_choice(value, "m")
     assert ScheduleTrace.from_json(trace.to_json()).steps == trace.steps
+
+
+# ---------------------------------------------------------------------------
+# shrinking invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=200))
+def test_shrunk_trace_replays_same_bug_and_is_never_longer(seed):
+    """For randomly found examplesys bugs: same bug class, never longer."""
+    testcase = get_scenario("examplesys/safety-bug")
+    config = testcase.default_config(
+        seed=seed, strategy="random", iterations=60, shrink_max_replays=120
+    )
+    engine = TestingEngine(testcase.build(), config)
+    report = engine.run()
+    assume(report.bug_found)
+    bug = report.first_bug
+    result = engine.shrink_bug(bug)
+    assert len(result.trace.steps) <= len(bug.trace.steps)
+    assert result.bug.kind == bug.kind
+    # the shrunk trace is exact: strict replay reproduces the same bug class
+    replayed = engine.replay(result.trace)
+    assert replayed is not None
+    assert replayed.kind == bug.kind
+
+
+@pytest.mark.parametrize(
+    "scenario_name, strategy, seed, iterations",
+    [
+        ("examplesys/safety-bug", "random", 0, 100),
+        ("vnext/extent-node-liveness", "pct", 0, 40),
+    ],
+)
+def test_shrunk_scenario_bugs_keep_their_bug_class(scenario_name, strategy, seed, iterations):
+    """Seeded runs across the examplesys and vnext case studies."""
+    testcase = get_scenario(scenario_name)
+    config = testcase.default_config(
+        seed=seed, strategy=strategy, iterations=iterations, shrink_max_replays=40
+    )
+    engine = TestingEngine(testcase.build(), config)
+    report = engine.run()
+    assert report.bug_found
+    bug = report.first_bug
+    result = engine.shrink_bug(bug)
+    assert len(result.trace.steps) <= len(bug.trace.steps)
+    assert result.bug.kind == bug.kind == testcase.expected_bug_kind
+    replayed = engine.replay(result.trace)
+    assert replayed is not None and replayed.kind == bug.kind

@@ -1,0 +1,181 @@
+"""Regression tests for strict vs. tolerant (guided) trace replay.
+
+Strict mode must fail loudly — a clear :class:`FrameworkError` subclass —
+on divergent, truncated or corrupted traces; tolerant mode must complete the
+execution with a deterministic default fallback instead.
+"""
+
+import pytest
+
+from repro.core import (
+    Event,
+    FrameworkError,
+    Machine,
+    ReplayDivergenceError,
+    ReplayStrategy,
+    ScheduleTrace,
+    TestRuntime,
+    TestingConfig,
+    TestingEngine,
+    TraceStep,
+    on_event,
+)
+from repro.core.ids import MachineId
+from repro.core.trace import BOOLEAN, INTEGER, SCHEDULE
+
+
+class Ping(Event):
+    pass
+
+
+class Pong(Machine):
+    @on_event(Ping)
+    def ping(self, event):
+        if self.random():
+            self.send(self.id, Ping())
+
+
+def pong_test(runtime):
+    target = runtime.create_machine(Pong)
+    runtime.send_event(target, Ping())
+
+
+def recorded_bugfree_trace(seed=3):
+    engine = TestingEngine(pong_test, TestingConfig(iterations=1, max_steps=50, seed=seed))
+    engine.strategy.prepare_iteration(0)
+    runtime = TestRuntime(engine.strategy, engine.config)
+    assert runtime.run(pong_test) is None
+    return runtime.trace
+
+
+def run_with(strategy, config=None):
+    strategy.prepare_iteration(0)
+    runtime = TestRuntime(strategy, config or TestingConfig(max_steps=50))
+    runtime.run(pong_test)
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# strict mode: clear framework errors
+# ---------------------------------------------------------------------------
+def test_strict_replay_of_truncated_trace_raises_framework_error():
+    trace = recorded_bugfree_trace()
+    truncated = ScheduleTrace(steps=trace.steps[: len(trace.steps) // 2])
+    with pytest.raises(ReplayDivergenceError) as excinfo:
+        run_with(ReplayStrategy(truncated))
+    assert isinstance(excinfo.value, FrameworkError)
+    assert "trace exhausted" in str(excinfo.value)
+
+
+def test_strict_replay_of_corrupted_kind_names_the_step():
+    trace = recorded_bugfree_trace()
+    # swap the first schedule step for a boolean: a kind mismatch at step 0
+    corrupted = ScheduleTrace(steps=[TraceStep(BOOLEAN, 1, "M(0)")] + trace.steps[1:])
+    with pytest.raises(ReplayDivergenceError) as excinfo:
+        run_with(ReplayStrategy(corrupted))
+    assert "step 0" in str(excinfo.value)
+    assert "'bool'" in str(excinfo.value)
+
+
+def test_strict_replay_of_unknown_machine_raises():
+    trace = recorded_bugfree_trace()
+    corrupted = ScheduleTrace(steps=[TraceStep(SCHEDULE, 999, "Ghost(999)")] + trace.steps[1:])
+    with pytest.raises(ReplayDivergenceError) as excinfo:
+        run_with(ReplayStrategy(corrupted))
+    assert "not enabled" in str(excinfo.value)
+
+
+def test_strict_replay_of_out_of_range_integer_raises():
+    strategy = ReplayStrategy(ScheduleTrace(steps=[TraceStep(INTEGER, 7, "M(0)")]))
+    strategy.prepare_iteration(0)
+    with pytest.raises(ReplayDivergenceError):
+        strategy.next_integer(MachineId(0, "M"), max_value=3, step=0)
+
+
+# ---------------------------------------------------------------------------
+# tolerant mode: deterministic fallback
+# ---------------------------------------------------------------------------
+def test_tolerant_replay_of_truncated_trace_completes_deterministically():
+    trace = recorded_bugfree_trace()
+    truncated = ScheduleTrace(steps=trace.steps[: len(trace.steps) // 2])
+
+    first = run_with(ReplayStrategy(truncated, tolerant=True))
+    second = run_with(ReplayStrategy(truncated, tolerant=True))
+    assert first.trace.steps == second.trace.steps
+    assert first.bug is None
+
+
+def test_tolerant_replay_marks_divergence_once():
+    trace = recorded_bugfree_trace()
+    truncated = ScheduleTrace(steps=trace.steps[:1])
+    strategy = ReplayStrategy(truncated, tolerant=True)
+    run_with(strategy)
+    assert strategy.diverged
+    assert strategy.divergence_step is not None
+    assert strategy.fallback_picks >= 1
+    assert strategy.steps_followed == 1
+
+
+def test_tolerant_replay_of_empty_trace_is_pure_default_schedule():
+    strategy = ReplayStrategy(ScheduleTrace(), tolerant=True)
+    runtime = run_with(strategy)
+    assert strategy.diverged
+    assert strategy.divergence_step == 0
+    # default picks: lowest-id machine, False booleans — so the recorded
+    # execution of a second empty-trace replay is byte-identical
+    again = run_with(ReplayStrategy(ScheduleTrace(), tolerant=True))
+    assert runtime.trace.steps == again.trace.steps
+
+
+def test_tolerant_replay_of_corrupted_trace_does_not_crash():
+    trace = recorded_bugfree_trace()
+    corrupted = ScheduleTrace(
+        steps=[TraceStep(INTEGER, 3, "M(0)")] + trace.steps[1:]
+    )
+    strategy = ReplayStrategy(corrupted, tolerant=True)
+    runtime = run_with(strategy)
+    assert strategy.diverged
+    assert runtime.trace.steps  # the run completed and recorded an execution
+
+
+def test_tolerant_replay_resynchronizes_after_local_divergence():
+    """Steps after an infeasible pick keep guiding the execution."""
+    trace = recorded_bugfree_trace()
+    # Prepend a bogus schedule step: tolerant replay must fall back once,
+    # then follow the original trace again.
+    padded = ScheduleTrace(steps=[TraceStep(SCHEDULE, 999, "Ghost(999)")] + trace.steps)
+    strategy = ReplayStrategy(padded, tolerant=True)
+    run_with(strategy)
+    assert strategy.diverged
+    assert strategy.steps_followed > 1
+
+
+def test_tolerant_full_trace_replay_matches_strict():
+    trace = recorded_bugfree_trace()
+    strict = run_with(ReplayStrategy(trace))
+    tolerant_strategy = ReplayStrategy(trace, tolerant=True)
+    tolerant = run_with(tolerant_strategy)
+    assert strict.trace.steps == tolerant.trace.steps
+    assert not tolerant_strategy.diverged
+
+
+# ---------------------------------------------------------------------------
+# trace deserialization validation
+# ---------------------------------------------------------------------------
+def test_from_json_rejects_unknown_kind_with_step_index():
+    trace = ScheduleTrace(
+        steps=[TraceStep(SCHEDULE, 0, "M(0)"), TraceStep("bogus", 1, "M(0)")]
+    )
+    text = trace.to_json()
+    with pytest.raises(ValueError) as excinfo:
+        ScheduleTrace.from_json(text)
+    assert "step 1" in str(excinfo.value)
+    assert "bogus" in str(excinfo.value)
+
+
+def test_from_json_accepts_all_valid_kinds():
+    trace = ScheduleTrace()
+    trace.add_scheduling_choice(0, "M(0)")
+    trace.add_boolean_choice(True, "M(0)")
+    trace.add_integer_choice(2, "M(0)")
+    assert ScheduleTrace.from_json(trace.to_json()).steps == trace.steps

@@ -1,0 +1,210 @@
+"""Tests for the counterexample shrinking subsystem (repro.core.shrink)."""
+
+import pytest
+
+from repro.core import (
+    Event,
+    Machine,
+    Portfolio,
+    ShrinkStats,
+    Shrinker,
+    TestReport,
+    TestingConfig,
+    TestingEngine,
+    on_event,
+    run_test,
+)
+from repro.core.runtime import BugInfo
+from repro.core.shrink import trace_score
+from repro.core.trace import INTEGER, SCHEDULE, TraceStep
+
+
+# ---------------------------------------------------------------------------
+# a small harness whose bug needs a specific interleaving
+# ---------------------------------------------------------------------------
+class Token(Event):
+    def __init__(self, hops):
+        self.hops = hops
+
+
+class SetPeer(Event):
+    def __init__(self, peer):
+        self.peer = peer
+
+
+class RingNode(Machine):
+    def on_start(self):
+        self.peer = None
+
+    @on_event(SetPeer)
+    def set_peer(self, event):
+        self.peer = event.peer
+
+    @on_event(Token)
+    def forward(self, event):
+        self.assert_that(event.hops < 6, "token travelled too far")
+        if self.peer is not None:
+            self.send(self.peer, Token(event.hops + 1))
+
+
+def ring_test(runtime):
+    a = runtime.create_machine(RingNode)
+    b = runtime.create_machine(RingNode)
+    runtime.send_event(a, SetPeer(b))
+    runtime.send_event(b, SetPeer(a))
+    runtime.send_event(a, Token(0))
+
+
+def find_ring_bug(seed=1):
+    config = TestingConfig(iterations=10, max_steps=100, seed=seed)
+    engine = TestingEngine(ring_test, config)
+    report = engine.run()
+    assert report.bug_found
+    return engine, report.first_bug
+
+
+# ---------------------------------------------------------------------------
+# the shrinker itself
+# ---------------------------------------------------------------------------
+def test_shrink_reduces_and_stays_replayable():
+    engine, bug = find_ring_bug()
+    original_length = len(bug.trace.steps)
+    result = engine.shrink_bug(bug)
+    assert result.stats.original_length == original_length
+    assert result.stats.final_length == len(result.trace.steps)
+    assert result.stats.final_length <= original_length
+    assert result.bug.kind == bug.kind
+    # The minimized trace is exact: it replays in *strict* mode.
+    replayed = engine.replay(result.trace)
+    assert replayed is not None
+    assert replayed.kind == bug.kind
+
+
+def test_shrink_attaches_result_to_bug():
+    engine, bug = find_ring_bug()
+    result = engine.shrink_bug(bug)
+    assert bug.shrunk_trace is result.trace
+    assert bug.shrink is result.stats
+    assert bug.shrink.replays_run <= bug.shrink.candidates_tried
+
+
+def test_shrink_is_deterministic():
+    engine_a, bug_a = find_ring_bug(seed=2)
+    engine_b, bug_b = find_ring_bug(seed=2)
+    result_a = engine_a.shrink_bug(bug_a)
+    result_b = engine_b.shrink_bug(bug_b)
+    assert result_a.trace.steps == result_b.trace.steps
+    assert result_a.stats.to_dict() == result_b.stats.to_dict()
+
+
+def test_shrink_respects_replay_budget():
+    engine, bug = find_ring_bug()
+    shrinker = Shrinker(ring_test, engine.config, max_replays=3)
+    result = shrinker.shrink(bug)
+    assert result.stats.replays_run <= 3
+    assert result.stats.final_length <= result.stats.original_length
+
+
+def test_shrink_without_trace_raises():
+    shrinker = Shrinker(ring_test, TestingConfig())
+    with pytest.raises(ValueError):
+        shrinker.shrink(BugInfo(kind="safety", message="m", step=0))
+
+
+def test_trace_score_orders_by_length_then_value_weight():
+    sched = TraceStep(SCHEDULE, 3, "M(3)")
+    assert trace_score([sched]) < trace_score([sched, sched])
+    heavy = [sched, TraceStep(INTEGER, 7, "M(3)")]
+    light = [sched, TraceStep(INTEGER, 0, "M(3)")]
+    assert trace_score(light) < trace_score(heavy)
+    # schedule values carry machine ids, not magnitudes: no weight
+    assert trace_score([TraceStep(SCHEDULE, 9, "M(9)")]) == (1, 0)
+
+
+def test_shrink_stats_roundtrip():
+    stats = ShrinkStats(
+        original_length=100,
+        final_length=20,
+        candidates_tried=42,
+        replays_run=40,
+        passes_completed=2,
+        budget_exhausted=True,
+    )
+    assert ShrinkStats.from_dict(stats.to_dict()) == stats
+    assert stats.reduction == pytest.approx(5.0)
+    assert "100 -> 20" in stats.summary()
+
+
+# ---------------------------------------------------------------------------
+# engine / report / portfolio integration
+# ---------------------------------------------------------------------------
+def test_run_test_shrink_option_attaches_shrunk_traces():
+    report = run_test(
+        ring_test, TestingConfig(iterations=10, max_steps=100, seed=1), shrink=True
+    )
+    assert report.bug_found
+    bug = report.first_bug
+    assert bug.shrunk_trace is not None
+    assert bug.shrink is not None
+    assert len(bug.shrunk_trace.steps) <= len(bug.trace.steps)
+
+
+def test_bug_with_shrunk_trace_roundtrips_through_report_json():
+    report = run_test(
+        ring_test, TestingConfig(iterations=10, max_steps=100, seed=1), shrink=True
+    )
+    loaded = TestReport.from_json(report.to_json())
+    bug = loaded.first_bug
+    assert bug.shrunk_trace is not None
+    assert bug.shrunk_trace.steps == report.first_bug.shrunk_trace.steps
+    assert bug.shrink == report.first_bug.shrink
+
+
+def test_unreduced_shrink_does_not_serialize_the_trace_twice():
+    from repro.core import ScheduleTrace
+
+    trace = ScheduleTrace()
+    trace.add_scheduling_choice(0, "M(0)")
+    bug = BugInfo(
+        kind="safety", message="m", step=1, trace=trace,
+        shrunk_trace=trace,
+        shrink=ShrinkStats(original_length=1, final_length=1),
+    )
+    payload = bug.to_dict()
+    assert "shrunk_trace" not in payload
+    assert payload["shrink"]["final_length"] == 1
+    restored = BugInfo.from_dict(payload)
+    assert restored.shrunk_trace is restored.trace
+    assert restored.shrink == bug.shrink
+
+
+def test_unshrunk_bug_payload_has_no_shrink_keys():
+    report = run_test(ring_test, TestingConfig(iterations=10, max_steps=100, seed=1))
+    payload = report.first_bug.to_dict()
+    assert "shrunk_trace" not in payload
+    assert "shrink" not in payload
+
+
+def test_portfolio_shrinks_only_the_winning_bug():
+    portfolio = Portfolio(
+        "examplesys/safety-bug",
+        strategies=["random"],
+        iterations=100,
+        num_shards=2,
+        seed=0,
+        shrink=True,
+    )
+    report = portfolio.run()
+    assert report.bug_found
+    winner = report.winning_result
+    assert winner.report.first_bug.shrunk_trace is not None
+    assert winner.report.first_bug.shrink is not None
+    for result in report.results:
+        bug = result.report.first_bug
+        if result is not winner and bug is not None:
+            assert bug.shrunk_trace is None
+    # the summary advertises the shrink
+    assert "shrunk" in report.summary()
+    # and the shrunk trace survives the portfolio JSON roundtrip
+    loaded = type(report).from_json(report.to_json())
+    assert loaded.winning_result.report.first_bug.shrunk_trace is not None

@@ -95,6 +95,74 @@ def test_import_option_loads_file_registered_scenarios(tmp_path, capsys):
     assert "replay reproduced" in capsys.readouterr().out
 
 
+def _seeded_bug_report(tmp_path, capsys, extra_args=()):
+    """Run the seeded examplesys safety bug and return the report path."""
+    report_path = str(tmp_path / "report.json")
+    assert main([
+        "run",
+        "--scenario", "examplesys/safety-bug",
+        "--strategy", "random",
+        "--iterations", "200",
+        "--seed", "73",
+        "--output", report_path,
+        "--expect-bug",
+        *extra_args,
+    ]) == 0
+    capsys.readouterr()
+    return report_path
+
+
+def test_shrink_command_minimizes_and_replays(tmp_path, capsys):
+    report_path = _seeded_bug_report(tmp_path, capsys)
+    assert main(["shrink", report_path, "--expect-reduction", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "shrunk" in out
+    assert f"report with shrunk trace written to {report_path}" in out
+
+    payload = json.loads(open(report_path).read())
+    bug = payload["results"][0]["report"]["bugs"][0]
+    assert bug["shrink"]["final_length"] < bug["shrink"]["original_length"]
+    assert len(bug["shrunk_trace"]["steps"]) == bug["shrink"]["final_length"]
+
+    assert main(["replay", report_path, "--shrunk"]) == 0
+    assert "shrunk trace reproduced the recorded bug class" in capsys.readouterr().out
+
+
+def test_shrink_command_output_option_leaves_input_untouched(tmp_path, capsys):
+    report_path = _seeded_bug_report(tmp_path, capsys)
+    before = open(report_path).read()
+    out_path = str(tmp_path / "shrunk.json")
+    assert main(["shrink", report_path, "--output", out_path]) == 0
+    assert open(report_path).read() == before
+    payload = json.loads(open(out_path).read())
+    assert payload["results"][0]["report"]["bugs"][0]["shrunk_trace"] is not None
+
+
+def test_run_with_shrink_flag_embeds_shrunk_trace(tmp_path, capsys):
+    report_path = _seeded_bug_report(tmp_path, capsys, extra_args=("--shrink",))
+    payload = json.loads(open(report_path).read())
+    bug = payload["results"][0]["report"]["bugs"][0]
+    assert "shrunk_trace" in bug and "shrink" in bug
+    assert main(["replay", report_path, "--shrunk"]) == 0
+
+
+def test_replay_shrunk_without_shrink_fails_cleanly(tmp_path, capsys):
+    report_path = _seeded_bug_report(tmp_path, capsys)
+    assert main(["replay", report_path, "--shrunk"]) == 1
+    assert "no shrunk trace" in capsys.readouterr().err
+
+
+def test_shrink_report_without_bugs_fails_cleanly(tmp_path, capsys):
+    clean_path = str(tmp_path / "clean.json")
+    assert main([
+        "run", "--scenario", "examplesys/fixed", "--iterations", "5",
+        "--seed", "1", "--output", clean_path,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["shrink", clean_path]) == 1
+    assert "no replayable bug trace" in capsys.readouterr().err
+
+
 def test_run_clean_scenario_with_expect_bug_fails(tmp_path, capsys):
     code = main([
         "run",
