@@ -24,6 +24,7 @@ from .core import (
     PortfolioReport,
     Receive,
     Shrinker,
+    State,
     TestCase,
     TestReport,
     TestRuntime,
@@ -53,6 +54,7 @@ __all__ = [
     "PortfolioReport",
     "Receive",
     "Shrinker",
+    "State",
     "TestCase",
     "TestReport",
     "TestRuntime",

@@ -116,6 +116,20 @@ def _select_bug(report: PortfolioReport, path: str, index: int):
     return bugs[index]
 
 
+def _print_state_context(trace, limit: int = 8) -> None:
+    """Show the machine/state pairs of the trace's final dispatch steps.
+
+    Uses the per-step state names the runtime records alongside schedule
+    steps; traces written before states were recorded print nothing.
+    """
+    context = list(trace.schedule_context())
+    if not context:
+        return
+    print(f"state context (last {min(limit, len(context))} of {len(context)} dispatches):")
+    for position, (step, state) in enumerate(context[-limit:], start=len(context) - min(limit, len(context))):
+        print(f"  dispatch {position}: {step.label} in state {state!r}")
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     _import_extra_modules(args.imports)
     report = PortfolioReport.load(args.report)
@@ -136,6 +150,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(f"replaying {which} #{args.bug} of {report.scenario!r} "
           f"(job #{result.job.index}, {result.job.strategy}, seed {result.job.seed})")
     print(f"recorded: {bug}")
+    _print_state_context(trace)
     replayed = replay_trace(report.scenario, trace, config)
     if replayed is None:
         print("error: replay completed without reproducing the bug", file=sys.stderr)

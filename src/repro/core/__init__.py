@@ -2,9 +2,11 @@
 
 The public surface of the framework:
 
-* :class:`Machine`, :func:`on_event`, :func:`on_entry`, :func:`on_exit`,
-  :class:`Receive` — the programming model for harness machines and wrapped
-  components.
+* :class:`Machine`, :class:`State`, :func:`on_event`, :func:`on_entry`,
+  :func:`on_exit`, :class:`Receive` — the programming model for harness
+  machines and wrapped components: nested ``State`` declarations with
+  defer/ignore disciplines and a push/pop state stack (the legacy
+  string-state decorator form keeps working).
 * :class:`Monitor` — safety and liveness (hot/cold) specification monitors.
 * :class:`TestingEngine`, :func:`run_test`, :class:`TestingConfig` — the
   single-strategy systematic testing entry points.
@@ -18,7 +20,7 @@ The public surface of the framework:
 
 from .config import TestingConfig
 from .coverage import CoverageTracker
-from .declarations import on_entry, on_event, on_exit
+from .declarations import DEFER, IGNORE, State, on_entry, on_event, on_exit
 from .engine import TestingEngine, TestReport, run_test
 from .portfolio import (
     JobResult,
@@ -73,6 +75,7 @@ __all__ = [
     "BugError",
     "BugInfo",
     "CoverageTracker",
+    "DEFER",
     "DFSStrategy",
     "DeadlockError",
     "Event",
@@ -80,6 +83,7 @@ __all__ = [
     "Halt",
     "HarnessDescription",
     "HarnessStatistics",
+    "IGNORE",
     "JobResult",
     "LivenessViolationError",
     "Machine",
@@ -101,6 +105,7 @@ __all__ = [
     "ShrinkStats",
     "Shrinker",
     "StartEvent",
+    "State",
     "StartTimer",
     "StopTimer",
     "TestCase",

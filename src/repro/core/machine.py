@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Iterable, Optional, Sequence, TYPE_CHECKING
 
-from .declarations import StateMachineSpec, build_spec
+from .declarations import StateMachineSpec, StateRef, build_spec
 from .errors import FrameworkError
 from .events import Event, Receive
 from .ids import MachineId
@@ -36,7 +36,26 @@ class MachineHaltRequested(Exception):
 class Machine:
     """Base class for all machines (harness machines and wrapped components).
 
-    Subclasses declare handlers with ``@on_event`` and may override:
+    Subclasses declare their behaviour with nested
+    :class:`~repro.core.declarations.State` classes (the State DSL)::
+
+        class Server(Machine):
+            class Listening(State, initial=True):
+                deferred = (SyncReport,)       # keep queued until un-deferred
+                ignored = (Noise,)             # drop at dequeue time
+
+                @on_event(ClientRequest)
+                def handle_request(self, event):
+                    self.goto(Server.Closing)
+
+            class Closing(State):
+                def on_entry(self):
+                    ...
+
+    or with the legacy string-state form (``@on_event(EventT, state="...")``
+    plus the ``initial_state`` class attribute) — both lower to the same
+    :class:`~repro.core.declarations.StateMachineSpec` and may be mixed.
+    Subclasses may override:
 
     * ``on_start(*args, **kwargs)`` — runs when the machine starts; receives
       the arguments passed to :meth:`create`.
@@ -44,7 +63,8 @@ class Machine:
 
     Class attributes:
 
-    * ``initial_state`` — name of the state the machine starts in.
+    * ``initial_state`` — legacy name of the start state; superseded by a
+      DSL state declared with ``initial=True``.
     * ``ignore_unhandled_events`` — if true, events without a handler in the
       current state are dropped instead of being reported as a bug.
     """
@@ -58,7 +78,6 @@ class Machine:
         self._runtime = runtime
         self._id = machine_id
         self._inbox: deque[Event] = deque()
-        self._current_state = type(self).initial_state
         self._halted = False
         self._coroutine = None
         self._pending_receive: Optional[Receive] = None
@@ -67,7 +86,24 @@ class Machine:
         self._enabled = False
         #: per-instance handle on the (class-cached) spec, so dispatch and
         #: transitions skip a dict lookup per event.
-        self._spec = type(self).spec()
+        spec = type(self).spec()
+        self._spec = spec
+        #: P#-style state stack (bottom .. top); ``goto`` replaces the top,
+        #: ``push_state``/``pop_state`` grow and shrink it.  The DSL-declared
+        #: initial state wins over the legacy ``initial_state`` string.
+        initial = spec.initial_state if spec.initial_state is not None else type(self).initial_state
+        self._state_stack = [initial]
+        #: mirror of ``_state_stack[-1]`` (dispatch reads it once per event).
+        self._current_state = initial
+        #: monotonic count of goto/push/pop transitions; lets machine start-up
+        #: tell "never left the initial state" from "left and came back".
+        self._transition_count = 0
+        #: classification context for the current stack (shared per class,
+        #: cached per stack tuple); the runtime swaps it on every transition.
+        self._state_ctx = spec.context_for((initial,))
+        #: local high-priority queue filled by :meth:`raise_event`; drained
+        #: before the inbox and never subject to defer/ignore disciplines.
+        self._raised: deque[Event] = deque()
         #: bound handler methods, cached by method name on first dispatch
         #: (avoids descriptor lookup + bound-method allocation per event).
         self._bound_handlers: dict = {}
@@ -93,7 +129,13 @@ class Machine:
 
     @property
     def current_state(self) -> str:
+        """Name of the active state (the top of the state stack)."""
         return self._current_state
+
+    @property
+    def state_stack(self) -> tuple:
+        """The state stack bottom-to-top (a one-element tuple without pushes)."""
+        return tuple(self._state_stack)
 
     @property
     def is_halted(self) -> bool:
@@ -124,9 +166,48 @@ class Machine:
         """
         return self._runtime.create_machine(machine_cls, *args, name=name, creator=self._id, **kwargs)
 
-    def goto(self, state: str) -> None:
-        """Transition this machine to ``state``, running exit/entry actions."""
+    def goto(self, state: StateRef) -> None:
+        """Transition this machine to ``state``, running exit/entry actions.
+
+        ``state`` is a state name or a nested :class:`~repro.core.declarations.State`
+        subclass.  With a state stack in place, ``goto`` replaces the top of
+        the stack (the states below are unaffected).
+        """
         self._runtime.transition_machine(self, state)
+
+    def push_state(self, state: StateRef) -> None:
+        """Push ``state`` onto the state stack and enter it.
+
+        The current state is paused, not exited: its exit action does not
+        run, and events it handles (or defers/ignores) that the pushed state
+        does not resolve itself are still governed by it — P#'s handler
+        inheritance through the state stack.  :meth:`pop_state` returns to
+        it without re-running its entry action.
+        """
+        self._runtime.push_machine_state(self, state)
+
+    def pop_state(self) -> None:
+        """Pop the top of the state stack, running its exit action."""
+        self._runtime.pop_machine_state(self)
+
+    def raise_event(self, event: Event) -> None:
+        """Queue ``event`` on this machine's local high-priority queue.
+
+        Raised events are dispatched before anything in the inbox and are
+        never deferred or ignored (they bypass the queue disciplines, like
+        P#'s ``raise``).  They are handled by ordinary handlers; a raised
+        event no state handles is an unhandled-event bug as usual.  A
+        machine blocked in a :class:`Receive` is *not* woken by a raised
+        event — raised events are dispatched, never received — so the queue
+        drains only once the receive has been satisfied.
+        """
+        if not isinstance(event, Event):
+            raise FrameworkError(f"raise_event expects an Event instance, got {event!r}")
+        if self._halted:
+            return
+        self._raised.append(event)
+        if not self._enabled and self._pending_receive is None:
+            self._runtime._mark_enabled(self)
 
     def halt(self) -> None:
         """Halt this machine.  Control does not return to the handler."""
@@ -192,10 +273,16 @@ class Machine:
         self._inbox.append(event)
         # Incremental enabled-set maintenance: a new event can only make
         # this machine runnable (never less runnable), and only does so if
-        # the machine is not blocked in a receive the event fails to match.
+        # the machine is not blocked in a receive the event fails to match
+        # and the current state's disciplines let the event dequeue (an
+        # event that is deferred or ignored right now adds no work).
         if not self._enabled and not self._halted:
             receive = self._pending_receive
-            if receive is None or receive.matches(event):
+            if receive is None:
+                ctx = self._state_ctx
+                if ctx.plain or ctx.dequeuable(type(event)):
+                    self._runtime._mark_enabled(self)
+            elif receive.matches(event):
                 self._runtime._mark_enabled(self)
 
     def _has_work(self) -> bool:
@@ -207,7 +294,12 @@ class Machine:
             # Paused at a plain ``yield`` (an explicit scheduling point): the
             # machine can resume as soon as the scheduler picks it again.
             return True
-        return bool(self._inbox)
+        if self._raised:
+            return True
+        ctx = self._state_ctx
+        if ctx.plain:
+            return bool(self._inbox)
+        return ctx.any_dequeuable(self._inbox)
 
     def _dequeue_matching(self, receive: Receive) -> Event:
         for index, event in enumerate(self._inbox):

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 from typing import Any, Optional, TYPE_CHECKING
 
-from .declarations import StateMachineSpec, build_spec
+from .declarations import (
+    IGNORE,
+    StateMachineSpec,
+    StateRef,
+    build_spec,
+    resolve_state_name,
+)
 from .errors import FrameworkError
 from .events import Event
 
@@ -31,37 +37,54 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Monitor:
     """Base class for safety and liveness monitors.
 
-    Subclasses declare event handlers with ``@on_event`` (optionally scoped to
-    a state), transition between states with :meth:`goto`, and mark liveness
-    requirements by listing state names in ``hot_states``.
+    Subclasses declare event handlers either with nested
+    :class:`~repro.core.declarations.State` classes (marking hot liveness
+    states with ``class Waiting(State, hot=True)``) or with the legacy
+    ``@on_event(state=...)`` form plus the ``hot_states`` class attribute;
+    both lower to the same spec.  Monitors transition with :meth:`goto`.
     """
 
     initial_state: str = "init"
-    #: States in which the monitor demands eventual progress.
+    #: States in which the monitor demands eventual progress (legacy form;
+    #: merged with states declared ``hot=True`` in the State DSL).
     hot_states: frozenset = frozenset()
 
     _spec_cache: dict = {}
 
     def __init__(self, runtime: "TestRuntime") -> None:
         self._runtime = runtime
-        self._current_state = type(self).initial_state
+        spec = type(self).spec()
+        initial = spec.initial_state if spec.initial_state is not None else type(self).initial_state
+        self._current_state = initial
         #: Number of consecutive runtime steps spent in a hot state.
         self._hot_since_step: Optional[int] = None
         #: per-instance handle on the (class-cached) spec so event dispatch
         #: skips a dict lookup per notification.
-        self._spec = type(self).spec()
+        self._spec = spec
+        #: effective hot-state set: legacy class attribute plus DSL-declared.
+        self._hot_states = frozenset(type(self).hot_states) | spec.hot_states
+        #: monotonic goto count; registration uses it to tell "never left the
+        #: initial state" from "left and came back".
+        self._transition_count = 0
 
     @classmethod
     def spec(cls) -> StateMachineSpec:
         cached = Monitor._spec_cache.get(cls)
         if cached is None:
             cached = build_spec(cls)
+            if cached.deferred:
+                states = ", ".join(sorted(cached.deferred))
+                raise TypeError(
+                    f"monitor {cls.__name__} declares deferred events (state(s) "
+                    f"{states}): monitors are notified synchronously and cannot "
+                    f"defer — drop with `ignored` or handle the event instead"
+                )
             Monitor._spec_cache[cls] = cached
         return cached
 
     @classmethod
     def is_liveness_monitor(cls) -> bool:
-        return bool(cls.hot_states)
+        return bool(cls.hot_states) or bool(cls.spec().hot_states)
 
     # ------------------------------------------------------------------
     # state
@@ -72,15 +95,20 @@ class Monitor:
 
     @property
     def is_hot(self) -> bool:
-        return self._current_state in type(self).hot_states
+        return self._current_state in self._hot_states
 
-    def goto(self, state: str) -> None:
-        """Transition the monitor to ``state`` (running any entry action)."""
+    def goto(self, state: StateRef) -> None:
+        """Transition the monitor to ``state`` (running any entry action).
+
+        ``state`` is a state name or a nested State subclass.
+        """
+        state = resolve_state_name(state)
         spec = self._spec
         exit_action = spec.exit_actions.get(self._current_state)
         if exit_action is not None:
             getattr(self, exit_action)()
         self._current_state = state
+        self._transition_count += 1
         self._runtime.record_monitor_state(self, state)
         entry_action = spec.entry_actions.get(state)
         if entry_action is not None:
@@ -102,12 +130,28 @@ class Monitor:
     # hook for the runtime
     # ------------------------------------------------------------------
     def handle(self, event: Event) -> None:
-        """Dispatch ``event`` to the handler registered for the current state."""
-        info = self._spec.handler_for(self._current_state, type(event))
+        """Dispatch ``event`` to the handler registered for the current state.
+
+        States may declare ``ignored = (EventT, ...)``: matching
+        notifications are dropped silently in that state.  (``deferred`` is
+        rejected at spec-build time — monitors have no inbox to defer into.)
+        """
+        event_type = type(event)
+        context = self._spec.context_for((self._current_state,))
+        try:
+            info = context.actions[event_type]
+        except KeyError:
+            info = context.resolve(event_type)
+        if info is IGNORE:
+            self._runtime.log(
+                "monitor {} ignored {!r} in state {!r}",
+                type(self).__name__, event, self._current_state,
+            )
+            return
         if info is None:
             raise FrameworkError(
                 f"monitor {type(self).__name__} has no handler for "
-                f"{type(event).__name__} in state {self._current_state!r}"
+                f"{event_type.__name__} in state {self._current_state!r}"
             )
         handler = getattr(self, info.method_name)
         if info.wants_event:

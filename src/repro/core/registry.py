@@ -38,6 +38,7 @@ from .config import TestingConfig
 #: case-study packages.
 BUILTIN_SCENARIO_MODULES = (
     "repro.examplesys.harness.scenarios",
+    "repro.examplesys.harness.flushstore",
     "repro.vnext.harness.scenarios",
     "repro.migratingtable.harness.scenarios",
     "repro.fabric.harness",

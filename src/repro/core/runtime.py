@@ -30,10 +30,10 @@ executions that find no bug:
   the order the previous full-scan implementation produced, so all
   strategies — including replay — see identical enabled sequences and emit
   byte-identical :class:`ScheduleTrace` steps.
-* **Cached handler resolution.**  ``spec().handler_for`` memoizes its
-  ``(state, event_type) -> handler`` resolution (see
-  :mod:`repro.core.declarations`), so dispatch stops re-walking the handler
-  table for every event.
+* **Cached handler resolution.**  Dispatch resolves events through the
+  machine's :class:`~repro.core.declarations.StateContext`, which memoizes
+  the ``event_type -> handler | DEFER | IGNORE`` classification per state
+  stack, so dispatch stops re-walking the handler table for every event.
 """
 
 from __future__ import annotations
@@ -46,6 +46,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .config import TestingConfig
 from .coverage import CoverageTracker
+from .declarations import DEFER, IGNORE, HandlerInfo, StateRef, resolve_state_name
 from .errors import (
     BugError,
     DeadlockError,
@@ -263,6 +264,13 @@ class TestRuntime:
         monitor = monitor_cls(self)
         self._monitors[monitor_cls] = monitor
         self.log("registered monitor {}", monitor_cls.__name__)
+        # Like machine start-up, the monitor's initial state runs its entry
+        # action once, at registration — unless the constructor already
+        # transitioned (its goto ran the target's entry action itself).
+        if monitor._transition_count == 0:
+            entry_action = monitor._spec.entry_actions.get(monitor._current_state)
+            if entry_action is not None:
+                getattr(monitor, entry_action)()
         return monitor
 
     # ------------------------------------------------------------------
@@ -340,7 +348,13 @@ class TestRuntime:
         machine._inbox.append(event)
         if not machine._enabled:
             receive = machine._pending_receive
-            if receive is None or receive.matches(event):
+            if receive is None:
+                # Deferred/ignored events add no work; every event does on
+                # the (overwhelmingly common) discipline-free plain path.
+                ctx = machine._state_ctx
+                if ctx.plain or ctx.dequeuable(type(event)):
+                    self._mark_enabled(machine)
+            elif receive.matches(event):
                 self._mark_enabled(machine)
         if sender is not None:
             self._sink.append(("sent {} -> {}: {!r}", sender, target, event))
@@ -377,13 +391,18 @@ class TestRuntime:
         self.log("monitor {} <- {!r} (from {})", monitor_cls.__name__, event, source)
         monitor.handle(event)
 
-    def transition_machine(self, machine: Machine, state: str) -> None:
+    def transition_machine(self, machine: Machine, state: StateRef) -> None:
+        """``goto``: replace the top of the state stack, running exit/entry."""
+        state = resolve_state_name(state)
         spec = machine._spec
         exit_action = spec.exit_actions.get(machine._current_state)
         if exit_action is not None:
             self._run_plain_action(machine, exit_action)
         previous = machine._current_state
+        machine._state_stack[-1] = state
         machine._current_state = state
+        machine._state_ctx = spec.context_for(tuple(machine._state_stack))
+        machine._transition_count += 1
         self.log("{}: {} -> {}", machine._id, previous, state)
         if self.coverage is not None:
             self.coverage.record_transition(type(machine).__name__, previous, state)
@@ -391,8 +410,43 @@ class TestRuntime:
         if entry_action is not None:
             self._run_plain_action(machine, entry_action)
 
+    def push_machine_state(self, machine: Machine, state: StateRef) -> None:
+        """Push ``state`` onto the stack: the current state pauses (no exit
+        action) and keeps handling whatever the pushed state does not."""
+        state = resolve_state_name(state)
+        previous = machine._current_state
+        machine._state_stack.append(state)
+        machine._current_state = state
+        machine._state_ctx = machine._spec.context_for(tuple(machine._state_stack))
+        machine._transition_count += 1
+        self.log("{}: pushed {} over {}", machine._id, state, previous)
+        if self.coverage is not None:
+            self.coverage.record_transition(type(machine).__name__, previous, state)
+        entry_action = machine._spec.entry_actions.get(state)
+        if entry_action is not None:
+            self._run_plain_action(machine, entry_action)
+
+    def pop_machine_state(self, machine: Machine) -> None:
+        """Pop the top of the stack, running its exit action; the revealed
+        state resumes without re-running its entry action."""
+        stack = machine._state_stack
+        if len(stack) == 1:
+            raise FrameworkError(
+                f"{machine.id}: pop_state on the bottom state {stack[0]!r}"
+            )
+        exit_action = machine._spec.exit_actions.get(machine._current_state)
+        if exit_action is not None:
+            self._run_plain_action(machine, exit_action)
+        popped = stack.pop()
+        machine._current_state = stack[-1]
+        machine._state_ctx = machine._spec.context_for(tuple(stack))
+        machine._transition_count += 1
+        self.log("{}: popped {} back to {}", machine._id, popped, stack[-1])
+        if self.coverage is not None:
+            self.coverage.record_transition(type(machine).__name__, popped, stack[-1])
+
     def record_monitor_state(self, monitor: Monitor, state: str) -> None:
-        if state in type(monitor).hot_states:
+        if state in monitor._hot_states:
             self.log("monitor {} -> {} (hot)", type(monitor).__name__, state)
         else:
             self.log("monitor {} -> {}", type(monitor).__name__, state)
@@ -469,6 +523,7 @@ class TestRuntime:
         machines_by_value = self._machines_by_value
         next_machine = self.strategy.next_machine
         trace_steps_append = self.trace.steps.append
+        trace_states_append = self.trace.states.append
         sink_append = self._sink.append
         coverage = self.coverage
         coverage_handled = coverage.handled if coverage is not None else None
@@ -499,8 +554,12 @@ class TestRuntime:
                     f"enabled machines: {[str(mid) for mid in enabled_ids]}"
                 )
             # Inlined trace.add_scheduling_choice; _str is the cached str(),
-            # and tuple.__new__ skips the NamedTuple __new__ wrapper.
+            # and tuple.__new__ skips the NamedTuple __new__ wrapper.  The
+            # dispatch state (top of the machine's state stack) is recorded
+            # in the parallel ``states`` list so bug reports can show state
+            # context per scheduling step.
             trace_steps_append(_new_step(TraceStep, (SCHEDULE, chosen_id.value, chosen_id._str)))
+            trace_states_append(machine._current_state)
             # step_count is mirrored back to the instance before any user
             # code can observe it (next_boolean/next_integer read it).
             step_count += 1
@@ -509,24 +568,37 @@ class TestRuntime:
             # scheduling decision; the call overhead of a _execute_step
             # helper is measurable at Table 2 execution counts).  The common
             # case — a plain event with a cached handler resolution — stays
-            # in this frame; coroutine resumption and control events take
-            # the helper paths.
+            # in this frame; coroutine resumption, raised events, control
+            # events and state disciplines take the helper/slow paths.
             try:
                 if machine._coroutine is not None:
                     self._execute_coroutine_step(machine)
                 else:
-                    event = machine._inbox.popleft()
+                    ctx = machine._state_ctx
+                    if machine._raised:
+                        # The local high-priority queue drains before the
+                        # inbox and bypasses defer/ignore disciplines.
+                        event = machine._raised.popleft()
+                    elif ctx.plain:
+                        event = machine._inbox.popleft()
+                    else:
+                        event = self._dequeue_with_disciplines(machine, ctx)
                     event_type = type(event)
                     if isinstance(event, _CONTROL_EVENTS):
                         self._dispatch_control_event(machine, event)
                     else:
-                        spec = machine._spec
+                        actions = ctx.actions
                         try:
-                            info = spec._resolution_cache[
-                                (machine._current_state, event_type)
-                            ]
+                            info = actions[event_type]
                         except KeyError:
-                            info = spec.handler_for(machine._current_state, event_type)
+                            info = ctx.resolve(event_type)
+                        if info is not None and info.__class__ is not HandlerInfo:
+                            # DEFER/IGNORE classification can only reach
+                            # dispatch for a *raised* event (dequeue already
+                            # applied the disciplines): disciplines do not
+                            # govern the raised queue, so fall back to
+                            # handler-only resolution.
+                            info = ctx.handler_only(event_type)
                         if info is None:
                             self._on_unhandled_event(machine, event, event_type)
                         else:
@@ -566,13 +638,22 @@ class TestRuntime:
                 return
             # The executed machine is the only one whose runnability can
             # have *decreased* during the step (sends to other machines only
-            # enable, handled at enqueue time), so one recheck keeps the
-            # enabled set exact.  The no-receive case of Machine._has_work is
-            # unrolled here; blocked-in-receive machines take the slow path.
+            # enable, handled at enqueue time; state transitions change only
+            # its own disciplines), so one recheck keeps the enabled set
+            # exact.  The no-receive, no-discipline case of
+            # Machine._has_work is unrolled here; blocked-in-receive and
+            # discipline-filtered machines take the slow paths.
             if machine._halted:
                 has_work = False
             elif machine._pending_receive is None:
-                has_work = machine._coroutine is not None or bool(machine._inbox)
+                if machine._coroutine is not None or machine._raised:
+                    has_work = True
+                else:
+                    ctx = machine._state_ctx
+                    if ctx.plain:
+                        has_work = bool(machine._inbox)
+                    else:
+                        has_work = ctx.any_dequeuable(machine._inbox)
             else:
                 has_work = machine._has_work()
             if has_work:
@@ -581,6 +662,43 @@ class TestRuntime:
             elif machine._enabled:
                 self._mark_disabled(machine)
         self.termination_reason = "bound"
+
+    def _dequeue_with_disciplines(self, machine: Machine, ctx) -> Event:
+        """Dequeue selection under the current state's event disciplines.
+
+        Scans the inbox front-to-back: ignored events are dropped (and
+        logged), deferred events are skipped (they stay queued, in order),
+        and the first dequeuable event is removed and returned.  The enabled
+        set only admits machines with at least one dequeuable event, so the
+        scan finding nothing means the incremental bookkeeping is broken —
+        a framework bug, reported as such.
+        """
+        inbox = machine._inbox
+        actions = ctx.actions
+        index = 0
+        while index < len(inbox):
+            event = inbox[index]
+            event_type = type(event)
+            try:
+                action = actions[event_type]
+            except KeyError:
+                action = ctx.resolve(event_type)
+            if action is IGNORE:
+                del inbox[index]
+                self._sink.append((
+                    "{}: ignored {!r} in state {!r}",
+                    machine._id, event, machine._current_state,
+                ))
+                continue
+            if action is DEFER:
+                index += 1
+                continue
+            del inbox[index]
+            return event
+        raise FrameworkError(
+            f"{machine.id}: scheduled with no dequeuable event "
+            f"(inbox holds only deferred events in state {machine.current_state!r})"
+        )
 
     def _execute_coroutine_step(self, machine: Machine) -> None:
         """Resume a machine whose handler is paused in a generator."""
@@ -600,9 +718,20 @@ class TestRuntime:
             return
         args, kwargs = getattr(machine, "_start_args", ((), {}))
         self._sink.append(("{}: starting", machine._id))
+        initial = machine._current_state
+        transitions_before = machine._transition_count
         result = machine.on_start(*args, **kwargs)
         if result is not None:
             self._maybe_start_coroutine(machine, result)
+        # The initial state's entry action runs once the machine has started
+        # (after ``on_start`` — or its first generator segment — so the
+        # fields it initializes are available), unless on_start already
+        # transitioned (even away and back: that goto ran the entry action
+        # itself) or halted the machine.
+        if not machine._halted and machine._transition_count == transitions_before:
+            entry_action = machine._spec.entry_actions.get(initial)
+            if entry_action is not None:
+                self._run_plain_action(machine, entry_action)
 
     def _on_unhandled_event(self, machine: Machine, event: Event, event_type: type) -> None:
         if machine.ignore_unhandled_events:
@@ -664,6 +793,7 @@ class TestRuntime:
             machine._coroutine = None
         machine._pending_receive = None
         machine._inbox.clear()
+        machine._raised.clear()
         self._mark_disabled(machine)
         machine.on_halt()
         self.log("{}: halted", machine._id)
@@ -692,10 +822,40 @@ class TestRuntime:
                 m for m in self._machines.values()
                 if not m.is_halted and m._pending_receive is not None
             ]
-            if blocked:
-                names = ", ".join(str(m.id) for m in blocked)
+            # A machine whose inbox holds deferred events at quiescence is
+            # waiting for a transition that will never happen: the deferred
+            # analogue of being blocked in receive.  (Ignored-only backlogs
+            # are benign — dropping them needs no further progress.)
+            defer_stuck = [
+                m for m in self._machines.values()
+                if not m.is_halted
+                and m._pending_receive is None
+                and m._inbox
+                and any(m._state_ctx.resolve(type(e)) is DEFER for e in m._inbox)
+            ]
+            if blocked or defer_stuck:
+                clauses = []
+                if blocked:
+                    names = ", ".join(str(m.id) for m in blocked)
+                    clauses.append(f"{names} are blocked in receive")
+                if defer_stuck:
+                    names = ", ".join(
+                        f"{m.id} (state {m.current_state!r})" for m in defer_stuck
+                    )
+                    # "deferred", not "only deferred": the stuck inbox may
+                    # also contain ignored (likewise non-dequeuable) events.
+                    if len(defer_stuck) == 1:
+                        clauses.append(
+                            f"the inbox of {names} holds deferred events "
+                            f"it can never dequeue"
+                        )
+                    else:
+                        clauses.append(
+                            f"the inboxes of {names} hold deferred events "
+                            f"they can never dequeue"
+                        )
                 self._record_bug(
-                    DeadlockError(f"no machine is runnable but {names} are blocked in receive")
+                    DeadlockError("no machine is runnable but " + " and ".join(clauses))
                 )
 
     def _record_bug(self, error: BugError) -> None:

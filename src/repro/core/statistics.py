@@ -5,7 +5,11 @@ test, the size of the P# test harness, and three structural measures of the
 harness: number of machines (#M), number of state transitions (#ST) and
 number of action handlers (#AH).  This module computes the same measures for
 the Python harnesses in this repository by inspecting the declared machine and
-monitor classes and counting source lines of the involved modules.
+monitor classes and counting source lines of the involved modules.  With the
+State DSL the spec also exposes per-state event disciplines, so the rows
+additionally count declared states (#S), deferred-event declarations (#DE)
+and ignored-event declarations (#IE) — modeling cost the flat string-state
+form hid inside hand-rolled bookkeeping.
 """
 
 from __future__ import annotations
@@ -34,7 +38,10 @@ def count_source_lines(modules: Iterable) -> int:
 def _declared_states(cls: type) -> set:
     spec = cls.spec()
     states = set(spec.states)
-    states.add(cls.initial_state)
+    # The DSL-declared initial state supersedes the legacy class attribute;
+    # counting the latter would charge DSL machines a phantom "init" state.
+    if spec.initial_state is None:
+        states.add(cls.initial_state)
     return states
 
 
@@ -60,6 +67,21 @@ def count_action_handlers(machine_classes: Sequence[type]) -> int:
     return sum(cls.spec().action_handler_count for cls in machine_classes)
 
 
+def count_states(machine_classes: Sequence[type]) -> int:
+    """Count declared states (DSL State classes and legacy string states)."""
+    return sum(len(_declared_states(cls)) for cls in machine_classes)
+
+
+def count_deferred_events(machine_classes: Sequence[type]) -> int:
+    """Count (state, deferred event type) declarations across the harness."""
+    return sum(cls.spec().deferred_event_count for cls in machine_classes)
+
+
+def count_ignored_events(machine_classes: Sequence[type]) -> int:
+    """Count (state, ignored event type) declarations across the harness."""
+    return sum(cls.spec().ignored_event_count for cls in machine_classes)
+
+
 @dataclass
 class HarnessStatistics:
     """The Table 1 row computed for one case study."""
@@ -71,6 +93,9 @@ class HarnessStatistics:
     num_state_transitions: int
     num_action_handlers: int
     bugs_found: int = 0
+    num_states: int = 0
+    num_deferred_events: int = 0
+    num_ignored_events: int = 0
 
     def as_row(self) -> dict:
         return {
@@ -79,8 +104,11 @@ class HarnessStatistics:
             "bugs": self.bugs_found,
             "harness_loc": self.harness_loc,
             "machines": self.num_machines,
+            "states": self.num_states,
             "state_transitions": self.num_state_transitions,
             "action_handlers": self.num_action_handlers,
+            "deferred_events": self.num_deferred_events,
+            "ignored_events": self.num_ignored_events,
         }
 
 
@@ -122,4 +150,7 @@ class HarnessDescription:
             num_state_transitions=count_state_transitions(self.machine_classes),
             num_action_handlers=count_action_handlers(self.machine_classes),
             bugs_found=self.bugs_found,
+            num_states=count_states(self.machine_classes),
+            num_deferred_events=count_deferred_events(self.machine_classes),
+            num_ignored_events=count_ignored_events(self.machine_classes),
         )

@@ -57,10 +57,19 @@ class TraceStep(NamedTuple):
 
 @dataclass
 class ScheduleTrace:
-    """An ordered list of :class:`TraceStep` plus the execution log."""
+    """An ordered list of :class:`TraceStep` plus the execution log.
+
+    ``states`` records, for the *i*-th :data:`SCHEDULE` step, the name of the
+    scheduled machine's current state (the top of its state stack) at
+    dispatch time, so replay/report tooling can show state context per step.
+    It parallels the subsequence of schedule steps, not ``steps`` itself —
+    boolean/integer choices carry no state entry.  Traces written before the
+    field existed load with ``states == []``; replay never consults it.
+    """
 
     steps: List[TraceStep] = field(default_factory=list)
     log: List[str] = field(default_factory=list)
+    states: List[str] = field(default_factory=list)
 
     def add_scheduling_choice(self, machine_value: int, label: str) -> None:
         self.steps.append(TraceStep(SCHEDULE, machine_value, label))
@@ -90,11 +99,33 @@ class ScheduleTrace:
     def num_value_choices(self) -> int:
         return sum(1 for step in self.steps if step.kind != SCHEDULE)
 
+    def schedule_context(self):
+        """Pairs of (schedule step, recorded state name), oldest first.
+
+        Yields nothing for traces recorded before states were captured
+        (old-format JSON) or hand-built from bare steps.
+        """
+        states = self.states
+        if not states:
+            return
+        index = 0
+        for step in self.steps:
+            if step.kind == SCHEDULE:
+                if index >= len(states):
+                    return
+                yield step, states[index]
+                index += 1
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {"steps": [step.to_dict() for step in self.steps], "log": list(self.log)}
+        payload = {"steps": [step.to_dict() for step in self.steps], "log": list(self.log)}
+        # Emitted only when present, so traces saved by older versions and
+        # traces built from bare step lists round-trip unchanged.
+        if self.states:
+            payload["states"] = list(self.states)
+        return payload
 
     @staticmethod
     def from_dict(payload: dict) -> "ScheduleTrace":
@@ -107,7 +138,11 @@ class ScheduleTrace:
                     f"(expected one of {sorted(VALID_KINDS)})"
                 )
             steps.append(step)
-        return ScheduleTrace(steps=steps, log=list(payload.get("log", [])))
+        return ScheduleTrace(
+            steps=steps,
+            log=list(payload.get("log", [])),
+            states=[str(state) for state in payload.get("states", [])],
+        )
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,123 @@
+"""Legacy-form (string-state) declaration of the §2.2 harness machines.
+
+This module is the compatibility fixture for the State-DSL redesign: it keeps
+the pre-DSL decorator form of :mod:`repro.examplesys.harness.machines` alive,
+verbatim except that the states carry the same names the DSL port uses, so
+the ``dsl-compat`` test (and CI job) can run the seeded scenario under *both*
+declaration forms and assert byte-identical :class:`ScheduleTrace` JSON —
+schedules, recorded per-step states, and execution logs included.
+
+Class names intentionally shadow the ported module's (machine ids embed the
+class name, and the ids must match across the two runs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import Machine, MachineId, Receive, TimerMachine, TimerTick, on_event
+
+from ..messages import (
+    Ack,
+    ClientRequest,
+    NotifyAck,
+    NotifyClientRequest,
+    NotifyReplicaStored,
+    ReplicationRequest,
+    SyncReport,
+)
+from ..server import ReplicationServer, ServerConfig, ServerNetwork, StorageNodeStore
+from .monitors import AckLivenessMonitor, ReplicaSafetyMonitor
+
+
+class ModelServerNetwork(ServerNetwork):
+    """Modeled network engine: relays the server's messages as machine events."""
+
+    def __init__(self, server_machine: "ServerMachine") -> None:
+        self._machine = server_machine
+
+    def send_replication_request(self, node_id: int, data: int) -> None:
+        target = self._machine.node_machines[node_id]
+        self._machine.send(target, ReplicationRequest(data))
+
+    def send_ack(self, data: int) -> None:
+        self._machine.notify_monitor(ReplicaSafetyMonitor, NotifyAck(data))
+        self._machine.notify_monitor(AckLivenessMonitor, NotifyAck(data))
+        if self._machine.client is not None:
+            self._machine.send(self._machine.client, Ack(data))
+
+
+class ServerMachine(Machine):
+    """The §2.2 server wrapper, in the legacy string-state declaration form."""
+
+    initial_state = "Init"
+
+    def on_start(
+        self,
+        num_nodes: int = 3,
+        num_requests: int = 2,
+        server_config: Optional[ServerConfig] = None,
+        timer_ticks: "int | None" = None,
+    ) -> None:
+        self.node_machines: Dict[int, MachineId] = {}
+        self.client: Optional[MachineId] = None
+        for node_id in range(num_nodes):
+            self.node_machines[node_id] = self.create(
+                StorageNodeMachine, self.id, node_id, timer_ticks, name=f"SN-{node_id}"
+            )
+        self.server = ReplicationServer(
+            node_ids=list(self.node_machines),
+            network=ModelServerNetwork(self),
+            config=server_config,
+        )
+        self.client = self.create(ClientMachine, self.id, num_requests, name="Client")
+
+    @on_event(ClientRequest, state="Init")
+    def handle_client_request(self, event: ClientRequest) -> None:
+        self.notify_monitor(ReplicaSafetyMonitor, NotifyClientRequest(event.data))
+        self.notify_monitor(AckLivenessMonitor, NotifyClientRequest(event.data))
+        self.server.process_client_request(event.data)
+
+    @on_event(SyncReport, state="Init")
+    def handle_sync(self, event: SyncReport) -> None:
+        self.server.process_sync(event.node_id, event.log)
+
+
+class StorageNodeMachine(Machine):
+    """Modeled storage node, in the legacy string-state declaration form."""
+
+    initial_state = "Init"
+
+    def on_start(self, server: MachineId, node_id: int, timer_ticks: "int | None") -> None:
+        self.server = server
+        self.node_id = node_id
+        self.store = StorageNodeStore(node_id)
+        self.timer = self.create(
+            TimerMachine, self.id, timer_name=f"sn-{node_id}", max_ticks=timer_ticks,
+            name=f"Timer-SN-{node_id}",
+        )
+
+    @on_event(ReplicationRequest, state="Init")
+    def handle_replication(self, event: ReplicationRequest) -> None:
+        self.store.store(event.data)
+        self.notify_monitor(ReplicaSafetyMonitor, NotifyReplicaStored(self.node_id, event.data))
+
+    @on_event(TimerTick, state="Init")
+    def handle_timeout(self) -> None:
+        self.send(self.server, SyncReport(self.node_id, self.store.latest))
+
+
+class ClientMachine(Machine):
+    """Modeled client, in the legacy string-state declaration form."""
+
+    initial_state = "Init"
+    ignore_unhandled_events = True
+
+    def on_start(self, server: MachineId, num_requests: int):
+        self.server = server
+        self.acked: List[int] = []
+        for request_index in range(num_requests):
+            data = request_index * 100 + self.random_integer(100)
+            self.send(self.server, ClientRequest(data, self.id))
+            ack = yield Receive(Ack)
+            self.acked.append(ack.data)

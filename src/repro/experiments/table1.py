@@ -2,7 +2,8 @@
 
 Computes, for each case study, the size of the system-under-test, the size of
 the test harness, and the structural statistics of the harness (#machines,
-#state transitions, #action handlers), mirroring Table 1 of the paper.
+#states, #state transitions, #action handlers, #deferred/#ignored event
+declarations), mirroring Table 1 of the paper.
 """
 
 from __future__ import annotations
@@ -119,14 +120,16 @@ def generate_table1() -> List[HarnessStatistics]:
 def format_table1(rows: List[HarnessStatistics]) -> str:
     header = (
         f"{'System-under-test':38s} {'sysLoC':>7s} {'#B':>3s} "
-        f"{'harnessLoC':>11s} {'#M':>4s} {'#ST':>4s} {'#AH':>4s}"
+        f"{'harnessLoC':>11s} {'#M':>4s} {'#S':>4s} {'#ST':>4s} {'#AH':>4s} "
+        f"{'#DE':>4s} {'#IE':>4s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row.name:38s} {row.system_loc:7d} {row.bugs_found:3d} "
-            f"{row.harness_loc:11d} {row.num_machines:4d} "
-            f"{row.num_state_transitions:4d} {row.num_action_handlers:4d}"
+            f"{row.harness_loc:11d} {row.num_machines:4d} {row.num_states:4d} "
+            f"{row.num_state_transitions:4d} {row.num_action_handlers:4d} "
+            f"{row.num_deferred_events:4d} {row.num_ignored_events:4d}"
         )
     return "\n".join(lines)
 

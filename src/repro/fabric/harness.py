@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.core import Machine, MachineId, TestRuntime, on_event
+from repro.core import Machine, MachineId, State, TestRuntime, on_event
 from repro.core.registry import scenario
 
 from .model import (
@@ -38,7 +38,13 @@ from .model import (
 
 
 class ReplicaMachine(Machine):
-    """Hosts one replica of a user service."""
+    """Hosts one replica of a user service.
+
+    The replica's role is its *state*: the hand-rolled ``self.role`` string
+    of the flat model is replaced by first-class states, with the promotion
+    events declared per state.  Role-independent protocol handlers (copy
+    state, replication, failure) stay wildcard — they apply in every role.
+    """
 
     ignore_unhandled_events = True
 
@@ -47,24 +53,42 @@ class ReplicaMachine(Machine):
         self.service = service_factory()
         if initialize:
             self.service.initialize()
-        self.role = "idle-secondary"
         self.copy_completed = initialize
 
+    class IdleSecondary(State, initial=True):
+        """Freshly placed replica, not yet serving in the replica set."""
+
+    class ActiveSecondary(State):
+        """Caught-up secondary applying the primary's replicated operations."""
+
+    class Primary(State):
+        @on_event(ClientRequest)
+        def handle_client_request(self, event: ClientRequest) -> None:
+            self.service.apply(event.payload)
+
+    # ------------------------------------------------------------------
+    # promotions (any role may be promoted; the monitors judge legality)
+    # ------------------------------------------------------------------
     @on_event(PromoteToPrimary)
     def become_primary(self) -> None:
-        self.role = "primary"
+        self.goto(ReplicaMachine.Primary)
         self.notify_monitor(PromotionSafetyMonitor, NotifyPrimaryElected(self.id))
         self.notify_monitor(PrimaryLivenessMonitor, NotifyPrimaryElected(self.id))
 
     @on_event(PromoteToActiveSecondary)
     def become_active_secondary(self) -> None:
-        self.role = "active-secondary"
+        self.goto(ReplicaMachine.ActiveSecondary)
         self.notify_monitor(PromotionSafetyMonitor, NotifyPromotion(self.id, self.copy_completed))
 
+    # ------------------------------------------------------------------
+    # role-independent protocol handlers
+    # ------------------------------------------------------------------
     @on_event(ClientRequest)
-    def handle_client_request(self, event: ClientRequest) -> None:
-        self.assert_that(self.role == "primary", "client request routed to a non-primary replica")
-        self.service.apply(event.payload)
+    def misrouted_client_request(self, event: ClientRequest) -> None:
+        # Only the Primary state handles client requests; reaching this
+        # wildcard fallback means the cluster manager routed a request to a
+        # replica in any other role.
+        self.assert_that(False, "client request routed to a non-primary replica")
 
     @on_event(ReplicateOp)
     def handle_replication(self, event: ReplicateOp) -> None:
@@ -88,7 +112,7 @@ class ReplicaMachine(Machine):
     @on_event(FailReplica)
     def fail(self) -> None:
         self.send(self.cluster, ReplicaFailed(self.id))
-        if self.role == "primary":
+        if self.current_state == "Primary":
             self.notify_monitor(PrimaryLivenessMonitor, ReplicaFailed(self.id))
         self.halt()
 
@@ -117,45 +141,47 @@ class ClusterManagerMachine(Machine):
             self.send(secondary, PromoteToActiveSecondary())
 
     # ------------------------------------------------------------------
-    @on_event(ClientRequest)
-    def route_request(self, event: ClientRequest) -> None:
-        if self.primary is None:
-            return
-        self.send(self.primary, event)
-        for replica in self.replicas:
-            if replica != self.primary:
-                self.send(replica, ReplicateOp(event.payload))
+    class Managing(State, initial=True):
+        @on_event(ClientRequest)
+        def route_request(self, event: ClientRequest) -> None:
+            if self.primary is None:
+                return
+            self.send(self.primary, event)
+            for replica in self.replicas:
+                if replica != self.primary:
+                    self.send(replica, ReplicateOp(event.payload))
 
-    @on_event(ReplicaFailed)
-    def handle_replica_failure(self, event: ReplicaFailed) -> None:
-        if event.replica in self.replicas:
-            self.replicas.remove(event.replica)
-        self.copying.pop(event.replica, None)
-        was_primary = event.replica == self.primary
-        if was_primary:
-            self.primary = None
-            self._elect_new_primary()
-        # Launch a replacement secondary that must catch up via copy-state.
-        replacement = self.create(
-            ReplicaMachine,
-            self.id,
-            self.service_factory,
-            False,
-            name=f"Replica-{len(self.replicas)}r",
-        )
-        self.replicas.append(replacement)
-        self.copying[replacement] = True
-        if self.primary is not None:
-            self.send(self.primary, CopyStateRequest(replacement))
-            if self.config.allow_promote_without_copy:
-                # BUG: the replacement is promoted to active secondary as soon
-                # as the copy has been *requested*, not when it has completed.
-                self.send(replacement, PromoteToActiveSecondary())
+        @on_event(ReplicaFailed)
+        def handle_replica_failure(self, event: ReplicaFailed) -> None:
+            if event.replica in self.replicas:
+                self.replicas.remove(event.replica)
+            self.copying.pop(event.replica, None)
+            was_primary = event.replica == self.primary
+            if was_primary:
+                self.primary = None
+                self._elect_new_primary()
+            # Launch a replacement secondary that must catch up via copy-state.
+            replacement = self.create(
+                ReplicaMachine,
+                self.id,
+                self.service_factory,
+                False,
+                name=f"Replica-{len(self.replicas)}r",
+            )
+            self.replicas.append(replacement)
+            self.copying[replacement] = True
+            if self.primary is not None:
+                self.send(self.primary, CopyStateRequest(replacement))
+                if self.config.allow_promote_without_copy:
+                    # BUG: the replacement is promoted to active secondary as
+                    # soon as the copy has been *requested*, not when it has
+                    # completed.
+                    self.send(replacement, PromoteToActiveSecondary())
 
-    @on_event(CopyCompleted)
-    def handle_copy_completed(self, event: CopyCompleted) -> None:
-        if self.copying.pop(event.replica, False):
-            self.send(event.replica, PromoteToActiveSecondary())
+        @on_event(CopyCompleted)
+        def handle_copy_completed(self, event: CopyCompleted) -> None:
+            if self.copying.pop(event.replica, False):
+                self.send(event.replica, PromoteToActiveSecondary())
 
     def _elect_new_primary(self) -> None:
         if self.config.allow_promote_without_copy:
@@ -191,18 +217,19 @@ class FabricTestDriver(Machine):
             self.send(self.cluster, ClientRequest(index + 1))
         self.send(self.id, FailReplica())
 
-    @on_event(FailReplica)
-    def inject_failure(self) -> None:
-        cluster = self._runtime.machine_instance(self.cluster)
-        replicas = list(getattr(cluster, "replicas", []))
-        if not replicas:
-            # The cluster manager has not started yet; try again later (the
-            # retry point is itself subject to scheduling, so failures can be
-            # injected at any point of the execution).
-            self.send(self.id, FailReplica())
-            return
-        victim = self.choose(replicas)
-        self.send(victim, FailReplica())
+    class Injecting(State, initial=True):
+        @on_event(FailReplica)
+        def inject_failure(self) -> None:
+            cluster = self._runtime.machine_instance(self.cluster)
+            replicas = list(getattr(cluster, "replicas", []))
+            if not replicas:
+                # The cluster manager has not started yet; try again later
+                # (the retry point is itself subject to scheduling, so
+                # failures can be injected at any point of the execution).
+                self.send(self.id, FailReplica())
+                return
+            victim = self.choose(replicas)
+            self.send(victim, FailReplica())
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core import Event, Machine, MachineId, Monitor, on_event
+from repro.core import Event, Machine, MachineId, Monitor, State, on_event
 
 
 # ---------------------------------------------------------------------------
@@ -170,39 +170,37 @@ class FabricModelConfig:
 class PromotionSafetyMonitor(Monitor):
     """Only secondaries that completed the state copy may become active."""
 
-    initial_state = "watching"
+    class Watching(State, initial=True):
+        @on_event(NotifyPromotion)
+        def on_promotion(self, event: NotifyPromotion) -> None:
+            self.assert_that(
+                event.copy_completed,
+                f"replica {event.replica} was promoted to active secondary before "
+                "receiving a copy of the state",
+            )
 
-    @on_event(NotifyPromotion)
-    def on_promotion(self, event: NotifyPromotion) -> None:
-        self.assert_that(
-            event.copy_completed,
-            f"replica {event.replica} was promoted to active secondary before "
-            "receiving a copy of the state",
-        )
-
-    @on_event(NotifyPrimaryElected)
-    def on_primary(self, event: NotifyPrimaryElected) -> None:
-        pass
+        @on_event(NotifyPrimaryElected)
+        def on_primary(self, event: NotifyPrimaryElected) -> None:
+            pass
 
 
 class PrimaryLivenessMonitor(Monitor):
     """Hot while the cluster has no primary replica."""
 
-    initial_state = "no_primary"
-    hot_states = frozenset({"no_primary"})
+    class NoPrimary(State, initial=True, hot=True):
+        @on_event(NotifyPrimaryElected)
+        def elected(self) -> None:
+            self.goto(PrimaryLivenessMonitor.HasPrimary)
 
-    @on_event(NotifyPrimaryElected, state="no_primary")
-    def elected(self) -> None:
-        self.goto("has_primary")
+        @on_event(ReplicaFailed)
+        def still_down(self) -> None:
+            pass
 
-    @on_event(ReplicaFailed, state="has_primary")
-    def primary_failed(self) -> None:
-        self.goto("no_primary")
+    class HasPrimary(State):
+        @on_event(ReplicaFailed)
+        def primary_failed(self) -> None:
+            self.goto(PrimaryLivenessMonitor.NoPrimary)
 
-    @on_event(ReplicaFailed, state="no_primary")
-    def still_down(self) -> None:
-        pass
-
-    @on_event(NotifyPrimaryElected, state="has_primary")
-    def re_elected(self) -> None:
-        pass
+        @on_event(NotifyPrimaryElected)
+        def re_elected(self) -> None:
+            pass

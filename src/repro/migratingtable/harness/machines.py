@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core import Machine, on_event
+from repro.core import Machine, State
 
 from ..bugs import CLIENT_SIDE_BUGS, MIGRATOR_SIDE_BUGS, MigratingTableBug
 from ..chain_table import IChainTable
@@ -48,6 +48,9 @@ def split_bugs(bugs) -> tuple:
 class MigratorMachine(Machine):
     """Runs the background migration, one backend step per scheduling point."""
 
+    class Migrating(State, initial=True):
+        """Single protocol phase: the migration loop lives in ``on_start``."""
+
     def on_start(
         self,
         old_table: IChainTable,
@@ -62,6 +65,9 @@ class MigratorMachine(Machine):
 
 class ServiceMachine(Machine):
     """One application process issuing random operations through its MT."""
+
+    class Issuing(State, initial=True):
+        """Single protocol phase: the operation loop lives in ``on_start``."""
 
     #: Operation mix explored by the controlled random choices.
     WRITE_KINDS = (OpKind.INSERT, OpKind.REPLACE, OpKind.MERGE, OpKind.UPSERT, OpKind.DELETE)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core import Halt, Machine, MachineId, TimerMachine, TimerTick, on_event
+from repro.core import Halt, Machine, MachineId, State, TimerMachine, TimerTick, on_event
 
 from ..extent import ExtentId
 from ..extent_manager import ExtentManager, ExtentManagerConfig, NetworkEngine
@@ -71,20 +71,21 @@ class ExtentManagerMachine(Machine):
             TimerMachine, self.id, timer_name=self.REPAIR_TIMER, name="Timer-EM-repair"
         )
 
-    @on_event(ExtentManagerMessageEvent)
-    def deliver_message(self, event: ExtentManagerMessageEvent) -> None:
-        self.extent_manager.process_message(event.message)
+    class Serving(State, initial=True):
+        @on_event(ExtentManagerMessageEvent)
+        def deliver_message(self, event: ExtentManagerMessageEvent) -> None:
+            self.extent_manager.process_message(event.message)
 
-    @on_event(TimerTick)
-    def on_timer(self, event: TimerTick) -> None:
-        if event.timer_name == self.EXPIRATION_TIMER:
-            expired = self.extent_manager.run_expiration_loop()
-            if expired:
-                self.log(f"expired extent nodes {expired}")
-        elif event.timer_name == self.REPAIR_TIMER:
-            scheduled = self.extent_manager.run_repair_loop()
-            if scheduled:
-                self.log(f"scheduled repairs {scheduled}")
+        @on_event(TimerTick)
+        def on_timer(self, event: TimerTick) -> None:
+            if event.timer_name == self.EXPIRATION_TIMER:
+                expired = self.extent_manager.run_expiration_loop()
+                if expired:
+                    self.log(f"expired extent nodes {expired}")
+            elif event.timer_name == self.REPAIR_TIMER:
+                scheduled = self.extent_manager.run_repair_loop()
+                if scheduled:
+                    self.log(f"scheduled repairs {scheduled}")
 
 
 class ExtentNodeMachine(Machine):
@@ -115,17 +116,54 @@ class ExtentNodeMachine(Machine):
             TimerMachine, self.id, timer_name=self.SYNC_TIMER, name=f"Timer-Sync-{node_id}"
         )
 
-    # ------------------------------------------------------------------
-    # periodic reporting
-    # ------------------------------------------------------------------
-    @on_event(TimerTick)
-    def on_timer(self, event: TimerTick) -> None:
-        if event.timer_name == self.HEARTBEAT_TIMER:
-            if not self._report_in_flight(Heartbeat):
-                self.send(self.extent_manager, ExtentManagerMessageEvent(Heartbeat(self.node_id)))
-        elif event.timer_name == self.SYNC_TIMER:
-            if not self._report_in_flight(SyncReport):
-                self.send(self.extent_manager, ExtentManagerMessageEvent(self.store.get_sync_report()))
+    class Serving(State, initial=True):
+        # --------------------------------------------------------------
+        # periodic reporting
+        # --------------------------------------------------------------
+        @on_event(TimerTick)
+        def on_timer(self, event: TimerTick) -> None:
+            if event.timer_name == self.HEARTBEAT_TIMER:
+                if not self._report_in_flight(Heartbeat):
+                    self.send(self.extent_manager, ExtentManagerMessageEvent(Heartbeat(self.node_id)))
+            elif event.timer_name == self.SYNC_TIMER:
+                if not self._report_in_flight(SyncReport):
+                    self.send(self.extent_manager, ExtentManagerMessageEvent(self.store.get_sync_report()))
+
+        # --------------------------------------------------------------
+        # extent repair (modeled logic, Figure 8)
+        # --------------------------------------------------------------
+        @on_event(RepairRequestEvent)
+        def process_repair_request(self, event: RepairRequestEvent) -> None:
+            request: RepairRequest = event.message
+            if self.store.has_extent(request.extent_id):
+                return
+            self.send(
+                self.driver,
+                CopyRequestEvent(request.extent_id, request.source_node_id, self.id, self.node_id),
+            )
+
+        @on_event(CopyRequestEvent)
+        def process_copy_request(self, event: CopyRequestEvent) -> None:
+            success = self.store.has_extent(event.extent_id)
+            self.send(event.requester, CopyResponseEvent(event.extent_id, self.node_id, success))
+
+        @on_event(CopyResponseEvent)
+        def process_copy_response(self, event: CopyResponseEvent) -> None:
+            if not event.success:
+                return
+            self.store.add_extent(event.extent_id)
+            self.notify_monitor(RepairMonitor, NotifyReplicaAdded(self.node_id, event.extent_id))
+
+        # --------------------------------------------------------------
+        # failure injection (Figure 8, failure logic)
+        # --------------------------------------------------------------
+        @on_event(FailureEvent)
+        def process_failure(self) -> None:
+            self.failed = True
+            self.notify_monitor(RepairMonitor, NotifyNodeFailed(self.node_id))
+            self.send(self.heartbeat_timer, Halt())
+            self.send(self.sync_timer, Halt())
+            self.halt()
 
     def _report_in_flight(self, message_type: type) -> bool:
         """True while the Extent Manager has not yet consumed this node's
@@ -138,42 +176,6 @@ class ExtentNodeMachine(Machine):
             lambda event: isinstance(event.message, message_type)
             and event.message.node_id == self.node_id,
         ) > 0
-
-    # ------------------------------------------------------------------
-    # extent repair (modeled logic, Figure 8)
-    # ------------------------------------------------------------------
-    @on_event(RepairRequestEvent)
-    def process_repair_request(self, event: RepairRequestEvent) -> None:
-        request: RepairRequest = event.message
-        if self.store.has_extent(request.extent_id):
-            return
-        self.send(
-            self.driver,
-            CopyRequestEvent(request.extent_id, request.source_node_id, self.id, self.node_id),
-        )
-
-    @on_event(CopyRequestEvent)
-    def process_copy_request(self, event: CopyRequestEvent) -> None:
-        success = self.store.has_extent(event.extent_id)
-        self.send(event.requester, CopyResponseEvent(event.extent_id, self.node_id, success))
-
-    @on_event(CopyResponseEvent)
-    def process_copy_response(self, event: CopyResponseEvent) -> None:
-        if not event.success:
-            return
-        self.store.add_extent(event.extent_id)
-        self.notify_monitor(RepairMonitor, NotifyReplicaAdded(self.node_id, event.extent_id))
-
-    # ------------------------------------------------------------------
-    # failure injection (Figure 8, failure logic)
-    # ------------------------------------------------------------------
-    @on_event(FailureEvent)
-    def process_failure(self) -> None:
-        self.failed = True
-        self.notify_monitor(RepairMonitor, NotifyNodeFailed(self.node_id))
-        self.send(self.heartbeat_timer, Halt())
-        self.send(self.sync_timer, Halt())
-        self.halt()
 
 
 class TestingDriverMachine(Machine):
@@ -233,40 +235,41 @@ class TestingDriverMachine(Machine):
             self.notify_monitor(RepairMonitor, NotifyReplicaAdded(node_id, extent_id))
         return node_id
 
-    # ------------------------------------------------------------------
-    # failure injection
-    # ------------------------------------------------------------------
-    @on_event(InjectFailure)
-    def inject_failure(self) -> None:
-        candidates = sorted(set(self.node_machines) - self.failed_nodes)
-        victim = self.choose(candidates)
-        self.failed_nodes.add(victim)
-        self.log(f"failing extent node {victim}")
-        self.send(self.node_machines[victim], FailureEvent())
-        # Launch a replacement EN with a fresh identity and no replicas.
-        self._launch_node([])
+    class Driving(State, initial=True):
+        # --------------------------------------------------------------
+        # failure injection
+        # --------------------------------------------------------------
+        @on_event(InjectFailure)
+        def inject_failure(self) -> None:
+            candidates = sorted(set(self.node_machines) - self.failed_nodes)
+            victim = self.choose(candidates)
+            self.failed_nodes.add(victim)
+            self.log(f"failing extent node {victim}")
+            self.send(self.node_machines[victim], FailureEvent())
+            # Launch a replacement EN with a fresh identity and no replicas.
+            self._launch_node([])
 
-    # ------------------------------------------------------------------
-    # message relaying
-    # ------------------------------------------------------------------
-    @on_event(NodeMessageEvent)
-    def relay_manager_message(self, event: NodeMessageEvent) -> None:
-        target = self.node_machines.get(event.destination_node_id)
-        if target is None or event.destination_node_id in self.failed_nodes:
-            self.log(f"dropping message to unavailable node {event.destination_node_id}")
-            return
-        if isinstance(event.message, RepairRequest):
-            self.send(target, RepairRequestEvent(event.message))
-        else:
-            raise TypeError(f"unexpected outbound Extent Manager message {event.message!r}")
+        # --------------------------------------------------------------
+        # message relaying
+        # --------------------------------------------------------------
+        @on_event(NodeMessageEvent)
+        def relay_manager_message(self, event: NodeMessageEvent) -> None:
+            target = self.node_machines.get(event.destination_node_id)
+            if target is None or event.destination_node_id in self.failed_nodes:
+                self.log(f"dropping message to unavailable node {event.destination_node_id}")
+                return
+            if isinstance(event.message, RepairRequest):
+                self.send(target, RepairRequestEvent(event.message))
+            else:
+                raise TypeError(f"unexpected outbound Extent Manager message {event.message!r}")
 
-    @on_event(CopyRequestEvent)
-    def relay_copy_request(self, event: CopyRequestEvent) -> None:
-        source = self.node_machines.get(event.source_node_id)
-        if source is None or event.source_node_id in self.failed_nodes:
-            self.send(
-                event.requester,
-                CopyResponseEvent(event.extent_id, event.source_node_id, False),
-            )
-            return
-        self.send(source, event)
+        @on_event(CopyRequestEvent)
+        def relay_copy_request(self, event: CopyRequestEvent) -> None:
+            source = self.node_machines.get(event.source_node_id)
+            if source is None or event.source_node_id in self.failed_nodes:
+                self.send(
+                    event.requester,
+                    CopyResponseEvent(event.extent_id, event.source_node_id, False),
+                )
+                return
+            self.send(source, event)

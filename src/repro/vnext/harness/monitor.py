@@ -2,8 +2,8 @@
 
 The monitor tracks which ENs *truly* hold a replica of each watched extent —
 independent of what the Extent Manager believes.  It is hot (state
-``repairing``) whenever some watched extent has fewer than the target number
-of true replicas, and cold (state ``repaired``) otherwise.  If the monitor is
+``Repairing``) whenever some watched extent has fewer than the target number
+of true replicas, and cold (state ``Repaired``) otherwise.  If the monitor is
 still hot when a bounded execution ends, the extent was never repaired: the
 liveness bug of §3.6.
 """
@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from repro.core import Monitor, on_event
+from repro.core import Monitor, State, on_event
 
 from ..extent import ExtentId
 from .events import NotifyExtentTracked, NotifyNodeFailed, NotifyReplicaAdded
@@ -21,8 +21,11 @@ from .events import NotifyExtentTracked, NotifyNodeFailed, NotifyReplicaAdded
 class RepairMonitor(Monitor):
     """Hot while any watched extent is missing true replicas."""
 
-    initial_state = "repaired"
-    hot_states = frozenset({"repairing"})
+    class Repaired(State, initial=True):
+        """Every watched extent currently has its target replica count."""
+
+    class Repairing(State, hot=True):
+        """Some watched extent is under-replicated; progress is required."""
 
     def __init__(self, runtime) -> None:
         super().__init__(runtime)
@@ -35,11 +38,11 @@ class RepairMonitor(Monitor):
 
     def _update_temperature(self) -> None:
         if self._fully_replicated():
-            if self.current_state != "repaired":
-                self.goto("repaired")
+            if self.current_state != "Repaired":
+                self.goto(RepairMonitor.Repaired)
         else:
-            if self.current_state != "repairing":
-                self.goto("repairing")
+            if self.current_state != "Repairing":
+                self.goto(RepairMonitor.Repairing)
 
     # ------------------------------------------------------------------
     @on_event(NotifyExtentTracked)

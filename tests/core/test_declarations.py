@@ -91,3 +91,60 @@ def test_inherited_handlers_are_collected():
 def test_wildcard_state_constant():
     spec = Stateful.spec()
     assert (ANY_STATE, Ev2) in spec.handlers
+
+
+class EvDeep(EvSub):
+    pass
+
+
+def test_base_type_resolution_prefers_most_derived_regardless_of_order():
+    """Regression: resolution used to depend on handler registration order.
+
+    Two base-class handlers for the same event hierarchy must resolve to the
+    handler bound to the *closest* base in the event's MRO, whichever was
+    registered first.
+    """
+
+    class BaseFirst(Machine):
+        @on_event(Ev1)
+        def general(self, event):
+            pass
+
+        @on_event(EvSub)
+        def specific(self, event):
+            pass
+
+    class SpecificFirst(Machine):
+        @on_event(EvSub)
+        def specific(self, event):
+            pass
+
+        @on_event(Ev1)
+        def general(self, event):
+            pass
+
+    for cls in (BaseFirst, SpecificFirst):
+        spec = build_spec(cls)
+        assert spec.handler_for("init", EvDeep).method_name == "specific"
+        assert spec.handler_for("init", EvSub).method_name == "specific"
+        assert spec.handler_for("init", Ev1).method_name == "general"
+
+
+def test_state_handlers_beat_wildcard_handlers_for_base_matches():
+    """A state's own handler — however general its event type — wins over a
+    machine-wide (wildcard) handler, even one bound to the exact type."""
+
+    class Layered(Machine):
+        initial_state = "a"
+
+        @on_event(Ev1, state="a")
+        def state_general(self, event):
+            pass
+
+        @on_event(EvSub)
+        def wildcard_exact(self, event):
+            pass
+
+    spec = build_spec(Layered)
+    assert spec.handler_for("a", EvSub).method_name == "state_general"
+    assert spec.handler_for("b", EvSub).method_name == "wildcard_exact"

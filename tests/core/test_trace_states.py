@@ -1,0 +1,75 @@
+"""Per-step state recording in ScheduleTrace (and its JSON compatibility)."""
+
+import json
+
+from repro.core import (
+    RandomStrategy,
+    ScheduleTrace,
+    TestRuntime,
+    TestingConfig,
+    TestingEngine,
+)
+from repro.core.trace import SCHEDULE
+from repro.examplesys.harness.scenarios import (
+    build_replication_test,
+    safety_bug_configuration,
+)
+
+
+def _run_seeded(seed=7, iterations=60):
+    config = TestingConfig(
+        strategy="random", seed=seed, iterations=iterations, max_steps=600
+    )
+    engine = TestingEngine(
+        build_replication_test(safety_bug_configuration(), check_liveness=False), config
+    )
+    return engine, engine.run()
+
+
+def test_states_parallel_the_schedule_steps():
+    strategy = RandomStrategy(seed=3)
+    strategy.prepare_iteration(0)
+    runtime = TestRuntime(strategy, TestingConfig(max_steps=600))
+    runtime.run(build_replication_test(safety_bug_configuration(), check_liveness=False))
+    trace = runtime.trace
+    assert len(trace.states) == trace.num_scheduling_choices
+    assert all(isinstance(state, str) and state for state in trace.states)
+    context = list(trace.schedule_context())
+    assert len(context) == len(trace.states)
+    assert all(step.kind == SCHEDULE for step, _state in context)
+    # The §2.2 machines occupy their declared states.
+    assert {"Init", "running"} >= set(trace.states)
+
+
+def test_bug_trace_round_trips_states_through_json():
+    engine, report = _run_seeded()
+    assert report.bug_found
+    bug = report.first_bug
+    assert bug.trace.states, "bug traces must carry per-step states"
+    loaded = ScheduleTrace.from_json(bug.trace.to_json())
+    assert loaded.states == bug.trace.states
+    assert loaded.steps == bug.trace.steps
+
+
+def test_old_format_traces_without_states_still_load():
+    engine, report = _run_seeded()
+    payload = json.loads(report.first_bug.trace.to_json())
+    assert "states" in payload
+    del payload["states"]  # simulate a trace written before states existed
+    loaded = ScheduleTrace.from_dict(payload)
+    assert loaded.states == []
+    assert loaded.steps == report.first_bug.trace.steps
+    assert list(loaded.schedule_context()) == []
+    # And a bare-steps trace serializes without the key at all.
+    assert "states" not in loaded.to_dict()
+
+
+def test_shrunk_trace_carries_executed_states():
+    engine, report = _run_seeded()
+    bug = report.first_bug
+    result = engine.shrink_bug(bug)
+    assert bug.shrunk_trace is not None
+    assert len(bug.shrunk_trace.states) == bug.shrunk_trace.num_scheduling_choices
+    # The shrunk trace is adopted from an actual execution, so its states are
+    # exact for the minimized schedule, not a slice of the original's.
+    assert result.trace.states == bug.shrunk_trace.states

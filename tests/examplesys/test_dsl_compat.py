@@ -1,0 +1,79 @@
+"""Legacy string-state form vs. State-DSL form: byte-identical ScheduleTraces.
+
+The seeded §2.2 scenarios are run twice per schedule — once with the ported
+DSL machines (:mod:`repro.examplesys.harness.machines`) and once with the
+preserved legacy-form declarations
+(:mod:`repro.examplesys.harness.legacy_machines`) — and every execution must
+produce byte-identical trace JSON: schedules, per-step states, and (for buggy
+executions) the materialized log.  This is the compatibility contract of the
+DSL redesign: both declaration forms lower to the same spec and the same
+runtime behaviour.  CI runs this module as the ``dsl-compat`` job.
+"""
+
+import pytest
+
+from repro.core import RandomStrategy, TestRuntime, TestingConfig
+from repro.examplesys.harness import legacy_machines, machines
+from repro.examplesys.harness.monitors import AckLivenessMonitor, ReplicaSafetyMonitor
+from repro.examplesys.harness.scenarios import (
+    buggy_configuration,
+    fixed_configuration,
+    safety_bug_configuration,
+)
+
+
+def _entry(machines_module, server_config, check_liveness):
+    def test_entry(runtime):
+        runtime.register_monitor(ReplicaSafetyMonitor)
+        if check_liveness:
+            runtime.register_monitor(AckLivenessMonitor)
+        runtime.create_machine(
+            machines_module.ServerMachine,
+            num_nodes=3,
+            num_requests=2,
+            server_config=server_config,
+            timer_ticks=None,
+            name="Server",
+        )
+
+    return test_entry
+
+
+def _explore(machines_module, server_config, check_liveness, iterations=40, seed=7):
+    strategy = RandomStrategy(seed=seed)
+    traces, bugs = [], []
+    for iteration in range(iterations):
+        strategy.prepare_iteration(iteration)
+        runtime = TestRuntime(strategy, TestingConfig(max_steps=600, seed=seed))
+        bug = runtime.run(_entry(machines_module, server_config, check_liveness))
+        traces.append(runtime.trace.to_json())
+        bugs.append((bug.kind, bug.message) if bug is not None else None)
+    return traces, bugs
+
+
+@pytest.mark.parametrize(
+    "config_factory, check_liveness, expect_bug",
+    [
+        (safety_bug_configuration, False, True),
+        (buggy_configuration, True, True),
+        (fixed_configuration, True, False),
+    ],
+    ids=["safety-bug", "both-bugs", "fixed"],
+)
+def test_legacy_and_dsl_forms_produce_identical_traces(
+    config_factory, check_liveness, expect_bug
+):
+    dsl_traces, dsl_bugs = _explore(machines, config_factory(), check_liveness)
+    legacy_traces, legacy_bugs = _explore(
+        legacy_machines, config_factory(), check_liveness
+    )
+    assert dsl_traces == legacy_traces
+    assert dsl_bugs == legacy_bugs
+    if expect_bug:
+        assert any(bugs is not None for bugs in dsl_bugs)
+
+
+def test_dsl_port_still_finds_the_seeded_safety_bug():
+    _, bugs = _explore(machines, safety_bug_configuration(), check_liveness=False)
+    kinds = {bug[0] for bug in bugs if bug is not None}
+    assert kinds == {"safety"}

@@ -1,0 +1,71 @@
+"""Scenario-level checks of the flush-store State-DSL showcase."""
+
+from repro.core import TestingConfig, run_scenario, run_test
+from repro.core.registry import get_scenario
+from repro.examplesys.harness.flushstore import (
+    FlushStoreMachine,
+    WedgingClientMachine,
+    build_flush_test,
+)
+
+
+def _config(**overrides):
+    overrides.setdefault("iterations", 200)
+    overrides.setdefault("seed", 5)
+    overrides.setdefault("max_steps", 600)
+    return TestingConfig(**overrides)
+
+
+def test_deferred_writes_scenario_is_clean():
+    report = run_scenario("examplesys/flush-deferred-writes", _config())
+    assert not report.bug_found
+    assert report.iterations_executed == 200
+
+
+def test_flat_store_scenario_finds_the_write_during_flush_bug():
+    report = run_scenario("examplesys/flush-flat-write-during-flush", _config())
+    assert report.bug_found
+    bug = report.first_bug
+    assert bug.kind == "safety"
+    assert "while a flush is in progress" in bug.message
+
+
+def test_lost_completion_scenario_reports_deferred_deadlock():
+    report = run_scenario("examplesys/flush-lost-completion-deadlock", _config())
+    assert report.bug_found
+    bug = report.first_bug
+    assert bug.kind == "deadlock"
+    assert "holds deferred events" in bug.message
+    assert "Flushing" in bug.message
+
+
+def test_deferred_writes_all_reach_disk_in_order():
+    """End to end: every write survives the flush disciplines, in order."""
+    report = run_test(build_flush_test(FlushStoreMachine, num_writes=4), _config())
+    assert not report.bug_found
+
+
+def test_reads_are_answered_from_the_pushed_state_in_the_wedge():
+    """Stack inheritance at scenario level: even the wedged store answers
+    reads (Active's handler through the pushed Flushing state)."""
+    from repro.core import RoundRobinStrategy, TestRuntime
+
+    strategy = RoundRobinStrategy()
+    strategy.prepare_iteration(0)
+    runtime = TestRuntime(strategy, TestingConfig(max_steps=300, report_deadlocks=False))
+    assert runtime.run(build_flush_test(FlushStoreMachine, lose_completion=True)) is None
+    client = runtime.machines_of_type(WedgingClientMachine)[0]
+    store = runtime.machines_of_type(FlushStoreMachine)[0]
+    assert client.replies == 1  # the Read was answered while wedged
+    assert store.current_state == "Flushing"
+    assert store.state_stack == ("Active", "Flushing")
+    assert list(store._inbox)  # the deferred Write is still queued
+
+
+def test_scenarios_are_registered_with_expected_metadata():
+    wedge = get_scenario("examplesys/flush-lost-completion-deadlock")
+    assert wedge.expected_bug_kind == "deadlock"
+    clean = get_scenario("examplesys/flush-deferred-writes")
+    assert clean.expected_bug is None
+    flat = get_scenario("examplesys/flush-flat-write-during-flush")
+    assert flat.expected_bug == "WriteDuringFlush"

@@ -50,6 +50,30 @@ def test_run_then_replay_round_trips(tmp_path, capsys):
     assert main(["replay", report_path]) == 0
     out = capsys.readouterr().out
     assert "replay reproduced the recorded bug deterministically" in out
+    # The trace carries per-step states, so replay shows state context.
+    assert "state context" in out
+    assert "in state" in out
+
+
+def test_replay_of_stateless_trace_omits_state_context(tmp_path, capsys):
+    report_path = str(tmp_path / "report.json")
+    assert main([
+        "run", "--scenario", "examplesys/safety-bug", "--strategy", "random",
+        "--iterations", "200", "--seed", "7", "--output", report_path,
+        "--expect-bug",
+    ]) == 0
+    capsys.readouterr()
+    # Strip the recorded states, as a trace written by an older version.
+    payload = json.loads(open(report_path).read())
+    for result in payload["results"]:
+        for bug in result["report"]["bugs"]:
+            if bug.get("trace"):
+                bug["trace"].pop("states", None)
+    open(report_path, "w").write(json.dumps(payload))
+    assert main(["replay", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "replay reproduced the recorded bug deterministically" in out
+    assert "state context" not in out
 
 
 def test_run_unknown_scenario_fails_cleanly(capsys):
