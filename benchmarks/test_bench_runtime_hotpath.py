@@ -14,7 +14,7 @@ import time
 
 import pytest
 
-from repro.core import TestingConfig
+from repro.core import Event, Machine, Receive, TestingConfig, on_event
 from repro.core._baseline import BaselineRuntime
 from repro.core.engine import TestingEngine
 from repro.core.registry import get_scenario
@@ -24,6 +24,11 @@ from repro.examplesys.harness import build_replication_test, fixed_configuration
 
 #: Required speedup of the reworked runtime over the seed reference.
 REQUIRED_SPEEDUP = 3.0
+
+#: Required speedup on the pending-query-heavy harness, where the reworked
+#: runtime answers count_pending_events/has_pending_event from maintained
+#: per-type counts while the seed scans the (large) inbox per call.
+REQUIRED_PENDING_SPEEDUP = 2.0
 
 #: The timing assertion is enforced by default (local runs, the dedicated
 #: CI benchmark gate) but can be relaxed to report-only with
@@ -90,6 +95,133 @@ def test_bench_random_scheduler_speedup_vs_seed(benchmark):
             f"random-scheduler throughput regressed: {speedup:.2f}x < {REQUIRED_SPEEDUP:.1f}x "
             f"over the seed reference"
         )
+
+
+# ---------------------------------------------------------------------------
+# pending-query-heavy harness: count_pending_events / has_pending_event
+# ---------------------------------------------------------------------------
+class _Never(Event):
+    """Never sent; parks the sink in a receive so its inbox only grows."""
+
+
+class _Flood(Event):
+    def __init__(self, serial):
+        self.serial = serial
+
+
+class _Poll(Event):
+    pass
+
+
+class _Sink(Machine):
+    """Accumulates a large inbox: blocked in a receive nothing matches."""
+
+    def on_start(self):
+        yield Receive(_Never)
+
+
+class _Flooder(Machine):
+    def on_start(self, sink, count):
+        for serial in range(count):
+            self.send(sink, _Flood(serial))
+
+
+class _Poller(Machine):
+    """Issues one count and one predicate-existence query per round."""
+
+    def on_start(self, sink, rounds):
+        self.sink = sink
+        self.remaining = rounds
+        self.observed = 0
+        self.send(self.id, _Poll())
+
+    @on_event(_Poll)
+    def poll(self):
+        runtime = self._runtime
+        self.observed += runtime.count_pending_events(self.sink, _Flood)
+        if runtime.has_pending_event(
+            self.sink, _Flood, lambda event: event.serial % 7 == 0
+        ):
+            self.observed += 1
+        if self.remaining:
+            self.remaining -= 1
+            self.send(self.id, _Poll())
+
+
+_PENDING_INBOX = 250
+_PENDING_ROUNDS = 250
+#: Receive-blocked sink at quiescence is the harness's steady state, not a
+#: bug; pending-query timing must not pay bug-report materialization.
+_PENDING_CONFIG = TestingConfig(
+    iterations=12, max_steps=600, seed=3, strategy="round-robin",
+    report_deadlocks=False,
+)
+
+
+def _pending_entry(runtime):
+    sink = runtime.create_machine(_Sink)
+    runtime.create_machine(_Flooder, sink, _PENDING_INBOX)
+    runtime.create_machine(_Poller, sink, _PENDING_ROUNDS)
+
+
+def _pending_engine(runtime_cls):
+    return TestingEngine(_pending_entry, _PENDING_CONFIG, runtime_cls=runtime_cls)
+
+
+def test_bench_pending_query_speedup_vs_seed(benchmark):
+    import gc
+
+    baseline_best, new_best = float("inf"), float("inf")
+    _pending_engine(BaselineRuntime).run()
+    _pending_engine(TestRuntime).run()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(5):
+            gc.collect()
+            started = time.perf_counter()
+            _pending_engine(BaselineRuntime).run()
+            baseline_best = min(baseline_best, time.perf_counter() - started)
+            gc.collect()
+            started = time.perf_counter()
+            _pending_engine(TestRuntime).run()
+            new_best = min(new_best, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    report = benchmark.pedantic(
+        lambda: _pending_engine(TestRuntime).run(), rounds=1, iterations=1
+    )
+    assert report.iterations_executed == _PENDING_CONFIG.iterations
+
+    speedup = baseline_best / new_best
+    print()
+    print(f"[pending] seed reference: {baseline_best * 1000:.1f} ms")
+    print(f"[pending] reworked:       {new_best * 1000:.1f} ms")
+    print(f"[pending] speedup:        {speedup:.2f}x (required: {REQUIRED_PENDING_SPEEDUP:.1f}x)")
+    if ASSERT_SPEEDUP:
+        assert speedup >= REQUIRED_PENDING_SPEEDUP, (
+            f"pending-query throughput regressed: {speedup:.2f}x < "
+            f"{REQUIRED_PENDING_SPEEDUP:.1f}x over the seed reference"
+        )
+
+
+def test_bench_pending_query_results_identical_to_seed():
+    """O(1) counts change nothing observable: same tallies, same schedules."""
+
+    def explore(runtime_cls):
+        strategy = create_strategy(_PENDING_CONFIG)
+        observed, traces = [], []
+        for iteration in range(_PENDING_CONFIG.iterations):
+            strategy.prepare_iteration(iteration)
+            runtime = runtime_cls(strategy, _PENDING_CONFIG)
+            assert runtime.run(_pending_entry) is None
+            observed.append(runtime.machines_of_type(_Poller)[0].observed)
+            traces.append(list(runtime.trace.steps))
+        return observed, traces
+
+    assert explore(TestRuntime) == explore(BaselineRuntime)
 
 
 @pytest.mark.parametrize("scenario_name", ["examplesys/safety-bug", "examplesys/fixed"])

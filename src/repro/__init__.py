@@ -22,6 +22,7 @@ from .core import (
     Monitor,
     Portfolio,
     PortfolioReport,
+    ProductionRuntime,
     Receive,
     Shrinker,
     State,
@@ -52,6 +53,7 @@ __all__ = [
     "Monitor",
     "Portfolio",
     "PortfolioReport",
+    "ProductionRuntime",
     "Receive",
     "Shrinker",
     "State",

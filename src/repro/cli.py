@@ -14,19 +14,30 @@ Subcommands:
 * ``shrink`` — load a report file, delta-debug its bug trace down to a
   minimal counterexample, and write the report back with ``shrunk_trace``
   and shrink statistics attached.
+* ``serve`` — boot a registered scenario on the concurrent
+  :class:`~repro.core.ProductionRuntime` and drive it with a configurable
+  concurrent client load, reporting throughput and the monitors' verdict.
+
+``run``, ``replay`` and ``serve`` accept ``--verbose`` to stream the
+runtime's formatted log records live instead of only surfacing the log at
+bug-record time.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import inspect
 import json
 import sys
+import time
 from typing import List, Optional
 
+from .core.config import TestingConfig
 from .core.engine import TestingEngine
 from .core.portfolio import Portfolio, PortfolioReport, replay_trace
 from .core.registry import all_scenarios, get_scenario, import_scenario_modules
+from .core.runtime import ProductionRuntime
 from .core.strategy import available_strategies
 
 # Shared with the portfolio workers, which re-run the same imports inside
@@ -69,6 +80,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     overrides = {"seed": args.seed}
     if args.max_steps is not None:
         overrides["max_steps"] = args.max_steps
+    if args.verbose:
+        overrides["verbose"] = True
     # Built through the constructor so __post_init__ validates the values.
     config = testcase.default_config(**overrides)
     portfolio = Portfolio(
@@ -138,6 +151,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return 1
     result, bug = selected
     config = result.job.config
+    if args.verbose:
+        config = dataclasses.replace(config, verbose=True)
     if args.shrunk:
         if bug.shrunk_trace is None:
             print(f"error: bug #{args.bug} has no shrunk trace; run "
@@ -208,6 +223,76 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.json and args.verbose:
+        # Verbose mirroring writes "[repro] ..." lines to stdout during the
+        # run, which would corrupt the machine-readable JSON document.
+        print("error: --json and --verbose are mutually exclusive", file=sys.stderr)
+        return 2
+    _import_extra_modules(args.imports)
+    testcase = get_scenario(args.scenario)
+    # Scenario factories opt into load parameters by declaring them as
+    # keyword defaults (see examplesys/service); flags for parameters the
+    # factory does not accept are an error rather than silently ignored.
+    factory_params = inspect.signature(testcase.build).parameters
+    build_kwargs = {}
+    for flag, param in (("clients", "num_clients"), ("requests", "num_requests")):
+        value = getattr(args, flag)
+        if value is None:
+            continue
+        if param not in factory_params:
+            print(
+                f"error: scenario {args.scenario!r} does not accept --{flag} "
+                f"(its factory has no {param!r} parameter)",
+                file=sys.stderr,
+            )
+            return 2
+        build_kwargs[param] = value
+    entry = testcase.build(**build_kwargs)
+    config = TestingConfig(verbose=args.verbose)
+    runtime = ProductionRuntime(config, tick_interval=args.tick_interval)
+    started = time.perf_counter()
+    bug = runtime.run(entry, timeout=args.timeout)
+    elapsed = time.perf_counter() - started
+    quiesced = runtime.termination_reason == "quiescence"
+    dispatched = runtime.step_count
+    active_machines = runtime.active_machine_count()
+    stats = {
+        "scenario": args.scenario,
+        "machines": len(runtime.dispatch_counts),
+        "active_machines": active_machines,
+        "events_dispatched": dispatched,
+        "elapsed_seconds": elapsed,
+        "events_per_second": dispatched / elapsed if elapsed > 0 else 0.0,
+        "quiesced": quiesced,
+        "bug": bug.to_dict() if bug is not None else None,
+    }
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(
+            f"served {args.scenario!r} under ProductionRuntime: "
+            f"{dispatched} events across {active_machines} machines "
+            f"in {elapsed:.2f}s ({stats['events_per_second']:.0f} events/s)"
+        )
+        print("clean shutdown, no monitor violations" if bug is None and quiesced
+              else ("timed out before quiescence" if bug is None else f"VIOLATION: {bug}"))
+    if bug is not None:
+        if not args.json:
+            print(f"error: {bug}", file=sys.stderr)
+        return 1
+    if not quiesced:
+        print(f"error: system did not quiesce within {args.timeout:.0f}s", file=sys.stderr)
+        return 1
+    if args.expect_events is not None and dispatched < args.expect_events:
+        print(
+            f"error: expected >= {args.expect_events} dispatched events, got {dispatched}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -262,6 +347,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exit non-zero if no bug is found")
     run.add_argument("--shrink", action="store_true",
                      help="minimize the winning bug trace before writing the report")
+    run.add_argument("--verbose", action="store_true",
+                     help="stream formatted execution-log records live "
+                     "(instead of only at bug-record time)")
     add_import_option(run)
     run.set_defaults(func=_cmd_run)
 
@@ -271,8 +359,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="index of the bug to replay among the report's bugs (default 0)")
     replay.add_argument("--shrunk", action="store_true",
                         help="replay the minimized trace instead of the recorded one")
+    replay.add_argument("--verbose", action="store_true",
+                        help="stream the replayed execution's log records live")
     add_import_option(replay)
     replay.set_defaults(func=_cmd_replay)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot a scenario on the concurrent ProductionRuntime and drive "
+        "it with client load",
+    )
+    serve.add_argument("--scenario", required=True, help="registered scenario name")
+    serve.add_argument("--clients", type=int, default=None,
+                       help="concurrent load clients (scenario factories opt in "
+                       "via a num_clients parameter)")
+    serve.add_argument("--requests", type=int, default=None,
+                       help="requests per client (factories opt in via num_requests)")
+    serve.add_argument("--timeout", type=float, default=120.0,
+                       help="seconds to wait for quiescence (default 120)")
+    serve.add_argument("--tick-interval", type=float, default=0.005,
+                       help="wall-clock timer period in seconds (default 0.005)")
+    serve.add_argument("--expect-events", type=int, default=None,
+                       help="exit non-zero unless at least this many events were dispatched")
+    serve.add_argument("--json", action="store_true", help="machine-readable stats")
+    serve.add_argument("--verbose", action="store_true",
+                       help="stream formatted execution-log records live")
+    add_import_option(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     shrink = sub.add_parser(
         "shrink", help="minimize a bug trace in a report file (delta debugging)"

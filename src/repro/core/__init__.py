@@ -54,7 +54,7 @@ from .events import Event, Halt, Receive, StartEvent, TimerTick
 from .ids import MachineId
 from .machine import Machine
 from .monitors import Monitor
-from .runtime import BugInfo, TestRuntime
+from .runtime import BugInfo, ProductionRuntime, RuntimeKernel, TestRuntime
 from .shrink import Shrinker, ShrinkResult, ShrinkStats, shrink_bug
 from .statistics import HarnessDescription, HarnessStatistics, aggregate_statistics
 from .strategy import (
@@ -93,11 +93,13 @@ __all__ = [
     "Portfolio",
     "PortfolioJob",
     "PortfolioReport",
+    "ProductionRuntime",
     "RandomStrategy",
     "Receive",
     "ReplayDivergenceError",
     "ReplayStrategy",
     "RoundRobinStrategy",
+    "RuntimeKernel",
     "SafetyViolationError",
     "ScheduleTrace",
     "SchedulingStrategy",

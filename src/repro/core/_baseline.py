@@ -61,6 +61,31 @@ class BaselineRuntime(TestRuntime):
         return list(self._sink.lines)
 
     # ------------------------------------------------------------------
+    # Seed pending-query cost model: a full O(inbox) scan per call.  (The
+    # reworked runtime answers type-only queries from maintained per-type
+    # counts; the baseline's seed dequeue path below does not maintain
+    # them, so it must not read them either.)
+    # ------------------------------------------------------------------
+    def count_pending_events(self, target, event_type, predicate=None) -> int:
+        machine = self._machines.get(target)
+        if machine is None:
+            return 0
+        count = 0
+        for event in machine._inbox:
+            if isinstance(event, event_type) and (predicate is None or predicate(event)):
+                count += 1
+        return count
+
+    def has_pending_event(self, target, event_type, predicate=None) -> bool:
+        machine = self._machines_by_value.get(target.value)
+        if machine is None:
+            return False
+        for event in machine._inbox:
+            if isinstance(event, event_type) and (predicate is None or predicate(event)):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
     def _execution_loop(self) -> None:
         # The seed loop: scan every machine for runnability on every step.
         while self.step_count < self.config.max_steps:

@@ -26,11 +26,27 @@ from .events import Event, Receive
 from .ids import MachineId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .runtime import TestRuntime
+    from .runtime.kernel import RuntimeKernel
 
 
 class MachineHaltRequested(Exception):
     """Internal control-flow exception raised by :meth:`Machine.halt`."""
+
+
+def _dec_pending(counts: dict, event_type: type) -> None:
+    """Decrement the per-type pending count for one dequeued/dropped event.
+
+    Every inbox removal site calls this so that
+    :meth:`RuntimeKernel.count_pending_events` /
+    :meth:`RuntimeKernel.has_pending_event` can answer type-only queries
+    from the counts instead of scanning the inbox.  Entries are deleted at
+    zero to keep the dict as small as the set of queued event types.
+    """
+    remaining = counts.get(event_type, 1) - 1
+    if remaining > 0:
+        counts[event_type] = remaining
+    else:
+        counts.pop(event_type, None)
 
 
 class Machine:
@@ -74,10 +90,14 @@ class Machine:
 
     _spec_cache: dict = {}
 
-    def __init__(self, runtime: "TestRuntime", machine_id: MachineId) -> None:
+    def __init__(self, runtime: "RuntimeKernel", machine_id: MachineId) -> None:
         self._runtime = runtime
         self._id = machine_id
         self._inbox: deque[Event] = deque()
+        #: per-event-type tallies of the inbox contents, maintained at every
+        #: enqueue/dequeue so type-only pending queries are O(#types), not
+        #: O(inbox length).  Keys are exact event classes.
+        self._pending_counts: dict = {}
         self._halted = False
         self._coroutine = None
         self._pending_receive: Optional[Receive] = None
@@ -271,6 +291,9 @@ class Machine:
     # ------------------------------------------------------------------
     def _enqueue(self, event: Event) -> None:
         self._inbox.append(event)
+        counts = self._pending_counts
+        event_type = type(event)
+        counts[event_type] = counts.get(event_type, 0) + 1
         # Incremental enabled-set maintenance: a new event can only make
         # this machine runnable (never less runnable), and only does so if
         # the machine is not blocked in a receive the event fails to match
@@ -280,7 +303,7 @@ class Machine:
             receive = self._pending_receive
             if receive is None:
                 ctx = self._state_ctx
-                if ctx.plain or ctx.dequeuable(type(event)):
+                if ctx.plain or ctx.dequeuable(event_type):
                     self._runtime._mark_enabled(self)
             elif receive.matches(event):
                 self._runtime._mark_enabled(self)
@@ -305,6 +328,7 @@ class Machine:
         for index, event in enumerate(self._inbox):
             if receive.matches(event):
                 del self._inbox[index]
+                _dec_pending(self._pending_counts, type(event))
                 return event
         raise FrameworkError(f"{self._id}: no event matching {receive} in inbox")
 

@@ -31,7 +31,7 @@ from .errors import FrameworkError
 from .events import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .runtime import TestRuntime
+    from .runtime.kernel import RuntimeKernel
 
 
 class Monitor:
@@ -51,7 +51,7 @@ class Monitor:
 
     _spec_cache: dict = {}
 
-    def __init__(self, runtime: "TestRuntime") -> None:
+    def __init__(self, runtime: "RuntimeKernel") -> None:
         self._runtime = runtime
         spec = type(self).spec()
         initial = spec.initial_state if spec.initial_state is not None else type(self).initial_state

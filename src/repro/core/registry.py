@@ -39,6 +39,7 @@ from .config import TestingConfig
 BUILTIN_SCENARIO_MODULES = (
     "repro.examplesys.harness.scenarios",
     "repro.examplesys.harness.flushstore",
+    "repro.examplesys.harness.service",
     "repro.vnext.harness.scenarios",
     "repro.migratingtable.harness.scenarios",
     "repro.fabric.harness",

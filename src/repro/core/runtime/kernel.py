@@ -1,67 +1,62 @@
-"""The serialized systematic-testing runtime.
+"""The runtime kernel: everything both execution modes share.
 
-The :class:`TestRuntime` owns every machine inbox and executes the whole
-system in a single thread.  Every interleaving decision — which machine runs
-next, and the value of every controlled boolean/integer choice — is delegated
-to a :class:`~repro.core.strategy.base.SchedulingStrategy` and recorded in a
-:class:`~repro.core.trace.ScheduleTrace`, so that any execution (in particular
-a buggy one) can be replayed deterministically.
+:class:`RuntimeKernel` owns the *semantics* of the machine programming model —
+the machine table, the monitor registry, state-stack transitions, handler
+dispatch, event disciplines, coroutine (``yield Receive``) advancement,
+assertion checking, deferred structured logging and bug recording — without
+committing to an execution policy.  Two controllers plug in on top:
 
-One :class:`TestRuntime` instance corresponds to one execution; the
-:class:`~repro.core.engine.TestingEngine` creates a fresh runtime per
-iteration.
+* :class:`~repro.core.runtime.testing.TestRuntime` — the serialized
+  systematic-testing controller: one thread, every interleaving decision
+  delegated to a scheduling strategy and recorded in a replayable
+  :class:`~repro.core.trace.ScheduleTrace`.
+* :class:`~repro.core.runtime.production.ProductionRuntime` — the concurrent
+  deployment controller: an asyncio event loop with one mailbox task per
+  machine, thread-safe external sends, ``os.urandom``-seeded nondeterminism
+  and real wall-clock timers.
 
-Hot-path design
----------------
+Machines and monitors talk to the runtime exclusively through the narrow
+kernel surface (``send_event``, ``create_machine``, ``next_boolean`` /
+``next_integer``, ``transition_machine`` / ``push_machine_state`` /
+``pop_machine_state``, ``check_assertion``, ``notify_monitor``,
+``count_pending_events`` / ``has_pending_event``, ``log`` and the
+``_mark_enabled`` / ``_mark_disabled`` runnability hooks), so the same
+harness classes run unmodified under either controller — the paper's promise
+that the *tested* program is the *deployed* program.
 
-Table 2 of the paper rests on running very large numbers of controlled
-executions, so the per-step path is engineered to do no avoidable work on
-executions that find no bug:
+Controllers must implement:
 
-* **Lazy structured logging.**  :meth:`TestRuntime.log` records
-  ``(template, args)`` tuples in a bounded ring buffer instead of building
-  strings eagerly.  ``repr()``/``str.format`` run only when ``verbose`` is
-  set (mirroring to stdout) or when a bug is recorded and the log has to be
-  materialized for the report — never on the no-bug fast path.
-* **Incremental enabled set.**  Machines register/deregister their
-  runnability on enqueue/dequeue/halt/receive-match, so the scheduler reads
-  a maintained, id-ordered list instead of re-scanning every machine on
-  every step.  The order (ascending machine id == creation order) is exactly
-  the order the previous full-scan implementation produced, so all
-  strategies — including replay — see identical enabled sequences and emit
-  byte-identical :class:`ScheduleTrace` steps.
-* **Cached handler resolution.**  Dispatch resolves events through the
-  machine's :class:`~repro.core.declarations.StateContext`, which memoizes
-  the ``event_type -> handler | DEFER | IGNORE`` classification per state
-  stack, so dispatch stops re-walking the handler table for every event.
+* ``send_event(target, event, sender=None)`` — deliver an event.
+* ``next_boolean(requester)`` / ``next_integer(requester, max_value)`` —
+  resolve a nondeterministic choice (controlled in testing, random in
+  production).
+* ``_mark_enabled(machine)`` / ``_mark_disabled(machine)`` — react to a
+  machine's runnability changing (enabled-set bookkeeping in testing, mailbox
+  wake-ups in production).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 from types import GeneratorType
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from .config import TestingConfig
-from .coverage import CoverageTracker
-from .declarations import DEFER, IGNORE, HandlerInfo, StateRef, resolve_state_name
-from .errors import (
+from ..config import TestingConfig
+from ..coverage import CoverageTracker
+from ..declarations import DEFER, IGNORE, HandlerInfo, StateRef, resolve_state_name
+from ..errors import (
     BugError,
     DeadlockError,
     FrameworkError,
     LivenessViolationError,
     SafetyViolationError,
-    UnexpectedExceptionError,
     UnhandledEventError,
 )
-from .events import Event, Halt, Receive, StartEvent
-from .ids import MachineId
-from .machine import Machine, MachineHaltRequested
-from .monitors import Monitor
-from .strategy.base import SchedulingStrategy
-from .trace import BOOLEAN, INTEGER, SCHEDULE, ScheduleTrace, TraceStep
+from ..events import Event, Halt, Receive, StartEvent
+from ..ids import MachineId
+from ..machine import Machine, MachineHaltRequested, _dec_pending
+from ..monitors import Monitor
 
 #: One deferred log entry: a flat ``(template, *args)`` tuple (flat rather
 #: than nested to save one allocation per record on the hot path).  Arguments
@@ -73,11 +68,6 @@ LogRecord = Tuple[Any, ...]
 
 #: Runtime-control events, dispatched outside the user handler table.
 _CONTROL_EVENTS = (Halt, StartEvent)
-
-#: ``tuple.__new__`` bound once: constructing a TraceStep through it skips
-#: the generated NamedTuple ``__new__`` (a Python-level function) while
-#: producing an identical object; used at the per-step trace-record sites.
-_new_step = tuple.__new__
 
 
 def format_log_record(record: LogRecord) -> str:
@@ -114,11 +104,11 @@ class BugInfo:
     #: the live exception object; process-local, excluded from equality and
     #: JSON serialization so reports round-trip across process boundaries.
     exception: Optional[BaseException] = field(default=None, compare=False)
-    trace: Optional[ScheduleTrace] = None
+    trace: Optional["ScheduleTrace"] = None  # noqa: F821 - repro.core.trace
     log: List[str] = field(default_factory=list)
     #: minimized counterexample produced by :mod:`repro.core.shrink`, plus its
     #: shrink statistics; both None until a shrinker has run on this bug.
-    shrunk_trace: Optional[ScheduleTrace] = None
+    shrunk_trace: Optional["ScheduleTrace"] = None  # noqa: F821
     shrink: Optional["ShrinkStats"] = None  # noqa: F821 - see repro.core.shrink
 
     def __str__(self) -> str:
@@ -133,7 +123,8 @@ class BugInfo:
         }
         # The runtime stores the same materialized log on the bug and on its
         # replayable trace; serialize it once (on the trace) and only emit a
-        # separate "log" key when the two genuinely differ (hand-built bugs).
+        # separate "log" key when the two genuinely differ (hand-built bugs,
+        # production-mode bugs that have no trace).
         if self.trace is None or self.log != self.trace.log:
             payload["log"] = list(self.log)
         # Shrink results are optional: payloads of unshrunk bugs stay
@@ -151,6 +142,8 @@ class BugInfo:
 
     @staticmethod
     def from_dict(payload: dict) -> "BugInfo":
+        from ..trace import ScheduleTrace
+
         trace = payload.get("trace")
         trace = ScheduleTrace.from_dict(trace) if trace is not None else None
         log = payload.get("log")
@@ -165,7 +158,7 @@ class BugInfo:
             # reduction and to_dict elided the duplicate trace.
             shrunk = trace
         if shrink_stats is not None:
-            from .shrink import ShrinkStats  # late import: shrink imports runtime
+            from ..shrink import ShrinkStats  # late import: shrink imports runtime
 
             shrink_stats = ShrinkStats.from_dict(shrink_stats)
         return BugInfo(
@@ -179,21 +172,21 @@ class BugInfo:
         )
 
 
-class TestRuntime:
-    """Single-execution serialized runtime under scheduler control."""
+class RuntimeKernel:
+    """Execution-policy-free core shared by the testing and production modes."""
 
-    __test__ = False  # not a pytest test class despite the name
+    #: True on runtimes that run real wall-clock timers; the modeled
+    #: :class:`~repro.core.timer.TimerMachine` consults it to decide between
+    #: its controlled-choice loop and the runtime's timer service.
+    wall_clock = False
 
     def __init__(
         self,
-        strategy: SchedulingStrategy,
         config: Optional[TestingConfig] = None,
         coverage: Optional[CoverageTracker] = None,
     ) -> None:
         self.config = config or TestingConfig()
-        self.strategy = strategy
         self.coverage = coverage
-        self.trace = ScheduleTrace()
         self.bug: Optional[BugInfo] = None
         self.step_count = 0
         self.termination_reason: Optional[str] = None
@@ -210,21 +203,39 @@ class TestRuntime:
         #: where hot-path call sites append records: the raw deque normally,
         #: a stdout-mirroring wrapper when ``verbose`` is on.
         self._sink = _VerboseLogSink(self._log) if self.config.verbose else self._log
-        #: machine ids currently runnable, kept sorted ascending by id value
-        #: (== creation order); maintained incrementally, never rebound.
-        #: ``_enabled_values`` mirrors it with the raw integer values so the
-        #: bisect maintenance compares C ints, not Python-level MachineId.
-        self._enabled_ids: List[MachineId] = []
-        self._enabled_values: List[int] = []
-        #: immutable snapshot handed to strategies, rebuilt lazily only on
-        #: steps where the enabled set actually changed.  A tuple, so a
-        #: strategy that tries to mutate its argument fails loudly instead
-        #: of corrupting the bookkeeping.
-        self._enabled_snapshot: tuple = ()
-        self._enabled_dirty = True
         #: hot-path machine lookup keyed by the id's integer value: hashing
         #: an int is C-level, hashing a MachineId calls back into Python.
         self._machines_by_value: Dict[int, Machine] = {}
+
+    # ------------------------------------------------------------------
+    # controller hooks (implemented by TestRuntime / ProductionRuntime)
+    # ------------------------------------------------------------------
+    def send_event(self, target: MachineId, event: Event, sender: Optional[MachineId] = None) -> None:
+        raise NotImplementedError
+
+    def next_boolean(self, requester: MachineId) -> bool:
+        raise NotImplementedError
+
+    def next_integer(self, requester: MachineId, max_value: int) -> int:
+        raise NotImplementedError
+
+    def _mark_enabled(self, machine: Machine) -> None:
+        """React to ``machine`` becoming runnable (send/create/raise)."""
+        raise NotImplementedError
+
+    def _mark_disabled(self, machine: Machine) -> None:
+        """React to ``machine`` ceasing to be runnable (halt)."""
+        raise NotImplementedError
+
+    def start_wall_clock_timer(self, timer: Machine) -> None:
+        """Timer service of wall-clock runtimes; testing mode never calls it."""
+        raise FrameworkError(
+            "wall-clock timers require a ProductionRuntime "
+            "(testing mode models timers with controlled choices)"
+        )
+
+    def stop_wall_clock_timer(self, timer: Machine) -> None:
+        raise FrameworkError("wall-clock timers require a ProductionRuntime")
 
     # ------------------------------------------------------------------
     # registration API (used by the test entry point and by machines)
@@ -286,13 +297,33 @@ class TestRuntime:
         flooding a target's inbox with redundant events, which shrinks the
         explored state space without removing any interleaving of distinct
         events.
+
+        Type-only queries read the per-``(machine, event type)`` counts the
+        inbox bookkeeping maintains, so their cost is bounded by the number
+        of *distinct* queued event types, never by the inbox length.
+        Predicate queries still scan, but return immediately when the counts
+        show no event of a matching type at all.
         """
-        machine = self._machines.get(target)
+        machine = self._machines_by_value.get(target.value)
         if machine is None:
+            return 0
+        counts = machine._pending_counts
+        if not counts:
+            return 0
+        if predicate is None:
+            total = 0
+            for queued_type, count in counts.items():
+                if queued_type is event_type or issubclass(queued_type, event_type):
+                    total += count
+            return total
+        if not any(
+            queued_type is event_type or issubclass(queued_type, event_type)
+            for queued_type in counts
+        ):
             return 0
         count = 0
         for event in machine._inbox:
-            if isinstance(event, event_type) and (predicate is None or predicate(event)):
+            if isinstance(event, event_type) and predicate(event):
                 count += 1
         return count
 
@@ -301,13 +332,25 @@ class TestRuntime:
 
         Early-exit variant of :meth:`count_pending_events` for callers that
         only need existence (e.g. the modeled timer's one-outstanding-tick
-        rule), so the common hot case stops at the first match.
+        rule).  Type-only queries are answered from the maintained pending
+        counts without touching the inbox; predicate queries scan but stop
+        at the first match (and skip the scan entirely when the counts rule
+        the type out).
         """
         machine = self._machines_by_value.get(target.value)
         if machine is None:
             return False
+        counts = machine._pending_counts
+        if not counts:
+            return False
+        matched_type = any(
+            queued_type is event_type or issubclass(queued_type, event_type)
+            for queued_type in counts
+        )
+        if predicate is None or not matched_type:
+            return matched_type
         for event in machine._inbox:
-            if isinstance(event, event_type) and (predicate is None or predicate(event)):
+            if isinstance(event, event_type) and predicate(event):
                 return True
         return False
 
@@ -322,63 +365,9 @@ class TestRuntime:
         """The execution log, materialized on demand (see :meth:`log`)."""
         return [format_log_record(record) for record in self._log]
 
-    @property
-    def enabled_machine_ids(self) -> List[MachineId]:
-        """Snapshot of the currently runnable machine ids (ascending id)."""
-        return list(self._enabled_ids)
-
     # ------------------------------------------------------------------
     # machine-facing services
     # ------------------------------------------------------------------
-    def send_event(self, target: MachineId, event: Event, sender: Optional[MachineId] = None) -> None:
-        # Hot path: one call per message sent.  Enqueue, enabled-set update
-        # and coverage bookkeeping are inlined (see Machine._enqueue for the
-        # reference form of the enabled-set rule).
-        if not isinstance(event, Event):
-            raise FrameworkError(f"send expects an Event instance, got {event!r}")
-        machine = self._machines_by_value.get(target.value)
-        if machine is None:
-            raise FrameworkError(f"send to unknown machine {target}")
-        if machine._halted:
-            if sender is not None:
-                self._sink.append(("dropped {} -> {}: {!r} (target halted)", sender, target, event))
-            else:
-                self._sink.append(("dropped {}: {!r} (target halted)", target, event))
-            return
-        machine._inbox.append(event)
-        if not machine._enabled:
-            receive = machine._pending_receive
-            if receive is None:
-                # Deferred/ignored events add no work; every event does on
-                # the (overwhelmingly common) discipline-free plain path.
-                ctx = machine._state_ctx
-                if ctx.plain or ctx.dequeuable(type(event)):
-                    self._mark_enabled(machine)
-            elif receive.matches(event):
-                self._mark_enabled(machine)
-        if sender is not None:
-            self._sink.append(("sent {} -> {}: {!r}", sender, target, event))
-        else:
-            self._sink.append(("sent {}: {!r}", target, event))
-        if self.coverage is not None:
-            self.coverage.events[type(event).__name__] += 1
-
-    def next_boolean(self, requester: MachineId) -> bool:
-        value = self.strategy.next_boolean(requester, self.step_count)
-        # Inlined trace.add_boolean_choice; requester._str is the cached
-        # str(), and tuple.__new__ skips the NamedTuple __new__ wrapper.
-        self.trace.steps.append(
-            _new_step(TraceStep, (BOOLEAN, 1 if value else 0, requester._str))
-        )
-        return value
-
-    def next_integer(self, requester: MachineId, max_value: int) -> int:
-        if max_value < 1:
-            raise FrameworkError("next_integer requires max_value >= 1")
-        value = self.strategy.next_integer(requester, max_value, self.step_count)
-        self.trace.steps.append(_new_step(TraceStep, (INTEGER, value, requester._str)))
-        return value
-
     def check_assertion(self, condition: bool, message: str, source: str) -> None:
         if not condition:
             raise SafetyViolationError(f"{source}: assertion failed: {message}")
@@ -465,215 +454,36 @@ class TestRuntime:
         self._sink.append((template, *args))
 
     # ------------------------------------------------------------------
-    # enabled-set bookkeeping
+    # dispatch machinery (shared semantics of one machine step)
     # ------------------------------------------------------------------
-    # The runnability predicate (``Machine._has_work``) only changes when a
-    # machine's inbox, coroutine or halted flag changes.  Inboxes of *other*
-    # machines only ever grow during a step (sends/creates), which can only
-    # enable them — handled at enqueue time by ``Machine._enqueue``.  All
-    # disabling mutations (dequeue, receive-wait, halt, inbox clear) happen
-    # to the machine currently executing a step, so one recheck of that
-    # machine after its step keeps the set exact.
+    def _dequeue_next(self, machine: Machine, ctx) -> Event:
+        """Select the next event for one step of ``machine``.
 
-    def _mark_enabled(self, machine: Machine) -> None:
-        if not machine._enabled:
-            machine._enabled = True
-            value = machine._id.value
-            index = bisect_left(self._enabled_values, value)
-            self._enabled_values.insert(index, value)
-            self._enabled_ids.insert(index, machine._id)
-            self._enabled_dirty = True
-
-    def _mark_disabled(self, machine: Machine) -> None:
-        if machine._enabled:
-            machine._enabled = False
-            index = bisect_left(self._enabled_values, machine._id.value)
-            del self._enabled_values[index]
-            del self._enabled_ids[index]
-            self._enabled_dirty = True
-
-    # ------------------------------------------------------------------
-    # execution
-    # ------------------------------------------------------------------
-    def run(self, test_entry: Callable[["TestRuntime"], None]) -> Optional[BugInfo]:
-        """Run one full execution of ``test_entry`` under scheduler control."""
-        try:
-            test_entry(self)
-            self._execution_loop()
-            if self.bug is None:
-                self._check_end_of_execution()
-        except BugError as error:
-            self._record_bug(error)
-        except MachineHaltRequested:
-            raise FrameworkError("halt() called outside of a machine handler")
-        if self.bug is not None:
-            # Materialize the deferred log exactly once: the bug report and
-            # the replayable trace both carry it (JSON-saved traces replay
-            # with their execution log intact).
-            materialized = self.execution_log
-            self.trace.log = materialized
-            self.bug.trace = self.trace
-            self.bug.log = list(materialized)
-        return self.bug
-
-    def _execution_loop(self) -> None:
-        # Locals for everything touched once per step: attribute loads in this
-        # loop are a measurable fraction of per-execution cost.
-        enabled_ids = self._enabled_ids
-        machines_by_value = self._machines_by_value
-        next_machine = self.strategy.next_machine
-        trace_steps_append = self.trace.steps.append
-        trace_states_append = self.trace.states.append
-        sink_append = self._sink.append
-        coverage = self.coverage
-        coverage_handled = coverage.handled if coverage is not None else None
-        max_steps = self.config.max_steps
-        step_count = self.step_count
-        while step_count < max_steps:
-            if not enabled_ids:
-                self.termination_reason = "quiescence"
-                return
-            # Strategies receive an immutable snapshot, never the live list
-            # the bookkeeping maintains; it is rebuilt only on steps where
-            # the enabled set changed.
-            if self._enabled_dirty:
-                snapshot = self._enabled_snapshot = tuple(enabled_ids)
-                self._enabled_dirty = False
-            else:
-                snapshot = self._enabled_snapshot
-            chosen_id = next_machine(snapshot, step_count)
-            machine = machines_by_value.get(chosen_id.value)
-            if machine is None:
-                raise FrameworkError(f"strategy chose unknown machine {chosen_id}")
-            if not machine._enabled:
-                # A known machine that is currently not runnable: scheduling
-                # it would dequeue from an empty/unmatched inbox.  That is a
-                # strategy bug, not a bug in the system under test.
-                raise FrameworkError(
-                    f"strategy chose disabled machine {chosen_id}; "
-                    f"enabled machines: {[str(mid) for mid in enabled_ids]}"
-                )
-            # Inlined trace.add_scheduling_choice; _str is the cached str(),
-            # and tuple.__new__ skips the NamedTuple __new__ wrapper.  The
-            # dispatch state (top of the machine's state stack) is recorded
-            # in the parallel ``states`` list so bug reports can show state
-            # context per scheduling step.
-            trace_steps_append(_new_step(TraceStep, (SCHEDULE, chosen_id.value, chosen_id._str)))
-            trace_states_append(machine._current_state)
-            # step_count is mirrored back to the instance before any user
-            # code can observe it (next_boolean/next_integer read it).
-            step_count += 1
-            self.step_count = step_count
-            # One scheduled step, dispatch inlined (this block runs once per
-            # scheduling decision; the call overhead of a _execute_step
-            # helper is measurable at Table 2 execution counts).  The common
-            # case — a plain event with a cached handler resolution — stays
-            # in this frame; coroutine resumption, raised events, control
-            # events and state disciplines take the helper/slow paths.
-            try:
-                if machine._coroutine is not None:
-                    self._execute_coroutine_step(machine)
-                else:
-                    ctx = machine._state_ctx
-                    if machine._raised:
-                        # The local high-priority queue drains before the
-                        # inbox and bypasses defer/ignore disciplines.
-                        event = machine._raised.popleft()
-                    elif ctx.plain:
-                        event = machine._inbox.popleft()
-                    else:
-                        event = self._dequeue_with_disciplines(machine, ctx)
-                    event_type = type(event)
-                    if isinstance(event, _CONTROL_EVENTS):
-                        self._dispatch_control_event(machine, event)
-                    else:
-                        actions = ctx.actions
-                        try:
-                            info = actions[event_type]
-                        except KeyError:
-                            info = ctx.resolve(event_type)
-                        if info is not None and info.__class__ is not HandlerInfo:
-                            # DEFER/IGNORE classification can only reach
-                            # dispatch for a *raised* event (dequeue already
-                            # applied the disciplines): disciplines do not
-                            # govern the raised queue, so fall back to
-                            # handler-only resolution.
-                            info = ctx.handler_only(event_type)
-                        if info is None:
-                            self._on_unhandled_event(machine, event, event_type)
-                        else:
-                            sink_append((
-                                "{}: handling {!r} in state {!r}",
-                                machine._id, event, machine._current_state,
-                            ))
-                            if coverage_handled is not None:
-                                coverage_handled[
-                                    (type(machine).__name__, machine._current_state,
-                                     event_type.__name__)
-                                ] += 1
-                            # Bound handlers are cached per machine: a dict
-                            # hit instead of descriptor lookup + bound-method
-                            # allocation per dispatch.
-                            name = info.method_name
-                            handler = machine._bound_handlers.get(name)
-                            if handler is None:
-                                handler = getattr(machine, name)
-                                machine._bound_handlers[name] = handler
-                            result = handler(event) if info.wants_event else handler()
-                            if result is not None:
-                                self._maybe_start_coroutine(machine, result)
-            except MachineHaltRequested:
-                self._halt_machine(machine)
-            except BugError as error:
-                self._record_bug(error)
-                return
-            except FrameworkError:
-                raise
-            except Exception as exc:
-                error = UnexpectedExceptionError(
-                    f"{machine.id}: unexpected {type(exc).__name__}: {exc}"
-                )
-                error.__cause__ = exc
-                self._record_bug(error)
-                return
-            # The executed machine is the only one whose runnability can
-            # have *decreased* during the step (sends to other machines only
-            # enable, handled at enqueue time; state transitions change only
-            # its own disciplines), so one recheck keeps the enabled set
-            # exact.  The no-receive, no-discipline case of
-            # Machine._has_work is unrolled here; blocked-in-receive and
-            # discipline-filtered machines take the slow paths.
-            if machine._halted:
-                has_work = False
-            elif machine._pending_receive is None:
-                if machine._coroutine is not None or machine._raised:
-                    has_work = True
-                else:
-                    ctx = machine._state_ctx
-                    if ctx.plain:
-                        has_work = bool(machine._inbox)
-                    else:
-                        has_work = ctx.any_dequeuable(machine._inbox)
-            else:
-                has_work = machine._has_work()
-            if has_work:
-                if not machine._enabled:
-                    self._mark_enabled(machine)
-            elif machine._enabled:
-                self._mark_disabled(machine)
-        self.termination_reason = "bound"
+        The reference form of the selection rule (the testing controller
+        inlines it in its hot loop): the raised queue drains first and
+        bypasses disciplines, a discipline-free state pops the inbox head,
+        and otherwise selection goes through the discipline scan.
+        """
+        if machine._raised:
+            return machine._raised.popleft()
+        if ctx.plain:
+            event = machine._inbox.popleft()
+            _dec_pending(machine._pending_counts, type(event))
+            return event
+        return self._dequeue_with_disciplines(machine, ctx)
 
     def _dequeue_with_disciplines(self, machine: Machine, ctx) -> Event:
         """Dequeue selection under the current state's event disciplines.
 
         Scans the inbox front-to-back: ignored events are dropped (and
         logged), deferred events are skipped (they stay queued, in order),
-        and the first dequeuable event is removed and returned.  The enabled
-        set only admits machines with at least one dequeuable event, so the
-        scan finding nothing means the incremental bookkeeping is broken —
+        and the first dequeuable event is removed and returned.  Controllers
+        only schedule machines with at least one dequeuable event, so the
+        scan finding nothing means the runnability bookkeeping is broken —
         a framework bug, reported as such.
         """
         inbox = machine._inbox
+        counts = machine._pending_counts
         actions = ctx.actions
         index = 0
         while index < len(inbox):
@@ -685,6 +495,7 @@ class TestRuntime:
                 action = ctx.resolve(event_type)
             if action is IGNORE:
                 del inbox[index]
+                _dec_pending(counts, event_type)
                 self._sink.append((
                     "{}: ignored {!r} in state {!r}",
                     machine._id, event, machine._current_state,
@@ -694,6 +505,7 @@ class TestRuntime:
                 index += 1
                 continue
             del inbox[index]
+            _dec_pending(counts, event_type)
             return event
         raise FrameworkError(
             f"{machine.id}: scheduled with no dequeuable event "
@@ -732,6 +544,45 @@ class TestRuntime:
             entry_action = machine._spec.entry_actions.get(initial)
             if entry_action is not None:
                 self._run_plain_action(machine, entry_action)
+
+    def _dispatch_user_event(self, machine: Machine, event: Event, ctx) -> None:
+        """Resolve and invoke the handler for one non-control event.
+
+        This is the reference (non-inlined) form of the dispatch block the
+        testing controller unrolls into its hot loop; the production
+        controller dispatches through it directly.
+        """
+        event_type = type(event)
+        actions = ctx.actions
+        try:
+            info = actions[event_type]
+        except KeyError:
+            info = ctx.resolve(event_type)
+        if info is not None and info.__class__ is not HandlerInfo:
+            # DEFER/IGNORE classification can only reach dispatch for a
+            # *raised* event (dequeue already applied the disciplines):
+            # disciplines do not govern the raised queue, so fall back to
+            # handler-only resolution.
+            info = ctx.handler_only(event_type)
+        if info is None:
+            self._on_unhandled_event(machine, event, event_type)
+            return
+        self._sink.append((
+            "{}: handling {!r} in state {!r}",
+            machine._id, event, machine._current_state,
+        ))
+        if self.coverage is not None:
+            self.coverage.handled[
+                (type(machine).__name__, machine._current_state, event_type.__name__)
+            ] += 1
+        name = info.method_name
+        handler = machine._bound_handlers.get(name)
+        if handler is None:
+            handler = getattr(machine, name)
+            machine._bound_handlers[name] = handler
+        result = handler(event) if info.wants_event else handler()
+        if result is not None:
+            self._maybe_start_coroutine(machine, result)
 
     def _on_unhandled_event(self, machine: Machine, event: Event, event_type: type) -> None:
         if machine.ignore_unhandled_events:
@@ -793,6 +644,7 @@ class TestRuntime:
             machine._coroutine = None
         machine._pending_receive = None
         machine._inbox.clear()
+        machine._pending_counts.clear()
         machine._raised.clear()
         self._mark_disabled(machine)
         machine.on_halt()

@@ -1,0 +1,530 @@
+"""The concurrent production execution controller.
+
+:class:`ProductionRuntime` runs the *same* machine programs the testing
+controller explores, but on real concurrency: an asyncio event loop hosted in
+a dedicated thread, with one mailbox task per machine draining that machine's
+inbox.  Nothing about the programming model changes — machines still own
+their state, communicate only through events, and block in ``yield Receive``
+— which is the paper's deployment story: the program that was systematically
+tested is the program that serves traffic.
+
+Execution model
+---------------
+
+* **One mailbox task per machine.**  Each machine's events are dispatched by
+  its own asyncio task, strictly in order; tasks of different machines
+  interleave at every event boundary (each dispatch ends in a cooperative
+  yield), so cross-machine schedules are genuinely nondeterministic.
+* **Thread-safe sends.**  Sends from machine handlers run on the loop thread
+  and deliver directly; sends from any other thread (external clients, load
+  generators, :meth:`post_event`) hop onto the loop via
+  ``call_soon_threadsafe``.  Per-machine FIFO ordering is preserved either
+  way.
+* **Monitors under a lock.**  Monitor notifications are serialized through an
+  ``RLock`` so specification state stays consistent no matter which thread
+  or task triggers them; monitor violations raise the same
+  :class:`~repro.core.errors.SafetyViolationError` bugs as in testing and
+  stop the system.
+* **Real nondeterminism.**  ``random()`` / ``random_integer()`` /
+  ``choose()`` draw from an ``os.urandom``-seeded RNG instead of the
+  scheduling strategy; there is no schedule trace and no replay in this mode
+  — that is what the testing controller is for.
+* **Wall-clock timers.**  :class:`~repro.core.timer.TimerMachine` detects
+  ``wall_clock`` runtimes and registers with the runtime's timer service
+  instead of running its controlled-choice loop; ticks are produced by real
+  ``asyncio.sleep`` timers (``tick_interval`` apart), still honoring the
+  one-outstanding-tick rule and ``max_ticks``/``StopTimer`` semantics.
+
+Lifecycle: :meth:`start` boots the system (the entry point runs on the
+loop), :meth:`join` waits for quiescence / a bug / a timeout, and
+:meth:`shutdown` stops every task, runs the shared end-of-execution checks
+(liveness monitors still hot, machines wedged in receive) and returns the
+:class:`~repro.core.runtime.kernel.BugInfo` if anything was violated.
+:meth:`run` wraps the three for the common boot-drive-stop pattern.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import os
+import random
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..config import TestingConfig
+from ..errors import BugError, FrameworkError, UnexpectedExceptionError
+from ..events import Event, TimerTick
+from ..ids import MachineId
+from ..machine import Machine, MachineHaltRequested
+from .kernel import _CONTROL_EVENTS, BugInfo, RuntimeKernel
+
+
+class ProductionRuntime(RuntimeKernel):
+    """Concurrent asyncio-backed runtime for deploying machine programs."""
+
+    wall_clock = True
+
+    def __init__(
+        self,
+        config: Optional[TestingConfig] = None,
+        *,
+        tick_interval: float = 0.005,
+    ) -> None:
+        super().__init__(config, coverage=None)
+        #: seconds between wall-clock timer rounds (every registered
+        #: TimerMachine shares this period; §3.3's point is precisely that
+        #: correctness must not depend on its value).
+        self.tick_interval = tick_interval
+        #: machine id value -> number of events dispatched to that machine;
+        #: the soak harnesses read it to assert genuine concurrency.
+        self.dispatch_counts: Dict[int, int] = {}
+        #: created in start(): an event loop holds selector file descriptors,
+        #: so never-started runtimes must not allocate one.
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread_id: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._monitor_lock = threading.RLock()
+        self._rng = random.Random(int.from_bytes(os.urandom(16), "little"))
+        self._mailbox_tasks: Dict[int, "asyncio.Task"] = {}
+        self._timer_tasks: Dict[int, "asyncio.Task"] = {}
+        #: external sends posted via call_soon_threadsafe that have not yet
+        #: landed on the loop; quiescence cannot be declared while non-zero.
+        #: Incremented from arbitrary client threads and decremented on the
+        #: loop thread, so every mutation holds the lock.
+        self._external_inflight = 0
+        self._external_lock = threading.Lock()
+        self._stopping = False
+        self._started = False
+        self._stopped = False
+        #: set as soon as a bug is recorded / a framework error surfaces, so
+        #: join() returns promptly instead of polling out its timeout.
+        self._halted_event = threading.Event()
+        self._framework_error: Optional[FrameworkError] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, entry: Callable[["ProductionRuntime"], None]) -> "ProductionRuntime":
+        """Boot the system: run ``entry`` on the event loop and start serving."""
+        if self._started:
+            raise FrameworkError("ProductionRuntime.start() may only be called once")
+        self._started = True
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop_main, name="repro-production-loop", daemon=True
+        )
+        self._thread.start()
+        future = asyncio.run_coroutine_threadsafe(self._boot(entry), self._loop)
+        try:
+            future.result()
+        except BaseException:
+            # The entry point failed with a non-bug error (BugErrors are
+            # recorded, see _boot): tear the loop thread down before
+            # re-raising so a failed start leaks neither thread nor loop.
+            self._stopped = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            if not self._thread.is_alive():
+                self._loop.close()
+            raise
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until the system quiesces, fails, or ``timeout`` elapses.
+
+        Returns True when the system reached quiescence (no machine has
+        work, no external send is in flight, and no wall-clock timer can
+        still fire) or was stopped by a bug; False on timeout.  Records the
+        outcome in ``termination_reason`` ("quiescence", "stopped", or the
+        testing step bound's analogue "bound" on timeout) so a subsequent
+        :meth:`shutdown` applies the right end-of-execution rules — a system
+        cut off mid-flight must not be judged by the quiescence rules.
+        """
+        if not self._started:
+            raise FrameworkError("join() before start()")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._halted_event.is_set():
+                self.termination_reason = "stopped"
+                return True
+            probe = asyncio.run_coroutine_threadsafe(self._probe_quiescent(), self._loop)
+            try:
+                # Bounded wait: a handler that wedges the loop thread (the
+                # deployed-code failure mode) must not turn join(timeout=N)
+                # into an unbounded hang — the probe simply counts as "not
+                # quiescent" until the deadline expires.
+                if probe.result(timeout=1.0):
+                    self.termination_reason = (
+                        "stopped" if self._halted_event.is_set() else "quiescence"
+                    )
+                    return True
+            except concurrent.futures.TimeoutError:  # plain TimeoutError on 3.11+
+                probe.cancel()
+            if deadline is not None and time.monotonic() >= deadline:
+                self.termination_reason = "bound"
+                return False
+            self._halted_event.wait(0.01)
+
+    def shutdown(self) -> Optional[BugInfo]:
+        """Stop every task and the loop, run end-of-execution checks.
+
+        Returns the recorded :class:`BugInfo` (monitor violation, unexpected
+        exception, liveness-at-shutdown, deadlock) or None for a clean run.
+        """
+        if not self._started:
+            raise FrameworkError("shutdown() before start()")
+        if not self._stopped:
+            self._stopped = True
+            stopper = asyncio.run_coroutine_threadsafe(self._stop_tasks(), self._loop)
+            try:
+                stopper.result(timeout=10.0)
+            except Exception:
+                # A wedged loop is diagnosed below (the thread fails to
+                # join); cancellation noise from racing tasks is benign.
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            if self._thread.is_alive():
+                # Closing a still-running loop would raise an unrelated
+                # RuntimeError; surface the actual problem instead.
+                raise FrameworkError(
+                    "production event loop failed to stop within 10s "
+                    "(a machine handler is likely blocking the loop thread)"
+                )
+            self._loop.close()
+        if self._framework_error is not None:
+            raise self._framework_error
+        if self.bug is None:
+            if self.termination_reason is None:
+                # shutdown() without a join(): the system was cut off at an
+                # arbitrary point, which is the "bound" situation — claiming
+                # quiescence would report spurious deadlocks for machines
+                # that were merely still in flight.
+                self.termination_reason = "bound"
+            self._check_end_of_execution()
+        if self.bug is not None and not self.bug.log:
+            self.bug.log = self.execution_log
+        return self.bug
+
+    def run(
+        self,
+        entry: Callable[["ProductionRuntime"], None],
+        *,
+        timeout: float = 60.0,
+    ) -> Optional[BugInfo]:
+        """Boot ``entry``, wait for quiescence (or a bug/timeout), shut down."""
+        self.start(entry)
+        self.join(timeout)  # records termination_reason for shutdown()
+        return self.shutdown()
+
+    def _loop_main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    async def _boot(self, entry: Callable[["ProductionRuntime"], None]) -> None:
+        self._loop_thread_id = threading.get_ident()
+        try:
+            entry(self)
+        except MachineHaltRequested:
+            raise FrameworkError("halt() called outside of a machine handler")
+        except BugError as error:
+            # Same contract as TestRuntime.run: a specification violation
+            # raised while the entry point runs (e.g. a monitor's initial
+            # entry action asserting) is a recorded bug, not a crash.
+            self._record_bug(error)
+
+    def _wake_all_mailboxes(self) -> None:
+        """Wake every mailbox task so it can observe _stopping/bugs/halts."""
+        for machine in self._machines.values():
+            wakeup = getattr(machine, "_prod_wakeup", None)
+            if wakeup is not None:
+                wakeup.set()
+
+    async def _stop_tasks(self) -> None:
+        self._stopping = True
+        for task in self._timer_tasks.values():
+            task.cancel()
+        self._wake_all_mailboxes()
+        tasks = [
+            task
+            for task in list(self._mailbox_tasks.values()) + list(self._timer_tasks.values())
+            if not task.done()
+        ]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # controller hooks
+    # ------------------------------------------------------------------
+    def _mark_enabled(self, machine: Machine) -> None:
+        # Runnability maps to the machine's mailbox wake-up: the enqueue
+        # paths call this exactly when new work arrived (never for events
+        # that are deferred/ignored or fail a pending receive).
+        wakeup = getattr(machine, "_prod_wakeup", None)
+        if wakeup is not None:
+            wakeup.set()
+
+    def _mark_disabled(self, machine: Machine) -> None:
+        # Mailbox tasks re-evaluate ``_has_work`` themselves; nothing to do.
+        pass
+
+    def next_boolean(self, requester: MachineId) -> bool:
+        return self._rng.random() < 0.5
+
+    def next_integer(self, requester: MachineId, max_value: int) -> int:
+        if max_value < 1:
+            raise FrameworkError("next_integer requires max_value >= 1")
+        return self._rng.randrange(max_value)
+
+    def notify_monitor(self, monitor_cls: type, event: Event, source: Optional[MachineId] = None) -> None:
+        with self._monitor_lock:
+            super().notify_monitor(monitor_cls, event, source)
+
+    def _record_bug(self, error: BugError) -> None:
+        super()._record_bug(error)
+        self.bug.log = self.execution_log
+        self._stopping = True
+        self._halted_event.set()
+        self._wake_all_mailboxes()
+
+    def _fail(self, error: FrameworkError) -> None:
+        if self._framework_error is None:
+            self._framework_error = error
+        self._stopping = True
+        self._halted_event.set()
+        self._wake_all_mailboxes()
+
+    # ------------------------------------------------------------------
+    # machine creation / event delivery
+    # ------------------------------------------------------------------
+    def create_machine(
+        self,
+        machine_cls: type,
+        *args: Any,
+        name: str = "",
+        creator: Optional[MachineId] = None,
+        **kwargs: Any,
+    ) -> MachineId:
+        if self._loop is None:
+            raise FrameworkError(
+                "create_machine requires a started runtime "
+                "(create machines from the entry point or from handlers)"
+            )
+        if (
+            self._loop_thread_id is not None
+            and threading.get_ident() != self._loop_thread_id
+        ):
+            raise FrameworkError(
+                "create_machine must run on the runtime's event loop "
+                "(create machines from the entry point or from handlers)"
+            )
+        machine_id = super().create_machine(
+            machine_cls, *args, name=name, creator=creator, **kwargs
+        )
+        machine = self._machines[machine_id]
+        machine._prod_wakeup = asyncio.Event()
+        machine._prod_wakeup.set()  # the StartEvent is already queued
+        self._mailbox_tasks[machine_id.value] = self._loop.create_task(
+            self._mailbox(machine), name=f"mailbox-{machine_id}"
+        )
+        return machine_id
+
+    def send_event(self, target: MachineId, event: Event, sender: Optional[MachineId] = None) -> None:
+        if not isinstance(event, Event):
+            raise FrameworkError(f"send expects an Event instance, got {event!r}")
+        if threading.get_ident() != self._loop_thread_id:
+            self._post_external(target, event, sender)
+            return
+        self._deliver(target, event, sender)
+
+    def post_event(self, target: MachineId, event: Event) -> None:
+        """Thread-safe external send into the running system.
+
+        The delivery hops onto the event loop, so callers on any thread can
+        push load into the machines without synchronizing with them.
+        """
+        if not isinstance(event, Event):
+            raise FrameworkError(f"post_event expects an Event instance, got {event!r}")
+        self._post_external(target, event, None)
+
+    def _post_external(self, target: MachineId, event: Event, sender: Optional[MachineId]) -> None:
+        if not self._started or self._stopped:
+            raise FrameworkError(
+                "external sends require a started, not-yet-shut-down runtime"
+            )
+        with self._external_lock:
+            self._external_inflight += 1
+        try:
+            self._loop.call_soon_threadsafe(self._deliver_external, target, event, sender)
+        except RuntimeError as error:
+            # Raced with shutdown() closing the loop between the guard above
+            # and the post: surface the same clean error as the sequential
+            # case instead of a raw "Event loop is closed" crash.
+            with self._external_lock:
+                self._external_inflight -= 1
+            raise FrameworkError(
+                "external sends require a started, not-yet-shut-down runtime"
+            ) from error
+
+    def _deliver_external(self, target: MachineId, event: Event, sender: Optional[MachineId]) -> None:
+        try:
+            self._deliver(target, event, sender)
+        except FrameworkError as error:
+            self._fail(error)
+        finally:
+            with self._external_lock:
+                self._external_inflight -= 1
+
+    def _deliver(self, target: MachineId, event: Event, sender: Optional[MachineId]) -> None:
+        machine = self._machines_by_value.get(target.value)
+        if machine is None:
+            raise FrameworkError(f"send to unknown machine {target}")
+        if machine._halted:
+            if sender is not None:
+                self._sink.append(("dropped {} -> {}: {!r} (target halted)", sender, target, event))
+            else:
+                self._sink.append(("dropped {}: {!r} (target halted)", target, event))
+            return
+        machine._enqueue(event)  # inbox append + pending counts + wake-up
+        if sender is not None:
+            self._sink.append(("sent {} -> {}: {!r}", sender, target, event))
+        else:
+            self._sink.append(("sent {}: {!r}", target, event))
+
+    # ------------------------------------------------------------------
+    # mailbox tasks
+    # ------------------------------------------------------------------
+    async def _mailbox(self, machine: Machine) -> None:
+        wakeup = machine._prod_wakeup
+        try:
+            while True:
+                if self._stopping or machine._halted:
+                    return
+                if machine._has_work():
+                    try:
+                        self._dispatch_once(machine)
+                    except MachineHaltRequested:
+                        self._halt_machine(machine)
+                    except BugError as error:
+                        self._record_bug(error)
+                        return
+                    except FrameworkError as error:
+                        self._fail(error)
+                        return
+                    except Exception as exc:
+                        error = UnexpectedExceptionError(
+                            f"{machine.id}: unexpected {type(exc).__name__}: {exc}"
+                        )
+                        error.__cause__ = exc
+                        self._record_bug(error)
+                        return
+                    # One event per iteration, then a cooperative yield, so
+                    # every other runnable machine interleaves at event
+                    # granularity — the production analogue of a scheduling
+                    # point after each dispatch.
+                    await asyncio.sleep(0)
+                else:
+                    wakeup.clear()
+                    # Single-threaded loop: nothing can have enqueued between
+                    # the _has_work check and the clear, but a cheap recheck
+                    # keeps this robust if a handler ever runs off-loop.
+                    if machine._has_work() or machine._halted or self._stopping:
+                        continue
+                    await wakeup.wait()
+        except asyncio.CancelledError:
+            return
+
+    def _dispatch_once(self, machine: Machine) -> None:
+        self.step_count += 1
+        counts = self.dispatch_counts
+        value = machine._id.value
+        counts[value] = counts.get(value, 0) + 1
+        if machine._coroutine is not None:
+            self._execute_coroutine_step(machine)
+            return
+        ctx = machine._state_ctx
+        event = self._dequeue_next(machine, ctx)
+        if isinstance(event, _CONTROL_EVENTS):
+            self._dispatch_control_event(machine, event)
+        else:
+            self._dispatch_user_event(machine, event, ctx)
+
+    def _halt_machine(self, machine: Machine) -> None:
+        super()._halt_machine(machine)
+        timer_task = self._timer_tasks.pop(machine._id.value, None)
+        if timer_task is not None:
+            timer_task.cancel()
+        wakeup = getattr(machine, "_prod_wakeup", None)
+        if wakeup is not None:
+            wakeup.set()  # let the mailbox task observe the halt and exit
+
+    # ------------------------------------------------------------------
+    # wall-clock timer service
+    # ------------------------------------------------------------------
+    def start_wall_clock_timer(self, timer: Machine) -> None:
+        value = timer._id.value
+        existing = self._timer_tasks.get(value)
+        if existing is not None and not existing.done():
+            return
+        self._timer_tasks[value] = self._loop.create_task(
+            self._timer_loop(timer), name=f"timer-{timer._id}"
+        )
+
+    def stop_wall_clock_timer(self, timer: Machine) -> None:
+        task = self._timer_tasks.get(timer._id.value)
+        if task is not None:
+            task.cancel()
+
+    async def _timer_loop(self, timer: Machine) -> None:
+        # Mirrors TimerMachine.run_loop with real sleeps in place of loop
+        # self-messages: one round per tick_interval, at most one outstanding
+        # tick, bounded by max_ticks, stopped by StopTimer/halt.  Ticks that
+        # were already delivered when the timer stops remain in the target's
+        # inbox — the documented "pending ticks may still be delivered" race
+        # exists in production exactly as it does under testing.
+        try:
+            while not self._stopping and timer.active and not timer._halted:
+                if timer.max_ticks is not None and timer.rounds >= timer.max_ticks:
+                    return
+                await asyncio.sleep(self.tick_interval)
+                if self._stopping or not timer.active or timer._halted:
+                    return
+                timer.rounds += 1
+                if not self.has_pending_event(
+                    timer.target, TimerTick, timer._tick_predicate
+                ) and (timer.always_fire or self.next_boolean(timer._id)):
+                    self._deliver(timer.target, TimerTick(timer.timer_name), timer._id)
+        except asyncio.CancelledError:
+            return
+
+    def active_machine_count(self) -> int:
+        """Machines that dispatched beyond their start event.
+
+        Every created machine dispatches at least its ``StartEvent``, so a
+        bare "did it dispatch anything" tally is vacuously the machine
+        count; requiring a second dispatch counts machines that actually
+        participated in the run's event traffic.
+        """
+        return sum(1 for count in self.dispatch_counts.values() if count > 1)
+
+    # ------------------------------------------------------------------
+    # quiescence probing
+    # ------------------------------------------------------------------
+    async def _probe_quiescent(self) -> bool:
+        # Runs on the loop, so every mailbox task is parked at an await
+        # point: per-machine _has_work is exact here.  Live wall-clock timer
+        # tasks are future event sources, so the system is not quiescent
+        # while any survive (they end on max_ticks/StopTimer/halt).
+        if self._stopping:
+            return True
+        if self._external_inflight:
+            return False
+        for task in self._timer_tasks.values():
+            if not task.done():
+                return False
+        for machine in self._machines.values():
+            if not machine._halted and machine._has_work():
+                return False
+        return True

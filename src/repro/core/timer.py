@@ -63,6 +63,13 @@ class TimerMachine(Machine):
         self._loop_event = _TimerLoop()
         name = timer_name
         self._tick_predicate = lambda tick: tick.timer_name == name
+        if self._runtime.wall_clock:
+            # Production mode: ticks come from the runtime's real wall-clock
+            # timer service (one round per tick interval, same
+            # one-outstanding-tick and max_ticks rules); the controlled
+            # self-message loop below exists only under systematic testing.
+            self._runtime.start_wall_clock_timer(self)
+            return
         self.send(self._id, self._loop_event)
 
     @on_event(_TimerLoop)
@@ -84,10 +91,18 @@ class TimerMachine(Machine):
     @on_event(StopTimer)
     def stop(self) -> None:
         self.active = False
+        if self._runtime.wall_clock:
+            # A tick already delivered stays in the target's inbox: the
+            # documented "pending ticks may still be delivered" race holds
+            # in production too — only *future* rounds are cancelled.
+            self._runtime.stop_wall_clock_timer(self)
 
     @on_event(StartTimer)
     def restart(self) -> None:
         if not self.active:
             self.active = True
             self.rounds = 0
-            self.send(self.id, _TimerLoop())
+            if self._runtime.wall_clock:
+                self._runtime.start_wall_clock_timer(self)
+            else:
+                self.send(self.id, _TimerLoop())

@@ -9,15 +9,27 @@ from .scenarios import (
     liveness_bug_configuration,
     safety_bug_configuration,
 )
+from .service import (
+    LoadClient,
+    ServiceFrontEnd,
+    ServiceHost,
+    ServiceStorageNode,
+    build_service_test,
+)
 
 __all__ = [
     "AckLivenessMonitor",
     "ClientMachine",
+    "LoadClient",
     "ModelServerNetwork",
     "ReplicaSafetyMonitor",
     "ServerMachine",
+    "ServiceFrontEnd",
+    "ServiceHost",
+    "ServiceStorageNode",
     "StorageNodeMachine",
     "build_replication_test",
+    "build_service_test",
     "buggy_configuration",
     "fixed_configuration",
     "liveness_bug_configuration",

@@ -1,0 +1,277 @@
+"""Front-ended replication *service*: the deployable form of §2.2.
+
+The same :class:`~repro.examplesys.server.ReplicationServer` component that
+the testing harnesses hunt bugs in is wrapped here as a small service: a
+front end serializes requests from many concurrent clients (one request in
+flight at the server, later submissions deferred — a State-DSL discipline
+doing real work), storage nodes replicate and sync, and the §2.4/§2.5
+monitors watch the whole thing.
+
+Every machine in this module runs unmodified under both execution
+controllers:
+
+* under :class:`~repro.core.TestRuntime` it is a registered clean scenario
+  (``examplesys/service``) — schedulers explore client/front-end/node
+  interleavings and the monitors must never fire;
+* under :class:`~repro.core.ProductionRuntime` it is the serving demo —
+  ``python -m repro serve --scenario examplesys/service`` boots it on the
+  concurrent runtime and drives it with as many load clients as requested.
+
+Storage nodes sync both periodically (modeled timer in testing, wall-clock
+timer in production) and immediately after storing, so request latency does
+not hinge on timer frequency — §3.3's modeling rule, applied in reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core import (
+    Event,
+    Halt,
+    Machine,
+    MachineId,
+    Receive,
+    State,
+    TimerMachine,
+    TimerTick,
+    on_event,
+)
+from repro.core.registry import scenario
+
+from ..messages import (
+    Ack,
+    ClientRequest,
+    NotifyAck,
+    NotifyClientRequest,
+    NotifyReplicaStored,
+    ReplicationRequest,
+    SyncReport,
+)
+from ..server import ReplicationServer, ServerConfig, ServerNetwork, StorageNodeStore
+from .monitors import AckLivenessMonitor, ReplicaSafetyMonitor
+from .scenarios import fixed_configuration
+
+
+class SubmitRequest(Event):
+    """A client asks the front end to replicate ``data``."""
+
+    def __init__(self, data: int, client: MachineId) -> None:
+        self.data = data
+        self.client = client
+
+
+class ClientDone(Event):
+    """A load client reports that all of its requests were acknowledged."""
+
+    def __init__(self, client: MachineId) -> None:
+        self.client = client
+
+
+class ServiceNetwork(ServerNetwork):
+    """Network engine wiring the real server into the service machines."""
+
+    def __init__(self, host: "ServiceHost") -> None:
+        self._host = host
+
+    def send_replication_request(self, node_id: int, data: int) -> None:
+        self._host.send(self._host.node_machines[node_id], ReplicationRequest(data))
+
+    def send_ack(self, data: int) -> None:
+        self._host.notify_monitor(ReplicaSafetyMonitor, NotifyAck(data))
+        self._host.notify_monitor(AckLivenessMonitor, NotifyAck(data))
+        self._host.send(self._host.frontend, Ack(data))
+
+
+class ServiceHost(Machine):
+    """Hosts the real :class:`ReplicationServer` plus its environment.
+
+    Builds the storage nodes (each with its own timer), the front end and
+    the load clients; relays protocol events into the server component; and
+    shuts the whole service down (halting nodes, timers and the front end)
+    once every client has reported completion — which is what lets both
+    controllers reach genuine quiescence.
+    """
+
+    def on_start(
+        self,
+        num_nodes: int = 3,
+        num_clients: int = 2,
+        num_requests: int = 2,
+        server_config: Optional[ServerConfig] = None,
+        timer_ticks: "int | None" = 10,
+    ) -> None:
+        self.node_machines: Dict[int, MachineId] = {}
+        self.clients_done = 0
+        self.num_clients = num_clients
+        for node_id in range(num_nodes):
+            self.node_machines[node_id] = self.create(
+                ServiceStorageNode, self.id, node_id, timer_ticks, name=f"SN-{node_id}"
+            )
+        self.server = ReplicationServer(
+            node_ids=list(self.node_machines),
+            network=ServiceNetwork(self),
+            config=server_config or fixed_configuration(),
+        )
+        self.frontend = self.create(ServiceFrontEnd, self.id, name="FrontEnd")
+        self.clients: List[MachineId] = [
+            self.create(LoadClient, self.id, self.frontend, num_requests, name=f"Client-{index}")
+            for index in range(num_clients)
+        ]
+
+    class Serving(State, initial=True):
+        @on_event(ClientRequest)
+        def handle_client_request(self, event: ClientRequest) -> None:
+            self.notify_monitor(ReplicaSafetyMonitor, NotifyClientRequest(event.data))
+            self.notify_monitor(AckLivenessMonitor, NotifyClientRequest(event.data))
+            self.server.process_client_request(event.data)
+
+        @on_event(SyncReport)
+        def handle_sync(self, event: SyncReport) -> None:
+            self.server.process_sync(event.node_id, event.log)
+
+        @on_event(ClientDone)
+        def handle_client_done(self, event: ClientDone) -> None:
+            self.clients_done += 1
+            if self.clients_done == self.num_clients:
+                # Every request acknowledged: tear the service down so the
+                # system quiesces (nodes halt their timers from on_halt).
+                self.send(self.frontend, Halt())
+                for node in self.node_machines.values():
+                    self.send(node, Halt())
+                self.halt()
+
+
+class ServiceStorageNode(Machine):
+    """Storage node that syncs immediately on store and periodically on ticks."""
+
+    def on_start(self, host: MachineId, node_id: int, timer_ticks: "int | None") -> None:
+        self.host = host
+        self.node_id = node_id
+        self.store = StorageNodeStore(node_id)
+        self.timer = self.create(
+            TimerMachine, self.id, timer_name=f"sn-{node_id}", max_ticks=timer_ticks,
+            name=f"Timer-SN-{node_id}",
+        )
+
+    def on_halt(self) -> None:
+        # Take the timer down with the node; otherwise its (wall-clock or
+        # modeled) loop would keep the system from ever quiescing.
+        self.send(self.timer, Halt())
+
+    class Serving(State, initial=True):
+        @on_event(ReplicationRequest)
+        def handle_replication(self, event: ReplicationRequest) -> None:
+            self.store.store(event.data)
+            self.notify_monitor(ReplicaSafetyMonitor, NotifyReplicaStored(self.node_id, event.data))
+            # Push-sync: report right away so acknowledgement latency does
+            # not depend on the timer period (the timer still adds periodic
+            # redundant reports, which the server must tolerate).
+            self.send(self.host, SyncReport(self.node_id, self.store.latest))
+
+        @on_event(TimerTick)
+        def handle_timeout(self) -> None:
+            self.send(self.host, SyncReport(self.node_id, self.store.latest))
+
+
+class ServiceFrontEnd(Machine):
+    """Serializes client submissions into one in-flight server request.
+
+    ``Busy`` defers further submissions (they stay queued, in arrival order)
+    and matches acknowledgements against the in-flight payload: the server
+    may legitimately emit a *duplicate* Ack for a previous request when late
+    redundant sync reports push its counter past the target again, and such
+    stale Acks must not be forwarded as answers to the current request.
+    """
+
+    def on_start(self, server: MachineId) -> None:
+        self.server = server
+        self.pending_client: Optional[MachineId] = None
+        self.pending_data: Optional[int] = None
+        self.completed = 0
+
+    class Idle(State, initial=True):
+        ignored = (Ack,)  # stale duplicate acks carry no information here
+
+        @on_event(SubmitRequest)
+        def forward(self, event: SubmitRequest) -> None:
+            self.pending_client = event.client
+            self.pending_data = event.data
+            self.send(self.server, ClientRequest(event.data, self.id))
+            self.goto(ServiceFrontEnd.Busy)
+
+    class Busy(State):
+        deferred = (SubmitRequest,)
+
+        @on_event(Ack)
+        def acknowledged(self, event: Ack) -> None:
+            if event.data != self.pending_data:
+                self.log(f"dropped stale ack for {event.data}")
+                return
+            self.send(self.pending_client, Ack(event.data))
+            self.completed += 1
+            self.goto(ServiceFrontEnd.Idle)
+
+
+class LoadClient(Machine):
+    """Closed-loop client: submits a request, awaits its Ack, repeats.
+
+    Payloads are globally distinct (client id × request index × a
+    nondeterministic nonce) so "is node X a replica of the current value"
+    stays well defined across concurrent clients.
+    """
+
+    ignore_unhandled_events = True  # belt-and-braces against late duplicates
+
+    def on_start(self, host: MachineId, frontend: MachineId, num_requests: int):
+        self.host = host
+        self.frontend = frontend
+        self.acked: List[int] = []
+        for request_index in range(num_requests):
+            data = self.id.value * 1_000_000 + request_index * 100 + self.random_integer(100)
+            self.send(self.frontend, SubmitRequest(data, self.id))
+            ack = yield Receive(Ack)
+            self.acked.append(ack.data)
+        self.send(self.host, ClientDone(self.id))
+
+
+def build_service_test(
+    num_nodes: int = 3,
+    num_clients: int = 2,
+    num_requests: int = 2,
+    timer_ticks: "int | None" = 10,
+    check_safety: bool = True,
+    check_liveness: bool = True,
+):
+    """Entry factory for the service; runs under either execution controller."""
+
+    def test_entry(runtime) -> None:
+        if check_safety:
+            runtime.register_monitor(ReplicaSafetyMonitor)
+        if check_liveness:
+            runtime.register_monitor(AckLivenessMonitor)
+        runtime.create_machine(
+            ServiceHost,
+            num_nodes=num_nodes,
+            num_clients=num_clients,
+            num_requests=num_requests,
+            timer_ticks=timer_ticks,
+            name="Service",
+        )
+
+    return test_entry
+
+
+@scenario(
+    "examplesys/service",
+    tags=("examplesys", "clean", "service"),
+    max_steps=3000,
+)
+def service_scenario(num_clients: int = 2, num_requests: int = 2):
+    """Front-ended replication service; clean under testing, demo for serve.
+
+    The keyword parameters make the factory load-configurable: ``python -m
+    repro serve --clients N --requests M`` passes them through, while the
+    zero-argument call the registry requires uses the small defaults.
+    """
+    return build_service_test(num_clients=num_clients, num_requests=num_requests)

@@ -198,3 +198,70 @@ def test_run_clean_scenario_with_expect_bug_fails(tmp_path, capsys):
     ])
     assert code == 1
     assert "expected" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# serve (ProductionRuntime) and --verbose
+# ---------------------------------------------------------------------------
+def test_serve_boots_service_under_production_runtime(capsys):
+    code = main([
+        "serve", "--scenario", "examplesys/service",
+        "--clients", "3", "--requests", "5",
+        "--tick-interval", "0.002", "--timeout", "60",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "under ProductionRuntime" in out
+    assert "clean shutdown, no monitor violations" in out
+
+
+def test_serve_json_stats_and_expect_events(capsys):
+    code = main([
+        "serve", "--scenario", "examplesys/service",
+        "--clients", "4", "--requests", "25",
+        "--tick-interval", "0.002", "--timeout", "120",
+        "--expect-events", "500", "--json",
+    ])
+    assert code == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["bug"] is None
+    assert stats["quiesced"] is True
+    assert stats["events_dispatched"] >= 500
+    assert stats["active_machines"] >= 8
+    assert stats["events_per_second"] > 0
+
+
+def test_serve_rejects_json_with_verbose(capsys):
+    code = main([
+        "serve", "--scenario", "examplesys/service", "--json", "--verbose",
+    ])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_serve_rejects_load_flags_the_scenario_does_not_accept(capsys):
+    code = main([
+        "serve", "--scenario", "examplesys/fixed", "--clients", "2",
+        "--timeout", "5",
+    ])
+    assert code == 2
+    assert "does not accept --clients" in capsys.readouterr().err
+
+
+def test_run_verbose_streams_log_records_live(tmp_path, capsys):
+    assert main([
+        "run", "--scenario", "examplesys/fixed",
+        "--strategy", "random", "--iterations", "2", "--seed", "1",
+        "--output", str(tmp_path / "clean.json"), "--verbose",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[repro] created" in out
+    assert "[repro] sent" in out
+
+
+def test_replay_verbose_streams_log_records_live(tmp_path, capsys):
+    report_path = _seeded_bug_report(tmp_path, capsys)
+    assert main(["replay", report_path, "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "[repro]" in out
+    assert "replay reproduced the recorded bug deterministically" in out
