@@ -1,0 +1,50 @@
+"""Whole-program static analysis for machine programs.
+
+The analyzer models each machine/monitor class without running a single
+schedule (states, transitions, sends with resolved event/target types,
+defer/ignore disciplines) and checks the model against a fixed rule catalog:
+``unhandled-event``, ``unreachable-state``, ``dead-handler``,
+``pop-underflow``, ``stuck-deferral``, ``hot-forever`` and ``payload-alias``.
+
+Run it via ``python -m repro analyze`` or programmatically::
+
+    from repro.analysis import analyze_scenarios
+    from repro.core.registry import all_scenarios, load_builtin_scenarios
+
+    load_builtin_scenarios()
+    report = analyze_scenarios(all_scenarios())
+    print(report.render())
+
+Diagnostics are suppressed inline with ``# repro: ignore[rule-id]``.
+"""
+
+from .checkers import RULES, is_handleable, reachable_states, run_checkers
+from .extract import (
+    build_program,
+    clear_model_cache,
+    discover_classes,
+    extract_machine_model,
+)
+from .model import MachineModel, ProgramModel, SourceRef
+from .report import ERROR, WARNING, AnalysisReport, Diagnostic
+from .runner import analyze_classes, analyze_scenarios
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "MachineModel",
+    "ProgramModel",
+    "RULES",
+    "SourceRef",
+    "analyze_classes",
+    "analyze_scenarios",
+    "build_program",
+    "clear_model_cache",
+    "discover_classes",
+    "extract_machine_model",
+    "is_handleable",
+    "reachable_states",
+    "run_checkers",
+]

@@ -1,0 +1,432 @@
+"""Layer 2: the analyzer's rules.
+
+Every rule has a stable ID (usable in ``# repro: ignore[rule-id]``) and a
+fixed severity.  Rules only fire on facts the extractor resolved; whenever a
+model contains unknowns (dynamic state/event/target expressions, unavailable
+source) the affected rule degrades to silence rather than guess.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.declarations import ANY_STATE, DEFER, is_control_event
+from repro.core.events import Event
+from repro.core.monitors import Monitor
+
+from .model import GOTO, PUSH, MachineModel, ProgramModel
+from .report import ERROR, WARNING, Diagnostic
+
+#: rule id -> (severity, one-line description); the analyzer's rule catalog.
+RULES: Dict[str, Tuple[str, str]] = {
+    "unhandled-event": (
+        ERROR,
+        "an event is sent/raised to a machine type that no reachable state "
+        "handles, defers or ignores — a guaranteed UnhandledEventError",
+    ),
+    "unreachable-state": (
+        WARNING,
+        "a declared state has no goto/push path from the initial state",
+    ),
+    "dead-handler": (
+        WARNING,
+        "a handler or entry/exit action is bound only to unreachable states",
+    ),
+    "pop-underflow": (
+        ERROR,
+        "a pop_state call can execute at the bottom of the state stack",
+    ),
+    "stuck-deferral": (
+        WARNING,
+        "an event is deferred in every reachable state; once queued it can "
+        "never be dequeued (deferred-backlog deadlock)",
+    ),
+    "hot-forever": (
+        WARNING,
+        "a hot monitor state has no transition path to any cold state, so "
+        "the liveness check can never pass",
+    ),
+    "payload-alias": (
+        WARNING,
+        "a mutable event payload is shared between sender and receiver "
+        "(re-sent, mutated after send, or retained by the sender)",
+    ),
+}
+
+
+def _diag(rule: str, model: MachineModel, ref, message: str) -> Diagnostic:
+    severity, _ = RULES[rule]
+    return Diagnostic(
+        rule=rule,
+        severity=severity,
+        message=message,
+        owner=model.name,
+        module=model.module,
+        file=ref.file,
+        line=ref.line,
+    )
+
+
+# ---------------------------------------------------------------------------
+# reachability
+# ---------------------------------------------------------------------------
+def reachable_states(model: MachineModel) -> Set[str]:
+    """States reachable from the initial state via goto/push edges.
+
+    Degrades to *all* states when any transition target is unknown (or some
+    method source was unavailable), which silences reachability-based rules
+    instead of risking a false positive.
+    """
+    if model.has_unknown_transitions:
+        return set(model.all_states)
+    reached = {model.initial}
+    changed = True
+    while changed:
+        changed = False
+        for edge in model.edges:
+            if edge.dst is None or edge.dst in reached:
+                continue
+            if edge.src == ANY_STATE or edge.src in reached:
+                reached.add(edge.dst)
+                changed = True
+    return reached
+
+
+def _closure_from(model: MachineModel, start: str, kinds: Tuple[str, ...]) -> Set[str]:
+    reached = {start}
+    changed = True
+    while changed:
+        changed = False
+        for edge in model.edges:
+            if edge.kind not in kinds or edge.dst is None or edge.dst in reached:
+                continue
+            if edge.src == ANY_STATE or edge.src in reached:
+                reached.add(edge.dst)
+                changed = True
+    return reached
+
+
+# ---------------------------------------------------------------------------
+# handleability (shared with the golden-trace cross-validation test)
+# ---------------------------------------------------------------------------
+def is_handleable(model: MachineModel, event_type: type) -> bool:
+    """True when sending ``event_type`` to ``model`` cannot be proven fatal.
+
+    Mirrors the runtime's dispatch rules: control events are always
+    dequeuable; ``ignore_unhandled_events`` machines drop anything; a
+    ``Receive(...)`` clause can consume matching events; otherwise some
+    reachable state must handle, defer or ignore the event.
+    """
+    if is_control_event(event_type):
+        return True
+    if model.ignore_unhandled:
+        return True
+    if model.receives_unknown:
+        return True
+    if any(issubclass(event_type, received) for received in model.receive_types):
+        return True
+    spec = model.spec
+    return any(
+        spec.context_for((state,)).resolve(event_type) is not None
+        for state in reachable_states(model)
+    )
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+def _check_unhandled_events(program: ProgramModel) -> List[Diagnostic]:
+    from .extract import extract_machine_model
+
+    diagnostics = []
+    for model in program:
+        for site in model.sends:
+            event_type, target = site.event_type, site.target
+            if event_type is None or target is None or is_control_event(event_type):
+                continue
+            if issubclass(target, Monitor):
+                continue
+            target_model = program.model_for(target) or extract_machine_model(target)
+            if not is_handleable(target_model, event_type):
+                diagnostics.append(
+                    _diag(
+                        "unhandled-event",
+                        model,
+                        site.ref,
+                        f"{model.name}.{model.pretty_method(site.method)} sends {event_type.__name__} "
+                        f"to {target.__name__}, but no reachable state of "
+                        f"{target.__name__} handles, defers or ignores it",
+                    )
+                )
+        for site in model.raises:
+            event_type = site.event_type
+            if event_type is None or is_control_event(event_type):
+                continue
+            if model.ignore_unhandled or model.receives_unknown:
+                continue
+            if any(issubclass(event_type, received) for received in model.receive_types):
+                continue
+            spec = model.spec
+            if not any(
+                spec.context_for((state,)).handler_only(event_type) is not None
+                for state in reachable_states(model)
+            ):
+                diagnostics.append(
+                    _diag(
+                        "unhandled-event",
+                        model,
+                        site.ref,
+                        f"{model.name}.{model.pretty_method(site.method)} raises {event_type.__name__}, "
+                        f"but no reachable state has a handler for it (raised "
+                        f"events bypass defer/ignore disciplines)",
+                    )
+                )
+        for site in model.notifies:
+            monitor, event_type = site.monitor, site.event_type
+            if monitor is None or event_type is None or is_control_event(event_type):
+                continue
+            monitor_model = program.model_for(monitor) or extract_machine_model(monitor)
+            spec = monitor_model.spec
+            if not any(
+                spec.context_for((state,)).resolve(event_type) is not None
+                for state in reachable_states(monitor_model)
+            ):
+                diagnostics.append(
+                    _diag(
+                        "unhandled-event",
+                        model,
+                        site.ref,
+                        f"{model.name}.{model.pretty_method(site.method)} notifies monitor "
+                        f"{monitor.__name__} with {event_type.__name__}, which no "
+                        f"reachable monitor state handles or ignores",
+                    )
+                )
+    return diagnostics
+
+
+def _check_reachability(model: MachineModel) -> List[Diagnostic]:
+    if model.has_unknown_transitions:
+        return []
+    reached = reachable_states(model)
+    unreachable = model.all_states - reached
+    diagnostics = []
+    for state in sorted(unreachable):
+        diagnostics.append(
+            _diag(
+                "unreachable-state",
+                model,
+                model.state_ref(state),
+                f"state {state!r} of {model.name} is unreachable from the "
+                f"initial state {model.initial!r}",
+            )
+        )
+    for method, states in sorted(model.method_states.items()):
+        if not states or ANY_STATE in states or not states <= unreachable:
+            continue
+        ref = model.method_refs.get(method)
+        if ref is None:
+            continue
+        bound = ", ".join(sorted(states))
+        diagnostics.append(
+            _diag(
+                "dead-handler",
+                model,
+                ref,
+                f"{model.name}.{model.pretty_method(method)} is bound only to unreachable "
+                f"state(s) {bound}",
+            )
+        )
+    return diagnostics
+
+
+def _check_pop_underflow(model: MachineModel) -> List[Diagnostic]:
+    if not model.pops:
+        return []
+    pushes = [edge for edge in model.edges if edge.kind == PUSH]
+    if not pushes:
+        return [
+            _diag(
+                "pop-underflow",
+                model,
+                pop.ref,
+                f"{model.name}.{model.pretty_method(pop.method)} calls pop_state but {model.name} "
+                f"never pushes a state — the pop always underflows",
+            )
+            for pop in model.pops
+        ]
+    if model.has_unknown_transitions or any(edge.dst is None for edge in pushes):
+        return []
+    push_targets = {edge.dst for edge in pushes}
+    # states the machine can occupy at stack depth 1: the initial state plus
+    # its goto-closure (gotos replace the top, pushes deepen the stack)
+    bottom = _closure_from(model, model.initial, (GOTO,))
+    diagnostics = []
+    for pop in model.pops:
+        culprit = next(
+            (
+                state
+                for state in sorted(pop.states)
+                if state != ANY_STATE
+                and state in bottom
+                and state not in push_targets
+            ),
+            None,
+        )
+        if culprit is not None:
+            diagnostics.append(
+                _diag(
+                    "pop-underflow",
+                    model,
+                    pop.ref,
+                    f"{model.name}.{model.pretty_method(pop.method)} pops in state {culprit!r}, "
+                    f"which is reachable at the bottom of the state stack and "
+                    f"is never a push_state target",
+                )
+            )
+    return diagnostics
+
+
+def _check_stuck_deferral(model: MachineModel) -> List[Diagnostic]:
+    if model.kind != "machine" or not model.spec.deferred:
+        return []
+    reached = sorted(reachable_states(model))
+    declared: Dict[type, str] = {}
+    for state in sorted(model.spec.deferred):
+        for event_type in model.spec.deferred[state]:
+            declared.setdefault(event_type, state)
+    spec = model.spec
+    diagnostics = []
+    for event_type, state in sorted(declared.items(), key=lambda kv: kv[0].__name__):
+        if all(
+            spec.context_for((candidate,)).resolve(event_type) is DEFER
+            for candidate in reached
+        ):
+            diagnostics.append(
+                _diag(
+                    "stuck-deferral",
+                    model,
+                    model.state_ref(state),
+                    f"{model.name} defers {event_type.__name__} in every "
+                    f"reachable state; a queued {event_type.__name__} can "
+                    f"never be dequeued (deferred-backlog deadlock)",
+                )
+            )
+    return diagnostics
+
+
+def _check_hot_forever(model: MachineModel) -> List[Diagnostic]:
+    if model.kind != "monitor" or not model.hot_states:
+        return []
+    if model.has_unknown_transitions:
+        return []
+    reached = reachable_states(model)
+    cold = model.all_states - model.hot_states
+    diagnostics = []
+    for hot in sorted(model.hot_states & reached):
+        from_hot = _closure_from(model, hot, (GOTO, PUSH))
+        if not (from_hot & cold):
+            diagnostics.append(
+                _diag(
+                    "hot-forever",
+                    model,
+                    model.state_ref(hot),
+                    f"hot state {hot!r} of monitor {model.name} has no "
+                    f"transition path to any cold state; once hot, the "
+                    f"liveness check can never pass",
+                )
+            )
+    return diagnostics
+
+
+def _payloadful(event_type: Optional[type]) -> bool:
+    """Whether instances of ``event_type`` carry (shareable) payload fields.
+
+    Events with no ``__init__`` of their own (e.g. pure signals like
+    ``Halt`` or the timer's private loop event) hold no mutable payload, so
+    aliasing one instance across deliveries is harmless.
+    """
+    return (
+        event_type is not None
+        and event_type.__init__ is not object.__init__
+        and event_type.__init__ is not Event.__init__
+    )
+
+
+def _check_payload_alias(model: MachineModel) -> List[Diagnostic]:
+    diagnostics = []
+    sends_by_key: Dict[Tuple[str, Tuple[str, str]], list] = {}
+    for send in model.alias_sends:
+        sends_by_key.setdefault((send.method, send.key), []).append(send)
+    for (method, key), sends in sorted(sends_by_key.items()):
+        sends = sorted(sends, key=lambda s: s.ref.line)
+        label = key[1] if key[0] == "name" else f"self.{key[1]}"
+        event_type = next((s.event_type for s in sends if s.event_type), None)
+        if len(sends) > 1 and _payloadful(event_type):
+            diagnostics.append(
+                _diag(
+                    "payload-alias",
+                    model,
+                    sends[1].ref,
+                    f"{model.name}.{model.pretty_method(method)} sends the event instance {label} "
+                    f"({event_type.__name__}) more than once; all receivers "
+                    f"share one mutable payload",
+                )
+            )
+        looped = next((s for s in sends if s.loop_reuses_instance), None)
+        if looped is not None and _payloadful(event_type):
+            diagnostics.append(
+                _diag(
+                    "payload-alias",
+                    model,
+                    looped.ref,
+                    f"{model.name}.{model.pretty_method(method)} sends the event instance {label} "
+                    f"({event_type.__name__}) from inside a loop without "
+                    f"rebinding it; every iteration delivers the same mutable "
+                    f"payload",
+                )
+            )
+        first_send_line = sends[0].ref.line
+        for mutation in model.alias_mutations:
+            if mutation.method == method and mutation.key == key and (
+                mutation.ref.line > first_send_line
+            ):
+                diagnostics.append(
+                    _diag(
+                        "payload-alias",
+                        model,
+                        mutation.ref,
+                        f"{model.name}.{model.pretty_method(method)} mutates {label} after sending "
+                        f"it; under concurrent delivery the receiver races "
+                        f"with this write",
+                    )
+                )
+        if _payloadful(event_type):
+            for retention in model.alias_retentions:
+                if retention.method == method and retention.key == key:
+                    diagnostics.append(
+                        _diag(
+                            "payload-alias",
+                            model,
+                            retention.ref,
+                            f"{model.name}.{model.pretty_method(method)} stores {label} "
+                            f"({event_type.__name__}) on self while also "
+                            f"sending it; sender and receiver share one "
+                            f"mutable payload",
+                        )
+                    )
+    return diagnostics
+
+
+def run_checkers(program: ProgramModel) -> List[Diagnostic]:
+    """Run every rule over ``program`` and return the raw diagnostics."""
+    diagnostics: List[Diagnostic] = []
+    for model in sorted(
+        program, key=lambda m: (m.module, m.line, m.name)
+    ):
+        diagnostics.extend(_check_reachability(model))
+        diagnostics.extend(_check_pop_underflow(model))
+        diagnostics.extend(_check_stuck_deferral(model))
+        diagnostics.extend(_check_hot_forever(model))
+        diagnostics.extend(_check_payload_alias(model))
+    diagnostics.extend(_check_unhandled_events(program))
+    return diagnostics

@@ -1,0 +1,678 @@
+"""Layer 1: extract :class:`~repro.analysis.model.MachineModel` summaries.
+
+Extraction walks each class's :class:`~repro.core.declarations.StateMachineSpec`
+(for states, disciplines and handler bindings) plus the AST of every method
+(``inspect.getsource`` + ``ast``) for the dynamic facts the spec cannot see:
+``goto``/``push_state``/``pop_state`` transitions, ``send``/``raise_event``/
+``notify_monitor`` sites, ``self.create(...)`` machine references and
+``Receive(...)`` clauses inside generator handlers.
+
+Name resolution is best-effort and *sound for reporting*: an expression is
+resolved through the function's globals, its closure cells and attribute
+chains (``module.Class.attr``); ``self.X`` attributes resolve only when every
+assignment to ``X`` across the class agrees on a statically-known value.
+Whatever cannot be resolved becomes ``None`` ("unknown") and the checkers
+stay silent about it — dynamic code degrades analyzer coverage, never its
+precision.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import functools
+import inspect
+import textwrap
+import types
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.declarations import ANY_STATE, State, build_spec
+from repro.core.events import Event, Receive
+from repro.core.machine import Machine
+from repro.core.monitors import Monitor
+
+from .model import (
+    GOTO,
+    PUSH,
+    AliasMutation,
+    AliasRetention,
+    AliasSend,
+    CreateSite,
+    MachineModel,
+    NotifySite,
+    PopSite,
+    ProgramModel,
+    RaiseSite,
+    SendSite,
+    SourceRef,
+    TransitionEdge,
+)
+
+#: method names that mutate their receiver in place (payload-alias checker)
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "reverse",
+        "update",
+    }
+)
+
+
+def _alias_key(node: ast.AST):
+    """Aliasable expression key: a local name or a ``self`` attribute."""
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if _is_self_attr(node):
+        return ("attr", node.attr)
+    return None
+
+
+class _Unresolved(Exception):
+    """An expression could not be statically resolved to a Python value."""
+
+
+# ---------------------------------------------------------------------------
+# expression resolution
+# ---------------------------------------------------------------------------
+def _closure_env(func) -> Dict[str, object]:
+    env: Dict[str, object] = {}
+    if func.__closure__:
+        for name, cell in zip(func.__code__.co_freevars, func.__closure__):
+            try:
+                env[name] = cell.cell_contents
+            except ValueError:  # still-empty cell
+                pass
+    return env
+
+
+class _Scope:
+    """Resolution context for one method body."""
+
+    def __init__(self, func, owner: type) -> None:
+        self.func = func
+        self.owner = owner
+        self.globals = func.__globals__
+        self.closure = _closure_env(func)
+        #: local name -> machine class, from ``x = self.create(Cls, ...)``
+        self.local_creates: Dict[str, type] = {}
+        #: local name -> event type, from ``x = EventCls(...)``
+        self.local_events: Dict[str, type] = {}
+        self.event_param: Optional[str] = None
+        self.event_param_type: Optional[type] = None
+
+    def lookup(self, name: str):
+        if name in self.closure:
+            return self.closure[name]
+        if name in self.globals:
+            return self.globals[name]
+        try:
+            return getattr(builtins, name)
+        except AttributeError:
+            raise _Unresolved(name)
+
+
+def _resolve(node: ast.AST, scope: _Scope):
+    """Resolve a ``Name``/``Attribute``/``Constant`` chain to a value."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        return scope.lookup(node.id)
+    if isinstance(node, ast.Attribute):
+        base = _resolve(node.value, scope)
+        try:
+            return getattr(base, node.attr)
+        except AttributeError:
+            raise _Unresolved(node.attr)
+    raise _Unresolved(ast.dump(node) if node else "<none>")
+
+
+def _resolve_or_none(node: ast.AST, scope: _Scope):
+    try:
+        return _resolve(node, scope)
+    except _Unresolved:
+        return None
+
+
+def _is_self_attr(node: ast.AST, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _state_name_of(node: ast.AST, scope: _Scope) -> Optional[str]:
+    """Resolve a ``goto``/``push_state`` argument to a state name."""
+    value = _resolve_or_none(node, scope)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, type) and issubclass(value, State):
+        return value._state_name
+    return None
+
+
+def _event_type_of(node: ast.AST, scope: _Scope, model: MachineModel):
+    """Resolve an event expression; returns ``(type | None, forwards_param)``."""
+    if isinstance(node, ast.Call):
+        func = _resolve_or_none(node.func, scope)
+        if isinstance(func, type) and issubclass(func, Event):
+            return func, False
+        return None, False
+    if isinstance(node, ast.Name):
+        if node.id == scope.event_param:
+            return scope.event_param_type, True
+        if node.id in scope.local_events:
+            return scope.local_events[node.id], False
+        return None, False
+    if _is_self_attr(node):
+        return model.attr_event_types.get(node.attr), False
+    return None, False
+
+
+def _target_of(node: ast.AST, scope: _Scope, model: MachineModel) -> Optional[type]:
+    """Resolve a send-target expression to a machine class."""
+    if _is_self_attr(node):
+        if node.attr in ("id", "_id"):
+            return model.cls
+        return model.attr_targets.get(node.attr)
+    if isinstance(node, ast.Name):
+        return scope.local_creates.get(node.id)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# source handling
+# ---------------------------------------------------------------------------
+_SOURCE_CACHE: Dict[object, Optional[Tuple[ast.FunctionDef, str, int]]] = {}
+
+
+def _function_ast(func) -> Optional[Tuple[ast.FunctionDef, str, int]]:
+    """``(funcdef, file, line_offset)`` for ``func``; None when unavailable.
+
+    Line ``L`` (1-based) inside the parsed snippet corresponds to file line
+    ``line_offset + L``.
+    """
+    code = func.__code__
+    cached = _SOURCE_CACHE.get(code)
+    if cached is not None or code in _SOURCE_CACHE:
+        return cached
+    result = None
+    try:
+        filename = inspect.getsourcefile(func)
+        lines, start = inspect.getsourcelines(func)
+    except (OSError, TypeError):
+        filename = None
+    if filename is not None:
+        try:
+            tree = ast.parse(textwrap.dedent("".join(lines)))
+        except SyntaxError:
+            tree = None
+        if tree is not None:
+            for node in ast.walk(tree):
+                if isinstance(node, ast.FunctionDef) and node.name == code.co_name:
+                    result = (node, filename, start - 1)
+                    break
+    _SOURCE_CACHE[code] = result
+    return result
+
+
+def _abs_ref(node: ast.AST, filename: str, offset: int) -> SourceRef:
+    return SourceRef(filename, offset + node.lineno)
+
+
+# ---------------------------------------------------------------------------
+# class inventory / scopes
+# ---------------------------------------------------------------------------
+def _own_functions(cls: type) -> Dict[str, types.FunctionType]:
+    """Plain functions defined on ``cls`` and its non-framework bases.
+
+    Handler functions declared inside nested ``State`` classes are included
+    through the mangled copies the spec build hoists onto the owner class.
+    """
+    funcs: Dict[str, types.FunctionType] = {}
+    for klass in reversed(cls.__mro__):
+        if klass in (object, Machine, Monitor):
+            continue
+        if not issubclass(klass, (Machine, Monitor)):
+            continue
+        for name, attr in vars(klass).items():
+            if isinstance(attr, types.FunctionType):
+                funcs[name] = attr
+    return funcs
+
+
+def _method_states(spec, funcs: Dict[str, types.FunctionType], initial: str) -> Dict[str, Set[str]]:
+    bound: Dict[str, Set[str]] = {}
+    for (state, _event_type), info in spec.handlers.items():
+        bound.setdefault(info.method_name, set()).add(state)
+    for state, method_name in spec.entry_actions.items():
+        bound.setdefault(method_name, set()).add(state)
+    for state, method_name in spec.exit_actions.items():
+        bound.setdefault(method_name, set()).add(state)
+    scopes: Dict[str, Set[str]] = {}
+    for name in funcs:
+        if name in bound:
+            scopes[name] = bound[name]
+        elif name == "on_start":
+            # on_start runs while the machine sits in its initial state
+            scopes[name] = {initial}
+        else:
+            # plain helper: callable from any handler, hence any state
+            scopes[name] = {ANY_STATE}
+    return scopes
+
+
+def _declared_event_types(spec) -> Dict[str, Set[type]]:
+    declared: Dict[str, Set[type]] = {}
+    for (_state, _etype), info in spec.handlers.items():
+        declared.setdefault(info.method_name, set()).add(info.event_type)
+    return declared
+
+
+# ---------------------------------------------------------------------------
+# main extraction
+# ---------------------------------------------------------------------------
+_MODEL_CACHE: Dict[type, MachineModel] = {}
+
+
+def clear_model_cache() -> None:
+    """Drop memoized models (tests defining throwaway classes use this)."""
+    _MODEL_CACHE.clear()
+
+
+def extract_machine_model(cls: type) -> MachineModel:
+    """Build (and memoize) the static summary for one machine/monitor class."""
+    cached = _MODEL_CACHE.get(cls)
+    if cached is not None:
+        return cached
+
+    kind = "monitor" if issubclass(cls, Monitor) else "machine"
+    spec = cls.spec() if hasattr(cls, "spec") else build_spec(cls)
+    initial = (
+        spec.initial_state
+        if spec.initial_state is not None
+        else getattr(cls, "initial_state", "init")
+    )
+    try:
+        filename = inspect.getsourcefile(cls) or "<unknown>"
+        _, class_line = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        filename, class_line = "<unknown>", 0
+
+    model = MachineModel(
+        cls=cls,
+        kind=kind,
+        spec=spec,
+        module=cls.__module__,
+        file=filename,
+        line=class_line,
+        initial=initial,
+        ignore_unhandled=bool(getattr(cls, "ignore_unhandled_events", False)),
+    )
+    if kind == "monitor":
+        model.hot_states = set(spec.hot_states) | set(getattr(cls, "hot_states", ()) or ())
+
+    funcs = _own_functions(cls)
+    scopes = _method_states(spec, funcs, initial)
+    declared_events = _declared_event_types(spec)
+
+    # attribute summaries: ``self.X = ...`` assignments across every method
+    model.attr_targets = _attr_map(cls, funcs, _attr_create_value)
+    model.attr_event_types = _attr_map(cls, funcs, _attr_event_value)
+
+    for name, func in sorted(funcs.items()):
+        info = _function_ast(func)
+        if info is None:
+            model.partial = True
+            continue
+        fdef, fname, offset = info
+        model.method_refs[name] = SourceRef(fname, offset + fdef.lineno)
+        states = tuple(sorted(scopes.get(name, {ANY_STATE})))
+        model.method_states[name] = set(states)
+        scope = _Scope(func, cls)
+        etypes = declared_events.get(name, set())
+        if len(etypes) == 1:
+            scope.event_param_type = next(iter(etypes))
+        args = fdef.args.args
+        if len(args) >= 2 and args[0].arg == "self":
+            scope.event_param = args[1].arg
+        _extract_function(model, fdef, fname, offset, scope, name, states)
+
+    _MODEL_CACHE[cls] = model
+    return model
+
+
+def _attr_create_value(node: ast.AST, scope: _Scope):
+    """Value summary for ``self.X = <node>`` as a machine-target source."""
+    if (
+        isinstance(node, ast.Call)
+        and _is_self_attr(node.func, "create")
+        and node.args
+    ):
+        target = _resolve_or_none(node.args[0], scope)
+        if isinstance(target, type) and issubclass(target, (Machine, Monitor)):
+            return target
+    return None
+
+
+def _attr_event_value(node: ast.AST, scope: _Scope):
+    """Value summary for ``self.X = <node>`` as an event-type source."""
+    if isinstance(node, ast.Call):
+        func = _resolve_or_none(node.func, scope)
+        if isinstance(func, type) and issubclass(func, Event):
+            return func
+    return None
+
+
+def _attr_map(cls: type, funcs, classify) -> Dict[str, Optional[type]]:
+    """``self.X`` attribute name -> class, when *every* assignment agrees."""
+    values: Dict[str, Set[Optional[type]]] = {}
+    for _name, func in funcs.items():
+        info = _function_ast(func)
+        if info is None:
+            continue
+        fdef, _fname, _offset = info
+        scope = _Scope(func, cls)
+        for node in ast.walk(fdef):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if _is_self_attr(target):
+                    values.setdefault(target.attr, set()).add(
+                        classify(node.value, scope)
+                    )
+    return {
+        attr: next(iter(kinds))
+        for attr, kinds in values.items()
+        if len(kinds) == 1 and next(iter(kinds)) is not None
+    }
+
+
+def _extract_function(
+    model: MachineModel,
+    fdef: ast.FunctionDef,
+    filename: str,
+    offset: int,
+    scope: _Scope,
+    method: str,
+    states: Tuple[str, ...],
+) -> None:
+    # first pass: local bindings (create results, locally built events)
+    for node in ast.walk(fdef):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        created = _attr_create_value(node.value, scope)
+        if created is not None:
+            scope.local_creates[target.id] = created
+        event = _attr_event_value(node.value, scope)
+        if event is not None:
+            scope.local_events[target.id] = event
+
+    # parent links: needed to find the loop (if any) enclosing a send
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(fdef):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    def _enclosing_loop(node: ast.AST):
+        cursor = parents.get(node)
+        while cursor is not None and cursor is not fdef:
+            if isinstance(cursor, (ast.For, ast.While)):
+                return cursor
+            cursor = parents.get(cursor)
+        return None
+
+    def _rebound_within(loop: ast.AST, key) -> bool:
+        for inner in ast.walk(loop):
+            if isinstance(inner, ast.Assign):
+                for target in inner.targets:
+                    if _alias_key(target) == key:
+                        return True
+            elif isinstance(inner, (ast.For,)) and _alias_key(inner.target) == key:
+                return True
+        return False
+
+    def _record_alias_send(call: ast.Call, expr: ast.AST, event_type, forwards) -> None:
+        key = _alias_key(expr)
+        if key is None:
+            return
+        loop = _enclosing_loop(call)
+        model.alias_sends.append(
+            AliasSend(
+                key=key,
+                event_type=event_type,
+                forwards_param=forwards,
+                method=method,
+                ref=_abs_ref(call, filename, offset),
+                loop_reuses_instance=loop is not None and not _rebound_within(loop, key),
+            )
+        )
+
+    # second pass: calls
+    for node in ast.walk(fdef):
+        if not isinstance(node, ast.Call):
+            continue
+        ref = _abs_ref(node, filename, offset)
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and not (isinstance(func.value, ast.Name) and func.value.id == "self")
+        ):
+            key = _alias_key(func.value)
+            if key is not None:
+                model.alias_mutations.append(
+                    AliasMutation(key=key, method=method, ref=ref)
+                )
+        if _is_self_attr(func):
+            verb = func.attr
+            if verb == "send" and len(node.args) >= 2:
+                event_type, forwards = _event_type_of(node.args[1], scope, model)
+                model.sends.append(
+                    SendSite(
+                        event_type=event_type,
+                        target=_target_of(node.args[0], scope, model),
+                        states=states,
+                        method=method,
+                        ref=ref,
+                        event_expr=ast.unparse(node.args[1]),
+                        forwards_param=forwards,
+                    )
+                )
+                _record_alias_send(node, node.args[1], event_type, forwards)
+            elif verb == "raise_event" and node.args:
+                event_type, forwards = _event_type_of(node.args[0], scope, model)
+                model.raises.append(
+                    RaiseSite(
+                        event_type=event_type,
+                        states=states,
+                        method=method,
+                        ref=ref,
+                        event_expr=ast.unparse(node.args[0]),
+                    )
+                )
+                _record_alias_send(node, node.args[0], event_type, forwards)
+            elif verb == "notify_monitor" and len(node.args) >= 2:
+                monitor = _resolve_or_none(node.args[0], scope)
+                if not (isinstance(monitor, type) and issubclass(monitor, Monitor)):
+                    monitor = None
+                event_type, _ = _event_type_of(node.args[1], scope, model)
+                model.notifies.append(
+                    NotifySite(
+                        monitor=monitor,
+                        event_type=event_type,
+                        states=states,
+                        method=method,
+                        ref=ref,
+                    )
+                )
+            elif verb in ("goto", "push_state") and node.args:
+                dst = _state_name_of(node.args[0], scope)
+                kind = GOTO if verb == "goto" else PUSH
+                for src in states:
+                    model.edges.append(
+                        TransitionEdge(src=src, dst=dst, kind=kind, method=method, ref=ref)
+                    )
+            elif verb == "pop_state":
+                model.pops.append(PopSite(states=states, method=method, ref=ref))
+            elif verb == "create" and node.args:
+                created = _resolve_or_none(node.args[0], scope)
+                if not (isinstance(created, type) and issubclass(created, (Machine, Monitor))):
+                    created = None
+                model.creates.append(CreateSite(machine=created, method=method, ref=ref))
+        else:
+            resolved = _resolve_or_none(func, scope)
+            if resolved is Receive:
+                for arg in node.args:
+                    event_type = _resolve_or_none(arg, scope)
+                    if isinstance(event_type, type) and issubclass(event_type, Event):
+                        model.receive_types.add(event_type)
+                    else:
+                        model.receives_unknown = True
+
+    # third pass: assignment-shaped mutations and sender-side retentions
+    for node in ast.walk(fdef):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    key = _alias_key(target.value)
+                    # ``self.X = ...`` rebinds an attribute, it mutates no
+                    # payload; ``x.field = ...`` / ``self.X[k] = ...`` do.
+                    if key is not None and key != ("name", "self"):
+                        model.alias_mutations.append(
+                            AliasMutation(
+                                key=key,
+                                method=method,
+                                ref=_abs_ref(node, filename, offset),
+                            )
+                        )
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if _is_self_attr(target):
+                    key = _alias_key(node.value)
+                    if key is not None and key[0] == "name" and key[1] != "self":
+                        model.alias_retentions.append(
+                            AliasRetention(
+                                key=key,
+                                method=method,
+                                ref=_abs_ref(node, filename, offset),
+                            )
+                        )
+
+    # referenced machine/monitor classes, for program-closure discovery
+    for code in _iter_code_objects(scope.func.__code__):
+        for name in set(code.co_names) | set(code.co_freevars):
+            try:
+                value = scope.lookup(name)
+            except _Unresolved:
+                continue
+            if (
+                isinstance(value, type)
+                and issubclass(value, (Machine, Monitor))
+                and value not in (Machine, Monitor)
+            ):
+                model.referenced.add(value)
+
+
+# ---------------------------------------------------------------------------
+# program closure + scenario discovery
+# ---------------------------------------------------------------------------
+def _iter_code_objects(code) -> Iterable[types.CodeType]:
+    yield code
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            yield from _iter_code_objects(const)
+
+
+def build_program(roots: Iterable[type]) -> ProgramModel:
+    """Extract models for ``roots`` plus every machine they create/reference."""
+    program = ProgramModel()
+    frontier: List[type] = [cls for cls in roots]
+    seen: Set[type] = set()
+    while frontier:
+        cls = frontier.pop()
+        if cls in seen or cls in (Machine, Monitor):
+            continue
+        seen.add(cls)
+        model = extract_machine_model(cls)
+        program.add(model)
+        related: Set[type] = set(model.referenced)
+        related.update(site.machine for site in model.creates if site.machine)
+        related.update(site.monitor for site in model.notifies if site.monitor)
+        for other in related:
+            if other not in seen:
+                frontier.append(other)
+    return program
+
+
+def discover_classes(build) -> Set[type]:
+    """Machine/monitor classes reachable from a scenario's ``build`` factory.
+
+    Walks the factory's code objects (including nested closures and lambdas,
+    whose raw source is often unparseable) resolving every referenced global,
+    free variable and default argument; recurses into functions from the same
+    package tree.  This over-approximates — e.g. a factory with a
+    ``store_cls=FlushStoreMachine`` default contributes that default even when
+    a caller overrides it — which is the safe direction for analysis coverage.
+    """
+    classes: Set[type] = set()
+    seen: Set[object] = set()
+    roots = {"repro"}
+    module = getattr(build, "__module__", None)
+    if module:
+        roots.add(module.split(".")[0])
+    work: List[object] = [build]
+    while work:
+        obj = work.pop()
+        if isinstance(obj, type):
+            if issubclass(obj, (Machine, Monitor)) and obj not in (Machine, Monitor):
+                classes.add(obj)
+            continue
+        if isinstance(obj, functools.partial):
+            work.append(obj.func)
+            work.extend(obj.args)
+            work.extend(obj.keywords.values())
+            continue
+        if isinstance(obj, types.MethodType):
+            obj = obj.__func__
+        if not isinstance(obj, types.FunctionType) or obj in seen:
+            continue
+        seen.add(obj)
+        obj_module = getattr(obj, "__module__", "") or ""
+        if obj is not build and obj_module.split(".")[0] not in roots:
+            continue
+        closure = _closure_env(obj)
+        names: Set[str] = set()
+        for code in _iter_code_objects(obj.__code__):
+            names.update(code.co_names)
+            names.update(code.co_freevars)
+        for name in sorted(names):
+            value = closure.get(name, obj.__globals__.get(name))
+            if value is not None:
+                work.append(value)
+        try:
+            signature = inspect.signature(obj)
+        except (TypeError, ValueError):
+            signature = None
+        if signature is not None:
+            for parameter in signature.parameters.values():
+                if parameter.default is not inspect.Parameter.empty:
+                    work.append(parameter.default)
+    return classes

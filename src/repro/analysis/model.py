@@ -1,0 +1,236 @@
+"""Data model for the static analyzer (Layer 1 output).
+
+The extractor (:mod:`repro.analysis.extract`) summarizes each machine or
+monitor class into a :class:`MachineModel`: its states, the transition edges
+its handlers can take, every ``send``/``raise_event``/``notify_monitor`` site
+with the event type and target machine type *where statically resolvable*,
+and the per-state defer/ignore disciplines already carried by the
+:class:`~repro.core.declarations.StateMachineSpec`.
+
+Anything the extractor cannot resolve degrades to ``None`` ("unknown") —
+checkers must treat unknown as "could be anything" and stay silent, so the
+analyzer never reports a false positive on dynamically-computed event types,
+targets or state references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.declarations import StateMachineSpec
+
+#: Transition kinds recorded on :class:`TransitionEdge`.
+GOTO = "goto"
+PUSH = "push"
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """A ``file:line`` anchor for one extracted fact (and its diagnostic)."""
+
+    file: str
+    line: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.file}:{self.line}"
+
+
+@dataclass
+class SendSite:
+    """One ``self.send(target, event)`` call in a handler body."""
+
+    event_type: Optional[type]
+    target: Optional[type]  # target machine class; None when unresolvable
+    states: Tuple[str, ...]  # states the enclosing method can run in
+    method: str
+    ref: SourceRef
+    event_expr: str
+    #: the event expression is the handler's received-event parameter
+    #: (event forwarding: the sender re-sends an event it was delivered)
+    forwards_param: bool = False
+
+
+@dataclass
+class RaiseSite:
+    """One ``self.raise_event(event)`` call (handler-only delivery)."""
+
+    event_type: Optional[type]
+    states: Tuple[str, ...]
+    method: str
+    ref: SourceRef
+    event_expr: str
+
+
+@dataclass
+class NotifySite:
+    """One ``self.notify_monitor(MonitorCls, event)`` call."""
+
+    monitor: Optional[type]
+    event_type: Optional[type]
+    states: Tuple[str, ...]
+    method: str
+    ref: SourceRef
+
+
+@dataclass
+class TransitionEdge:
+    """A ``goto``/``push_state`` edge; ``dst is None`` means unresolvable."""
+
+    src: str  # state name or ANY_STATE for helpers/wildcard handlers
+    dst: Optional[str]
+    kind: str  # GOTO or PUSH
+    method: str
+    ref: SourceRef
+
+
+@dataclass
+class PopSite:
+    """One ``self.pop_state()`` call."""
+
+    states: Tuple[str, ...]
+    method: str
+    ref: SourceRef
+
+
+@dataclass
+class CreateSite:
+    """One ``self.create(MachineCls, ...)`` call."""
+
+    machine: Optional[type]
+    method: str
+    ref: SourceRef
+
+
+#: alias keys are ``("name", local_var)`` or ``("attr", self_attribute)``
+AliasKey = Tuple[str, str]
+
+
+@dataclass
+class AliasSend:
+    """A send/raise whose event argument is a reusable variable."""
+
+    key: AliasKey
+    event_type: Optional[type]
+    forwards_param: bool
+    method: str
+    ref: SourceRef
+    #: the send sits inside a loop whose body never rebinds the variable,
+    #: so every iteration delivers the *same* event instance
+    loop_reuses_instance: bool = False
+
+
+@dataclass
+class AliasMutation:
+    """An in-place mutation (``x.f = ...``, ``x[k] = ...``, ``x.f.append``)."""
+
+    key: AliasKey
+    method: str
+    ref: SourceRef
+
+
+@dataclass
+class AliasRetention:
+    """The sender stores the variable on ``self`` (``self.Y = x``)."""
+
+    key: AliasKey
+    method: str
+    ref: SourceRef
+
+
+@dataclass
+class MachineModel:
+    """Static summary of one machine or monitor class."""
+
+    cls: type
+    kind: str  # "machine" | "monitor"
+    spec: StateMachineSpec
+    module: str
+    file: str
+    line: int
+    initial: str
+    ignore_unhandled: bool = False
+    sends: List[SendSite] = field(default_factory=list)
+    raises: List[RaiseSite] = field(default_factory=list)
+    notifies: List[NotifySite] = field(default_factory=list)
+    edges: List[TransitionEdge] = field(default_factory=list)
+    pops: List[PopSite] = field(default_factory=list)
+    creates: List[CreateSite] = field(default_factory=list)
+    #: event types matched by ``yield Receive(...)`` anywhere in the class
+    receive_types: Set[type] = field(default_factory=set)
+    #: a ``Receive(...)`` argument did not resolve — any event may be received
+    receives_unknown: bool = False
+    #: monitor hot states (DSL ``hot=True`` plus the legacy class attribute)
+    hot_states: Set[str] = field(default_factory=set)
+    #: method name -> states it is bound to (handlers + entry/exit actions);
+    #: unbound helpers map to {ANY_STATE}
+    method_states: Dict[str, Set[str]] = field(default_factory=dict)
+    #: method name -> source anchor (for dead-handler diagnostics)
+    method_refs: Dict[str, SourceRef] = field(default_factory=dict)
+    #: Machine/Monitor classes referenced anywhere in this class's methods
+    referenced: Set[type] = field(default_factory=set)
+    #: ``self.X`` -> machine class, when every assignment to ``X`` is a
+    #: ``self.create(Cls, ...)`` call resolving to the same class
+    attr_targets: Dict[str, type] = field(default_factory=dict)
+    #: ``self.X`` -> event type, when every assignment is ``EventCls(...)``
+    attr_event_types: Dict[str, type] = field(default_factory=dict)
+    #: raw facts for the payload-alias checker
+    alias_sends: List[AliasSend] = field(default_factory=list)
+    alias_mutations: List[AliasMutation] = field(default_factory=list)
+    alias_retentions: List[AliasRetention] = field(default_factory=list)
+    #: some method source was unavailable or unparseable; the model is an
+    #: under-approximation and reachability-style checks must be skipped
+    partial: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.cls.__name__
+
+    @property
+    def all_states(self) -> Set[str]:
+        return set(self.spec.states) | {self.initial}
+
+    @property
+    def has_unknown_transitions(self) -> bool:
+        return self.partial or any(edge.dst is None for edge in self.edges)
+
+    def pretty_method(self, method: str) -> str:
+        """Human form of a (possibly mangled, spec-hoisted) handler name."""
+        for state in self.method_states.get(method, ()):
+            prefix = f"_state_{state}_"
+            if method.startswith(prefix):
+                return f"{state}.{method[len(prefix):]}"
+        return method
+
+    def state_ref(self, state: str) -> SourceRef:
+        """Anchor for ``state``: its DSL class when one exists, else the
+        machine class itself."""
+        import inspect
+
+        state_cls = self.spec.state_classes.get(state)
+        if state_cls is not None:
+            try:
+                _, lineno = inspect.getsourcelines(state_cls)
+                return SourceRef(self.file, lineno)
+            except (OSError, TypeError):
+                pass
+        return SourceRef(self.file, self.line)
+
+
+class ProgramModel:
+    """The set of extracted machine models for one analysis run."""
+
+    def __init__(self) -> None:
+        self.machines: Dict[type, MachineModel] = {}
+
+    def add(self, model: MachineModel) -> None:
+        self.machines[model.cls] = model
+
+    def model_for(self, cls: type) -> Optional[MachineModel]:
+        return self.machines.get(cls)
+
+    def __iter__(self):
+        return iter(self.machines.values())
+
+    def __len__(self) -> int:
+        return len(self.machines)

@@ -1,0 +1,162 @@
+"""Layer 3: diagnostics, inline suppression and the analysis report.
+
+Diagnostics are deterministically ordered by ``(module, line, rule, message)``
+and carry ``file:line`` anchors, so ``--json`` output is byte-stable across
+runs and CI diffs stay readable.  A diagnostic is suppressed by a
+``# repro: ignore[rule-id]`` comment either trailing the anchored line or on
+a comment line immediately above it; ``ignore[*]`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import json
+import linecache
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+ERROR = "error"
+WARNING = "warning"
+
+#: rank used by ``--fail-on``: a threshold of "warning" also fails on errors.
+_SEVERITY_RANK = {WARNING: 1, ERROR: 2}
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_*,\s-]+)\]")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, anchored to a source location."""
+
+    rule: str
+    severity: str
+    message: str
+    owner: str  # machine/monitor class the finding is about
+    module: str  # dotted module path of the anchor
+    file: str
+    line: int
+
+    @property
+    def anchor(self) -> str:
+        return f"{display_path(self.file)}:{self.line}"
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.module, self.line, self.rule, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "owner": self.owner,
+            "module": self.module,
+            "file": display_path(self.file),
+            "line": self.line,
+            "anchor": self.anchor,
+        }
+
+    def render(self) -> str:
+        return f"{self.anchor}: {self.severity}: {self.message} [{self.rule}]"
+
+
+def display_path(path: str) -> str:
+    """Repo-relative path when possible (keeps report output machine-neutral)."""
+    try:
+        relative = os.path.relpath(path)
+    except ValueError:  # different drive on Windows
+        return path
+    return path if relative.startswith("..") else relative
+
+
+def suppressed_rules(file: str, line: int) -> Set[str]:
+    """Rule IDs suppressed at ``file:line`` via ``# repro: ignore[...]``."""
+    rules: Set[str] = set()
+    anchored = linecache.getline(file, line)
+    match = _SUPPRESS_RE.search(anchored)
+    if match:
+        rules.update(part.strip() for part in match.group(1).split(","))
+    above = linecache.getline(file, line - 1)
+    if above.strip().startswith("#"):
+        match = _SUPPRESS_RE.search(above)
+        if match:
+            rules.update(part.strip() for part in match.group(1).split(","))
+    return rules
+
+
+def is_suppressed(diagnostic: Diagnostic) -> bool:
+    rules = suppressed_rules(diagnostic.file, diagnostic.line)
+    return "*" in rules or diagnostic.rule in rules
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analysis run (active + suppressed diagnostics)."""
+
+    diagnostics: List[Diagnostic]
+    suppressed: List[Diagnostic]
+    machines: List[str]
+    scenarios: List[str]
+
+    @classmethod
+    def build(
+        cls,
+        findings: Iterable[Diagnostic],
+        machines: Iterable[str] = (),
+        scenarios: Iterable[str] = (),
+    ) -> "AnalysisReport":
+        unique = {}
+        for diagnostic in findings:
+            unique.setdefault(
+                (diagnostic.rule, diagnostic.file, diagnostic.line, diagnostic.message),
+                diagnostic,
+            )
+        ordered = sorted(unique.values(), key=Diagnostic.sort_key)
+        active = [d for d in ordered if not is_suppressed(d)]
+        muted = [d for d in ordered if is_suppressed(d)]
+        return cls(
+            diagnostics=active,
+            suppressed=muted,
+            machines=sorted(set(machines)),
+            scenarios=sorted(set(scenarios)),
+        )
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def gate_failures(self, fail_on: str) -> int:
+        """Number of active diagnostics at or above the ``fail_on`` severity."""
+        threshold = _SEVERITY_RANK[fail_on]
+        return sum(
+            1 for d in self.diagnostics if _SEVERITY_RANK[d.severity] >= threshold
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "suppressed": [d.to_dict() for d in self.suppressed],
+            "machines": list(self.machines),
+            "scenarios": list(self.scenarios),
+            "summary": {
+                "errors": self.count(ERROR),
+                "warnings": self.count(WARNING),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            "{} error(s), {} warning(s), {} suppressed — "
+            "{} machine(s) across {} scenario(s)".format(
+                self.count(ERROR),
+                self.count(WARNING),
+                len(self.suppressed),
+                len(self.machines),
+                len(self.scenarios),
+            )
+        )
+        return "\n".join(lines)

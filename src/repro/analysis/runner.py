@@ -1,0 +1,38 @@
+"""High-level analysis entry points (used by the CLI and by tests).
+
+``analyze_scenarios`` discovers machine/monitor classes through the scenario
+registry — walking each registered ``build`` factory's code for the classes
+it wires into the runtime, then closing over everything those machines
+create, reference or notify — and runs every checker over the combined
+program model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.registry import TestCase
+
+from .checkers import run_checkers
+from .extract import build_program, discover_classes
+from .report import AnalysisReport
+
+
+def analyze_classes(
+    classes: Iterable[type], scenarios: Iterable[str] = ()
+) -> AnalysisReport:
+    """Analyze an explicit set of machine/monitor classes (plus closure)."""
+    program = build_program(classes)
+    return AnalysisReport.build(
+        run_checkers(program),
+        machines=[model.name for model in program],
+        scenarios=scenarios,
+    )
+
+
+def analyze_scenarios(testcases: Sequence[TestCase]) -> AnalysisReport:
+    """Analyze every machine reachable from the given registered scenarios."""
+    classes = set()
+    for testcase in testcases:
+        classes.update(discover_classes(testcase.build))
+    return analyze_classes(classes, scenarios=[t.name for t in testcases])

@@ -5,6 +5,9 @@ Subcommands:
 * ``list-scenarios`` — enumerate every registered scenario (name, tags,
   expected bug), optionally filtered by ``--tag``.
 * ``list-strategies`` — enumerate every registered scheduling strategy.
+* ``analyze`` — statically analyze the machines reachable from registered
+  scenarios (no schedule is executed) and report rule violations; see
+  :mod:`repro.analysis` for the rule catalog and suppression syntax.
 * ``run`` — fan a scenario out across a strategy portfolio on a worker pool
   and write the merged report (traces included) to a JSON file; ``--shrink``
   minimizes the winning bug trace before the report is written.
@@ -61,6 +64,25 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
         print(f"{case.name:{width}s}  bug={bug:40s} tags={tags}")
     print(f"({len(cases)} scenarios)")
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze_scenarios
+
+    _import_extra_modules(args.imports)
+    if args.scenario:
+        cases = [get_scenario(name) for name in args.scenario]
+    else:
+        cases = all_scenarios()
+        if not cases:
+            print("no scenarios registered", file=sys.stderr)
+            return 2
+    report = analyze_scenarios(cases)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 1 if report.gate_failures(args.fail_on) else 0
 
 
 def _cmd_list_strategies(args: argparse.Namespace) -> int:
@@ -321,6 +343,32 @@ def build_parser() -> argparse.ArgumentParser:
     list_strategies = sub.add_parser("list-strategies", help="enumerate registered strategies")
     list_strategies.add_argument("--json", action="store_true", help="machine-readable output")
     list_strategies.set_defaults(func=_cmd_list_strategies)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically analyze machine programs (no schedule is executed)",
+        description="Extract per-machine summary graphs for every machine "
+        "reachable from the selected scenarios and run the rule catalog "
+        "(unhandled-event, unreachable-state, dead-handler, pop-underflow, "
+        "stuck-deferral, hot-forever, payload-alias) over them.",
+    )
+    analyze.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="analyze only the machines of this registered scenario "
+        "(repeatable; default: all registered scenarios)",
+    )
+    analyze.add_argument(
+        "--fail-on",
+        choices=["error", "warning"],
+        default="error",
+        help="exit non-zero when diagnostics at or above this severity "
+        "remain unsuppressed (default: error)",
+    )
+    analyze.add_argument("--json", action="store_true", help="machine-readable report")
+    add_import_option(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
 
     run = sub.add_parser("run", help="run a strategy portfolio over one scenario")
     run.add_argument("--scenario", required=True, help="registered scenario name")

@@ -319,10 +319,21 @@ class StateContext:
 _UNRESOLVED = _Discipline("UNRESOLVED")
 
 
-def _is_control_event(event_type: type) -> bool:
+def is_control_event(event_type: type) -> bool:
+    """True for framework control events (``Halt``/``StartEvent``).
+
+    Control events are always dequeuable — they bypass the defer/ignore
+    disciplines — so tooling that reasons about handleability (notably
+    :mod:`repro.analysis`) must treat them specially, exactly as the
+    dispatch path in :class:`StateContext` does.
+    """
     from .events import Halt, StartEvent  # late import: events has no deps on us
 
     return issubclass(event_type, (Halt, StartEvent))
+
+
+#: Backwards-compatible private alias (pre-analysis-package name).
+_is_control_event = is_control_event
 
 
 @dataclass

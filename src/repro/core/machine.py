@@ -18,7 +18,7 @@ continuation passing.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Iterable, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Optional, Sequence, TYPE_CHECKING
 
 from .declarations import StateMachineSpec, StateRef, build_spec
 from .errors import FrameworkError

@@ -18,7 +18,7 @@ them, which keeps specification state cleanly separated from program state
 
 from __future__ import annotations
 
-from typing import Any, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from .declarations import (
     IGNORE,

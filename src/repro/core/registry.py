@@ -93,6 +93,7 @@ class TestCase:
             "expected_bug_kind": self.expected_bug_kind,
             "max_steps": self.max_steps,
             "case_study": self.case_study,
+            "module": getattr(self.build, "__module__", None),
         }
 
 

@@ -55,7 +55,7 @@ from ..errors import (
 )
 from ..events import Event, Halt, Receive, StartEvent
 from ..ids import MachineId
-from ..machine import Machine, MachineHaltRequested, _dec_pending
+from ..machine import Machine, _dec_pending
 from ..monitors import Monitor
 
 #: One deferred log entry: a flat ``(template, *args)`` tuple (flat rather

@@ -15,10 +15,10 @@ the incorrect behaviour the authors found while testing their own model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
-from repro.core import Event, Machine, MachineId, Monitor, State, on_event
+from repro.core import Event, MachineId, Monitor, State, on_event
 
 
 # ---------------------------------------------------------------------------

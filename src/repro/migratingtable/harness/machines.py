@@ -19,17 +19,16 @@ Tables machine in the paper's harness.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core import Machine, State
 
-from ..bugs import CLIENT_SIDE_BUGS, MIGRATOR_SIDE_BUGS, MigratingTableBug
+from ..bugs import CLIENT_SIDE_BUGS, MIGRATOR_SIDE_BUGS
 from ..chain_table import IChainTable
 from ..migrating_table import MigratingTable, MigratingTableConfig
 from ..migrator import Migrator, MigratorConfig
 from ..reference_table import InMemoryChainTable
 from ..table_types import (
-    ErrorCode,
     OpKind,
     RowFilter,
     TableEntity,

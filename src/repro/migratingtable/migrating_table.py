@@ -24,7 +24,7 @@ the corresponding :class:`~repro.migratingtable.bugs.MigratingTableBug` member.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
 from .bugs import MigratingTableBug
 from .chain_table import IChainTable

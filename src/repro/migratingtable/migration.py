@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from .chain_table import IChainTable
 from .table_types import META_ROW_KEY, OpKind, TableOperation

@@ -31,7 +31,7 @@ ExtentNodeMap are ignored.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from .extent import ExtentCenter, ExtentId

@@ -1,0 +1,308 @@
+"""Seeded-defect fixture machines for the static analyzer, one per rule ID,
+each with a clean twin that must NOT trigger the rule.
+
+These classes are never executed — the analyzer models them statically — but
+they are complete, runnable machine programs on purpose: every defect here is
+one the runtime would eventually surface under some schedule, which is
+exactly the class of bug the analyzer is meant to catch in O(seconds).
+"""
+
+from repro.core import Event, Machine, Monitor, State, on_event
+
+
+class Ping(Event):
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+
+class Nudge(Event):
+    """A payload-less signal event."""
+
+
+class Wake(Event):
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# unhandled-event
+# ---------------------------------------------------------------------------
+class DeafReceiver(Machine):
+    """Handles nothing: any Ping sent here is a guaranteed runtime error."""
+
+    class Idle(State, initial=True):
+        pass
+
+
+class ListeningReceiver(Machine):
+    class Idle(State, initial=True):
+        @on_event(Ping)
+        def on_ping(self, event: Ping) -> None:
+            pass
+
+
+class UnhandledSender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(DeafReceiver)
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def poke(self) -> None:
+            self.send(self.peer, Ping(1))
+
+
+class HandledSender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(ListeningReceiver)
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def poke(self) -> None:
+            self.send(self.peer, Ping(1))
+
+
+class UnhandledRaiser(Machine):
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def kick(self) -> None:
+            self.raise_event(Ping(2))
+
+
+class HandledRaiser(Machine):
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def kick(self) -> None:
+            self.raise_event(Ping(2))
+
+        @on_event(Ping)
+        def on_ping(self, event: Ping) -> None:
+            pass
+
+
+class DeafMonitor(Monitor):
+    class Watching(State, initial=True):
+        pass
+
+
+class AlertMonitor(Monitor):
+    class Watching(State, initial=True):
+        @on_event(Wake)
+        def on_wake(self, event: Wake) -> None:
+            pass
+
+
+class UnhandledNotifier(Machine):
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def alert(self) -> None:
+            self.notify_monitor(DeafMonitor, Wake("boom"))
+
+
+class HandledNotifier(Machine):
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def alert(self) -> None:
+            self.notify_monitor(AlertMonitor, Wake("boom"))
+
+
+# ---------------------------------------------------------------------------
+# unreachable-state / dead-handler
+# ---------------------------------------------------------------------------
+class OrphanState(Machine):
+    class Main(State, initial=True):
+        @on_event(Nudge)
+        def noop(self) -> None:
+            pass
+
+    class Island(State):
+        @on_event(Ping)
+        def dead(self, event: Ping) -> None:
+            pass
+
+
+class ConnectedStates(Machine):
+    class Main(State, initial=True):
+        @on_event(Nudge)
+        def advance(self) -> None:
+            self.goto(ConnectedStates.Island)
+
+    class Island(State):
+        @on_event(Ping)
+        def alive(self, event: Ping) -> None:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# pop-underflow
+# ---------------------------------------------------------------------------
+class BottomPopper(Machine):
+    class Only(State, initial=True):
+        @on_event(Nudge)
+        def leave(self) -> None:
+            self.pop_state()
+
+
+class BalancedPopper(Machine):
+    class Base(State, initial=True):
+        @on_event(Nudge)
+        def dive(self) -> None:
+            self.push_state(BalancedPopper.Nested)
+
+    class Nested(State):
+        @on_event(Nudge)
+        def surface(self) -> None:
+            self.pop_state()
+
+
+# ---------------------------------------------------------------------------
+# stuck-deferral
+# ---------------------------------------------------------------------------
+class ForeverDeferrer(Machine):
+    class First(State, initial=True):
+        deferred = (Ping,)
+
+        @on_event(Nudge)
+        def hop(self) -> None:
+            self.goto(ForeverDeferrer.Second)
+
+    class Second(State):
+        deferred = (Ping,)
+
+        @on_event(Nudge)
+        def hop_back(self) -> None:
+            self.goto(ForeverDeferrer.First)
+
+
+class EventualHandler(Machine):
+    class First(State, initial=True):
+        deferred = (Ping,)
+
+        @on_event(Nudge)
+        def hop(self) -> None:
+            self.goto(EventualHandler.Second)
+
+    class Second(State):
+        @on_event(Ping)
+        def drain(self, event: Ping) -> None:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# hot-forever
+# ---------------------------------------------------------------------------
+class TrappedHotMonitor(Monitor):
+    class Calm(State, initial=True):
+        @on_event(Nudge)
+        def ignite(self) -> None:
+            self.goto(TrappedHotMonitor.Burning)
+
+    class Burning(State, hot=True):
+        @on_event(Nudge)
+        def still_burning(self) -> None:
+            pass
+
+
+class CoolableHotMonitor(Monitor):
+    class Calm(State, initial=True):
+        @on_event(Nudge)
+        def ignite(self) -> None:
+            self.goto(CoolableHotMonitor.Burning)
+
+    class Burning(State, hot=True):
+        @on_event(Ping)
+        def cool(self, event: Ping) -> None:
+            self.goto(CoolableHotMonitor.Calm)
+
+
+# ---------------------------------------------------------------------------
+# payload-alias
+# ---------------------------------------------------------------------------
+class PayloadAliaser(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(ListeningReceiver)
+        self.other = self.create(ListeningReceiver)
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def fan_out(self) -> None:
+            shared = Ping(1)
+            self.send(self.peer, shared)
+            self.send(self.other, shared)
+
+        @on_event(Ping)
+        def mutate_after_send(self, event: Ping) -> None:
+            self.send(self.peer, event)
+            event.n += 1
+
+        @on_event(Wake)
+        def retain_after_send(self, event: Wake) -> None:
+            self.last_wake = event
+            self.send(self.peer, Ping(0))
+            self.send(self.other, event)
+
+
+class FreshPayloadSender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(ListeningReceiver)
+        self.other = self.create(ListeningReceiver)
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def fan_out(self) -> None:
+            self.send(self.peer, Ping(1))
+            self.send(self.other, Ping(1))
+
+        @on_event(Ping)
+        def forward_once(self, event: Ping) -> None:
+            self.send(self.peer, event)
+
+
+class LoopAliaser(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(ListeningReceiver)
+        self.other = self.create(ListeningReceiver)
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def broadcast(self) -> None:
+            shared = Ping(7)
+            for target in (self.peer, self.other):
+                self.send(target, shared)
+
+
+class LoopFreshSender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(ListeningReceiver)
+        self.other = self.create(ListeningReceiver)
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def broadcast(self) -> None:
+            for target in (self.peer, self.other):
+                fresh = Ping(7)
+                self.send(target, fresh)
+
+
+# ---------------------------------------------------------------------------
+# suppression
+# ---------------------------------------------------------------------------
+class SuppressedPopper(Machine):
+    """Same defect as :class:`BottomPopper`, silenced inline."""
+
+    class Only(State, initial=True):
+        @on_event(Nudge)
+        def leave(self) -> None:
+            self.pop_state()  # repro: ignore[pop-underflow]
+
+
+class SuppressedSender(Machine):
+    """Same defect as :class:`UnhandledSender`, silenced by a comment line."""
+
+    def on_start(self) -> None:
+        self.peer = self.create(DeafReceiver)
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def poke(self) -> None:
+            # repro: ignore[unhandled-event]
+            self.send(self.peer, Ping(1))

@@ -1,0 +1,109 @@
+"""Cross-validate the analyzer against the PR 5 golden traces.
+
+Re-runs the golden sweep (same scenarios, strategies, seeds and config as
+``tests/core/test_runtime_split_equivalence.py``) with a
+:class:`~repro.core.coverage.CoverageTracker` attached, checks the traces
+still match the recorded SHA-256 digests (coverage must not perturb
+execution), and then asserts that every ``(machine, state, event)`` dispatch
+the runtime actually performed is classified as *handleable* by the static
+analyzer — i.e. the ``unhandled-event`` rule can produce zero false
+positives on any execution we know is real.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.analysis import build_program, discover_classes, is_handleable
+from repro.core import TestRuntime
+from repro.core.coverage import CoverageTracker
+from repro.core.declarations import iter_handled_event_types
+from repro.core.events import Halt, StartEvent, TimerTick
+from repro.core.registry import get_scenario, load_builtin_scenarios
+from repro.core.strategy import create_strategy
+
+ALL_STRATEGIES = ["random", "pct", "round-robin", "dfs"]
+SCENARIOS = ["examplesys/safety-bug", "examplesys/fixed"]
+
+_GOLDENS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "core", "data", "runtime_split_goldens.json"
+)
+
+
+def _explore_with_coverage(scenario_name, strategy_name, iterations=5):
+    testcase = get_scenario(scenario_name)
+    config = testcase.default_config(
+        strategy=strategy_name, seed=29, iterations=iterations,
+        max_steps=300, stop_at_first_bug=False, max_bugs=3,
+    )
+    strategy = create_strategy(config)
+    coverage = CoverageTracker()
+    digests = []
+    for iteration in range(iterations):
+        strategy.prepare_iteration(iteration)
+        if strategy.exhausted:
+            break
+        runtime = TestRuntime(strategy, config, coverage=coverage)
+        runtime.run(testcase.build())
+        digests.append(
+            hashlib.sha256(runtime.trace.to_json().encode()).hexdigest()
+        )
+    return digests, coverage
+
+
+def _event_types_by_name(program):
+    """Every event type the program can dispatch, keyed by class name."""
+    by_name = {}
+    for event_type in (Halt, StartEvent, TimerTick):
+        by_name[event_type.__name__] = event_type
+    for model in program:
+        for event_type in iter_handled_event_types(model.spec):
+            by_name[event_type.__name__] = event_type
+        for types_by_state in (model.spec.deferred, model.spec.ignored):
+            for declared in types_by_state.values():
+                for event_type in declared:
+                    by_name[event_type.__name__] = event_type
+        for event_type in model.receive_types:
+            by_name[event_type.__name__] = event_type
+        for site in model.sends:
+            if site.event_type is not None:
+                by_name[site.event_type.__name__] = site.event_type
+        for site in model.raises:
+            if site.event_type is not None:
+                by_name[site.event_type.__name__] = site.event_type
+    return by_name
+
+
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+@pytest.mark.parametrize("scenario_name", SCENARIOS)
+def test_every_golden_dispatch_is_classified_handleable(scenario_name, strategy_name):
+    load_builtin_scenarios()
+    with open(_GOLDENS_PATH) as handle:
+        goldens = json.load(handle)[f"{scenario_name}|{strategy_name}"]
+
+    digests, coverage = _explore_with_coverage(scenario_name, strategy_name)
+    # attaching the coverage tracker must not perturb the explored schedules
+    assert digests == goldens["trace_sha256"]
+    assert coverage.handled, "golden sweep recorded no dispatches"
+
+    program = build_program(discover_classes(get_scenario(scenario_name).build))
+    models_by_name = {model.name: model for model in program}
+    events_by_name = _event_types_by_name(program)
+
+    for (machine_name, _state, event_name), count in coverage.handled.items():
+        assert count > 0
+        model = models_by_name.get(machine_name)
+        assert model is not None, (
+            f"runtime dispatched on {machine_name}, which scenario discovery "
+            f"never surfaced"
+        )
+        event_type = events_by_name.get(event_name)
+        assert event_type is not None, (
+            f"dispatched event type {event_name} is invisible to the analyzer"
+        )
+        assert is_handleable(model, event_type), (
+            f"false unhandled-event positive: {machine_name} handled "
+            f"{event_name} at runtime but the analyzer calls it unhandleable"
+        )

@@ -1,0 +1,132 @@
+"""AnalysisReport: deterministic ordering, byte-stable JSON, suppression."""
+
+import json
+
+from repro.analysis import RULES, Diagnostic, analyze_classes
+from repro.analysis.report import is_suppressed, suppressed_rules
+
+from . import fixtures as fx
+
+_DEFECT_SET = (
+    fx.UnhandledSender,
+    fx.OrphanState,
+    fx.BottomPopper,
+    fx.ForeverDeferrer,
+    fx.TrappedHotMonitor,
+    fx.PayloadAliaser,
+)
+
+
+def test_diagnostics_ordered_by_module_line_rule():
+    report = analyze_classes(_DEFECT_SET)
+    keys = [(d.module, d.line, d.rule, d.message) for d in report.diagnostics]
+    assert keys == sorted(keys)
+    assert len(report.diagnostics) >= len(RULES)
+
+
+def test_json_output_is_byte_stable_across_runs():
+    from repro.analysis import clear_model_cache
+
+    first = analyze_classes(_DEFECT_SET).to_json()
+    clear_model_cache()  # force full re-extraction, not a cache echo
+    second = analyze_classes(_DEFECT_SET).to_json()
+    assert first == second
+
+
+def test_diagnostics_carry_file_line_anchors():
+    report = analyze_classes([fx.UnhandledSender])
+    for diagnostic in report.diagnostics:
+        payload = diagnostic.to_dict()
+        assert payload["anchor"] == f"{payload['file']}:{payload['line']}"
+        assert payload["line"] > 0
+        assert payload["file"].endswith("fixtures.py")
+        assert diagnostic.render().startswith(payload["anchor"])
+
+
+def test_duplicate_diagnostics_are_deduplicated():
+    # Analyzing overlapping class sets twice in one report must not repeat
+    # identical findings (scenario sweeps share machines).
+    single = analyze_classes([fx.UnhandledSender])
+    doubled = analyze_classes([fx.UnhandledSender, fx.DeafReceiver])
+    assert len(doubled.diagnostics) == len(single.diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# suppression
+# ---------------------------------------------------------------------------
+def test_trailing_comment_suppresses_the_anchored_line():
+    report = analyze_classes([fx.SuppressedPopper])
+    assert [d.rule for d in report.diagnostics] == []
+    assert [d.rule for d in report.suppressed] == ["pop-underflow"]
+
+
+def test_comment_line_above_suppresses_too():
+    report = analyze_classes([fx.SuppressedSender])
+    assert report.diagnostics == []
+    assert [d.rule for d in report.suppressed] == ["unhandled-event"]
+
+
+def test_suppression_is_rule_specific():
+    # the pop-underflow suppression must not hide other rules
+    diagnostic = Diagnostic(
+        rule="payload-alias",
+        severity="warning",
+        message="x",
+        owner="SuppressedPopper",
+        module=fx.__name__,
+        file=fx.__file__,
+        line=_line_of("self.pop_state()  # repro: ignore[pop-underflow]"),
+    )
+    assert not is_suppressed(diagnostic)
+    assert suppressed_rules(fx.__file__, diagnostic.line) == {"pop-underflow"}
+
+
+def _line_of(snippet: str) -> int:
+    with open(fx.__file__) as handle:
+        for number, text in enumerate(handle, start=1):
+            if snippet in text:
+                return number
+    raise AssertionError(f"snippet not found: {snippet!r}")
+
+
+def test_wildcard_suppression(tmp_path):
+    target = tmp_path / "module.py"
+    target.write_text("x = 1  # repro: ignore[*]\n")
+    diagnostic = Diagnostic(
+        rule="unhandled-event",
+        severity="error",
+        message="x",
+        owner="X",
+        module="module",
+        file=str(target),
+        line=1,
+    )
+    assert is_suppressed(diagnostic)
+
+
+# ---------------------------------------------------------------------------
+# gating
+# ---------------------------------------------------------------------------
+def test_gate_failures_respect_severity_threshold():
+    report = analyze_classes(_DEFECT_SET)
+    errors = report.count("error")
+    warnings = report.count("warning")
+    assert errors > 0 and warnings > 0
+    assert report.gate_failures("error") == errors
+    assert report.gate_failures("warning") == errors + warnings
+
+
+def test_suppressed_diagnostics_do_not_gate():
+    report = analyze_classes([fx.SuppressedPopper, fx.SuppressedSender])
+    assert report.gate_failures("warning") == 0
+    assert len(report.suppressed) == 2
+
+
+def test_report_dict_shape():
+    report = analyze_classes([fx.UnhandledSender])
+    payload = json.loads(report.to_json())
+    assert set(payload) == {"diagnostics", "suppressed", "machines", "scenarios", "summary"}
+    assert payload["summary"]["errors"] == len(
+        [d for d in payload["diagnostics"] if d["severity"] == "error"]
+    )
+    assert payload["machines"] == sorted(payload["machines"])

@@ -1,0 +1,118 @@
+"""Every rule ID fires on its seeded-defect fixture and stays silent on the
+clean twin (ISSUE 6 acceptance criterion)."""
+
+import pytest
+
+from repro.analysis import RULES, analyze_classes
+
+from . import fixtures as fx
+
+
+def _rules_for(*classes):
+    report = analyze_classes(classes)
+    return report, {d.rule for d in report.diagnostics}
+
+
+# ---------------------------------------------------------------------------
+# per-rule: defect fixture triggers, clean twin does not
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "rule, bad, clean",
+    [
+        ("unhandled-event", fx.UnhandledSender, fx.HandledSender),
+        ("unhandled-event", fx.UnhandledRaiser, fx.HandledRaiser),
+        ("unhandled-event", fx.UnhandledNotifier, fx.HandledNotifier),
+        ("unreachable-state", fx.OrphanState, fx.ConnectedStates),
+        ("dead-handler", fx.OrphanState, fx.ConnectedStates),
+        ("pop-underflow", fx.BottomPopper, fx.BalancedPopper),
+        ("stuck-deferral", fx.ForeverDeferrer, fx.EventualHandler),
+        ("hot-forever", fx.TrappedHotMonitor, fx.CoolableHotMonitor),
+        ("payload-alias", fx.PayloadAliaser, fx.FreshPayloadSender),
+        ("payload-alias", fx.LoopAliaser, fx.LoopFreshSender),
+    ],
+)
+def test_rule_fires_on_defect_and_not_on_clean_twin(rule, bad, clean):
+    _, bad_rules = _rules_for(bad)
+    assert rule in bad_rules
+    _, clean_rules = _rules_for(clean)
+    assert rule not in clean_rules
+
+
+def test_every_rule_id_is_covered_by_a_fixture():
+    """The parametrization above spans the complete rule catalog."""
+    _, fired = _rules_for(
+        fx.UnhandledSender,
+        fx.OrphanState,
+        fx.BottomPopper,
+        fx.ForeverDeferrer,
+        fx.TrappedHotMonitor,
+        fx.PayloadAliaser,
+    )
+    assert fired == set(RULES)
+
+
+def test_clean_twins_are_fully_clean():
+    report, _ = _rules_for(
+        fx.HandledSender,
+        fx.HandledRaiser,
+        fx.HandledNotifier,
+        fx.ConnectedStates,
+        fx.BalancedPopper,
+        fx.EventualHandler,
+        fx.CoolableHotMonitor,
+        fx.FreshPayloadSender,
+        fx.LoopFreshSender,
+    )
+    assert report.diagnostics == []
+    assert report.suppressed == []
+
+
+# ---------------------------------------------------------------------------
+# severities and messages
+# ---------------------------------------------------------------------------
+def test_severities_follow_the_catalog():
+    report, _ = _rules_for(fx.UnhandledSender, fx.BottomPopper, fx.TrappedHotMonitor)
+    for diagnostic in report.diagnostics:
+        expected_severity, _ = RULES[diagnostic.rule]
+        assert diagnostic.severity == expected_severity
+
+
+def test_unhandled_event_message_names_both_machines():
+    report, _ = _rules_for(fx.UnhandledSender)
+    (diagnostic,) = [d for d in report.diagnostics if d.rule == "unhandled-event"]
+    assert "UnhandledSender" in diagnostic.message
+    assert "DeafReceiver" in diagnostic.message
+    assert "Ping" in diagnostic.message
+    # hoisted handler names are de-mangled for humans
+    assert "_state_" not in diagnostic.message
+
+
+def test_program_closure_reaches_created_machines():
+    # UnhandledSender names DeafReceiver only inside self.create(...); the
+    # diagnostic proves the closure pulled the receiver into the program.
+    report, rules = _rules_for(fx.UnhandledSender)
+    assert "unhandled-event" in rules
+    assert "DeafReceiver" in report.machines
+
+
+# ---------------------------------------------------------------------------
+# degradation: unknowns silence rules instead of guessing
+# ---------------------------------------------------------------------------
+def test_control_events_are_always_handleable():
+    from repro.analysis import extract_machine_model, is_handleable
+    from repro.core.events import Halt, StartEvent
+
+    model = extract_machine_model(fx.DeafReceiver)
+    assert is_handleable(model, Halt)
+    assert is_handleable(model, StartEvent)
+    assert not is_handleable(model, fx.Ping)
+
+
+def test_receive_clause_counts_as_handleable():
+    from repro.analysis import extract_machine_model, is_handleable
+    from repro.examplesys.harness.machines import ClientMachine
+    from repro.examplesys.messages import Ack
+
+    model = extract_machine_model(ClientMachine)
+    assert Ack in model.receive_types
+    assert is_handleable(model, Ack)

@@ -1,0 +1,133 @@
+"""The repo's own harnesses are analyzer-clean, and the CLI gates on that.
+
+This is the test-suite mirror of the CI ``analyze`` job: every machine
+reachable from every registered scenario must produce zero unsuppressed
+diagnostics at ``--fail-on warning``.
+"""
+
+import json
+
+from repro.analysis import analyze_scenarios, discover_classes
+from repro.cli import main
+from repro.core.registry import all_scenarios, load_builtin_scenarios
+
+
+def _all_cases():
+    load_builtin_scenarios()
+    return all_scenarios()
+
+
+def test_all_registered_scenarios_are_analyzer_clean():
+    cases = _all_cases()
+    assert len(cases) >= 30
+    report = analyze_scenarios(cases)
+    assert report.diagnostics == [], "\n" + report.render()
+    # the current harnesses are clean without any inline suppressions
+    assert report.suppressed == []
+
+
+def test_discovery_finds_every_case_study_harness():
+    cases = _all_cases()
+    classes = set()
+    for case in cases:
+        classes.update(discover_classes(case.build))
+    names = {cls.__name__ for cls in classes}
+    # one load-bearing machine or monitor per case-study package
+    assert "ServerMachine" in names  # examplesys
+    assert "TestingDriverMachine" in names  # vnext
+    assert "MigratorMachine" in names  # migratingtable
+    assert "FabricTestDriver" in names  # fabric
+
+
+def test_discovery_handles_lambda_and_closure_factories():
+    # migratingtable registers via lambdas, vnext via nested closures; both
+    # forms have no parseable standalone source and must still resolve.
+    cases = _all_cases()
+    migrating = next(c for c in cases if c.name.startswith("migratingtable/"))
+    vnext = next(c for c in cases if c.name.startswith("vnext/"))
+    assert any(cls.__name__ == "MigratorMachine" for cls in discover_classes(migrating.build))
+    assert any(cls.__name__ == "RepairMonitor" for cls in discover_classes(vnext.build))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_analyze_cli_all_scenarios_gate(capsys):
+    assert main(["analyze", "--fail-on", "warning"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_analyze_cli_single_scenario_json(capsys):
+    assert main(["analyze", "--scenario", "examplesys/safety-bug", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenarios"] == ["examplesys/safety-bug"]
+    assert "ServerMachine" in payload["machines"]
+    assert payload["diagnostics"] == []
+
+
+def test_analyze_cli_json_is_byte_stable(capsys):
+    from repro.analysis import clear_model_cache
+
+    assert main(["analyze", "--json"]) == 0
+    first = capsys.readouterr().out
+    clear_model_cache()
+    assert main(["analyze", "--json"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_analyze_cli_unknown_scenario_errors():
+    assert main(["analyze", "--scenario", "no/such/scenario"]) == 2
+
+
+def test_analyze_cli_import_option(tmp_path, capsys):
+    # the basename becomes the imported module's name and is cached process
+    # wide, so keep it distinct from other tests' --import fixtures
+    module = tmp_path / "analysis_gate_scenarios.py"
+    module.write_text(
+        "from repro.core import Event, Machine, State, on_event\n"
+        "from repro.core.registry import TestCase, register\n"
+        "\n"
+        "class Boom(Event):\n"
+        "    def __init__(self, n):\n"
+        "        self.n = n\n"
+        "\n"
+        "class Mute(Machine):\n"
+        "    class Idle(State, initial=True):\n"
+        "        pass\n"
+        "\n"
+        "class Shouter(Machine):\n"
+        "    def on_start(self):\n"
+        "        self.peer = self.create(Mute)\n"
+        "\n"
+        "    class Init(State, initial=True):\n"
+        "        @on_event(Boom)\n"
+        "        def go(self, event):\n"
+        "            self.send(self.peer, Boom(1))\n"
+        "\n"
+        "def build():\n"
+        "    def entry(runtime):\n"
+        "        runtime.create_machine(Shouter)\n"
+        "    return entry\n"
+        "\n"
+        "register(TestCase(name='extra/shouter', build=build))\n"
+    )
+    code = main(
+        ["analyze", "--import", str(module), "--scenario", "extra/shouter", "--json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1  # the seeded unhandled-event is an error
+    rules = [d["rule"] for d in payload["diagnostics"]]
+    assert rules == ["unhandled-event"]
+
+
+# ---------------------------------------------------------------------------
+# registry metadata rides along (--json consumers)
+# ---------------------------------------------------------------------------
+def test_list_scenarios_json_carries_module(capsys):
+    assert main(["list-scenarios", "--json"]) == 0
+    cases = json.loads(capsys.readouterr().out)
+    assert all("module" in case for case in cases)
+    vnext = next(c for c in cases if c["name"] == "vnext/replication")
+    assert vnext["module"] == "repro.vnext.harness.scenarios"

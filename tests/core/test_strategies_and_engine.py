@@ -8,7 +8,6 @@ from repro.core import (
     Machine,
     PCTStrategy,
     RandomStrategy,
-    Receive,
     ReplayStrategy,
     RoundRobinStrategy,
     ScheduleTrace,

@@ -1,9 +1,8 @@
 """Tests for the §2.2 example replication system and its harness."""
 
-import pytest
 
 from repro.core import TestingConfig, TestingEngine, run_test
-from repro.examplesys import ReplicationServer, ServerConfig, StorageNodeStore
+from repro.examplesys import ReplicationServer, StorageNodeStore
 from repro.examplesys.harness import (
     build_replication_test,
     buggy_configuration,

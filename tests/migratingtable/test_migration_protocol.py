@@ -1,6 +1,5 @@
 """Synchronous tests of the MigratingTable protocol and the migrator."""
 
-import pytest
 
 from repro.migratingtable import (
     InMemoryChainTable,

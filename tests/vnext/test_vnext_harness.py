@@ -1,10 +1,8 @@
 """Integration tests: the vNext harness under systematic testing."""
 
-import pytest
 
 from repro.core import TestingConfig, TestingEngine, run_test
 from repro.vnext.harness import (
-    RepairMonitor,
     build_failover_test,
     build_replication_scenario_test,
 )
