@@ -2,11 +2,23 @@
 
 The analyzer models each machine/monitor class without running a single
 schedule (states, transitions, sends with resolved event/target types,
-defer/ignore disciplines) and checks the model against a fixed rule catalog:
-``unhandled-event``, ``unreachable-state``, ``dead-handler``,
-``pop-underflow``, ``stuck-deferral``, ``hot-forever`` and ``payload-alias``.
+defer/ignore disciplines) and checks the model against a fixed rule catalog —
+per-machine rules (``unhandled-event``, ``unreachable-state``,
+``dead-handler``, ``pop-underflow``, ``stuck-deferral``, ``hot-forever``,
+``payload-alias``) plus whole-program graph rules (``dead-event``,
+``unreachable-machine``, ``monitor-never-notified``,
+``unbounded-send-cycle``) and pragma hygiene (``unused-ignore``).
 
-Run it via ``python -m repro analyze`` or programmatically::
+The same extraction layer feeds two machine-readable artifacts:
+
+* the **communication graph** (:func:`build_comm_graph` /
+  ``python -m repro analyze --graph [--dot|--json]``) — machine, monitor and
+  event types with every create/send/raise/notify site as an anchored edge;
+* the **independence table** (:func:`build_independence_table`) — the static
+  per-``(machine, event-type)`` footprints the ``dpor-lite`` strategy uses to
+  prune the schedule search (``python -m repro run --prune``).
+
+Run the analyzer via ``python -m repro analyze`` or programmatically::
 
     from repro.analysis import analyze_scenarios
     from repro.core.registry import all_scenarios, load_builtin_scenarios
@@ -18,33 +30,67 @@ Run it via ``python -m repro analyze`` or programmatically::
 Diagnostics are suppressed inline with ``# repro: ignore[rule-id]``.
 """
 
-from .checkers import RULES, is_handleable, reachable_states, run_checkers
+from .checkers import (
+    RULES,
+    check_unused_ignores,
+    is_handleable,
+    reachable_states,
+    run_checkers,
+)
+from .commgraph import CommGraph, GraphEdge, GraphNode, build_comm_graph
 from .extract import (
     build_program,
     clear_model_cache,
     discover_classes,
+    discover_event_types,
     extract_machine_model,
 )
-from .model import MachineModel, ProgramModel, SourceRef
+from .independence import (
+    TABLE_VERSION,
+    build_independence_table,
+    footprint_for,
+    independence_for_classes,
+    type_key,
+)
+from .model import MachineModel, ProgramModel, QuerySite, SourceRef
 from .report import ERROR, WARNING, AnalysisReport, Diagnostic
-from .runner import analyze_classes, analyze_scenarios
+from .runner import (
+    analyze_classes,
+    analyze_scenarios,
+    graph_for_scenarios,
+    independence_for_scenarios,
+)
 
 __all__ = [
     "AnalysisReport",
+    "CommGraph",
     "Diagnostic",
     "ERROR",
-    "WARNING",
+    "GraphEdge",
+    "GraphNode",
     "MachineModel",
     "ProgramModel",
+    "QuerySite",
     "RULES",
     "SourceRef",
+    "TABLE_VERSION",
+    "WARNING",
     "analyze_classes",
     "analyze_scenarios",
+    "build_comm_graph",
+    "build_independence_table",
     "build_program",
+    "check_unused_ignores",
     "clear_model_cache",
     "discover_classes",
+    "discover_event_types",
     "extract_machine_model",
+    "footprint_for",
+    "graph_for_scenarios",
+    "independence_for_classes",
+    "independence_for_scenarios",
     "is_handleable",
     "reachable_states",
     "run_checkers",
+    "type_key",
 ]

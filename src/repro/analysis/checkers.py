@@ -8,13 +8,13 @@ source) the affected rule degrades to silence rather than guess.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.declarations import ANY_STATE, DEFER, is_control_event
 from repro.core.events import Event
 from repro.core.monitors import Monitor
 
-from .model import GOTO, PUSH, MachineModel, ProgramModel
+from .model import GOTO, PUSH, MachineModel, ProgramModel, SourceRef
 from .report import ERROR, WARNING, Diagnostic
 
 #: rule id -> (severity, one-line description); the analyzer's rule catalog.
@@ -50,6 +50,32 @@ RULES: Dict[str, Tuple[str, str]] = {
         WARNING,
         "a mutable event payload is shared between sender and receiver "
         "(re-sent, mutated after send, or retained by the sender)",
+    ),
+    "dead-event": (
+        WARNING,
+        "a machine handles an event type that nothing in the analyzed "
+        "program ever sends, raises or notifies",
+    ),
+    "unreachable-machine": (
+        WARNING,
+        "a machine type is referenced but never created by the reachable "
+        "program (and is not an analysis root)",
+    ),
+    "monitor-never-notified": (
+        WARNING,
+        "a monitor is part of the program but no reachable machine ever "
+        "notifies it — its invariants are never exercised",
+    ),
+    "unbounded-send-cycle": (
+        WARNING,
+        "handlers form an unconditional send/raise cycle with no state "
+        "transition or halt on the path — the static signature of queue "
+        "blow-up",
+    ),
+    "unused-ignore": (
+        WARNING,
+        "a '# repro: ignore[rule-id]' pragma suppresses nothing at its "
+        "anchor lines (wildcard '[*]' pragmas are exempt)",
     ),
 }
 
@@ -417,8 +443,332 @@ def _check_payload_alias(model: MachineModel) -> List[Diagnostic]:
     return diagnostics
 
 
-def run_checkers(program: ProgramModel) -> List[Diagnostic]:
-    """Run every rule over ``program`` and return the raw diagnostics."""
+# ---------------------------------------------------------------------------
+# whole-program (communication-graph) rules
+# ---------------------------------------------------------------------------
+def _framework_event(event_type: type) -> bool:
+    """Events declared by the reusable framework (``repro.core``) are exempt
+    from dead-event: a library machine legitimately handles events any one
+    program may never use (e.g. a timer's ``StopTimer``)."""
+    return event_type.__module__.split(".")[0:2] == ["repro", "core"]
+
+
+def _produced_events(program: ProgramModel) -> Optional[Set[type]]:
+    """Every event type some site in ``program`` can produce; ``None`` when
+    any site's event did not resolve (an unknown site may produce anything)
+    or any method has effects outside the event model (a wrapped real
+    component can feed arbitrary events back through engine shims)."""
+    produced: Set[type] = set()
+    for model in program:
+        if model.partial or model.method_external:
+            return None
+        for site in model.sends:
+            if site.event_type is None:
+                return None
+            produced.add(site.event_type)
+        for site in model.raises:
+            if site.event_type is None:
+                return None
+            produced.add(site.event_type)
+        for site in model.notifies:
+            if site.event_type is None:
+                return None
+            produced.add(site.event_type)
+    return produced
+
+
+def _check_dead_events(
+    program: ProgramModel, extra_produced: Set[type]
+) -> List[Diagnostic]:
+    produced = _produced_events(program)
+    if produced is None:
+        return []
+    produced = produced | extra_produced
+    diagnostics = []
+    for model in sorted(program, key=lambda m: (m.module, m.line, m.name)):
+        handled: Dict[type, str] = {}
+        for (_state, event_type), info in model.spec.handlers.items():
+            if isinstance(event_type, type):
+                handled.setdefault(event_type, info.method_name)
+        for event_type, method in sorted(
+            handled.items(), key=lambda kv: kv[0].__name__
+        ):
+            if is_control_event(event_type) or _framework_event(event_type):
+                continue
+            if any(issubclass(candidate, event_type) for candidate in produced):
+                continue
+            ref = model.method_refs.get(method)
+            if ref is None:
+                continue
+            diagnostics.append(
+                _diag(
+                    "dead-event",
+                    model,
+                    ref,
+                    f"{model.name}.{model.pretty_method(method)} handles "
+                    f"{event_type.__name__}, but nothing in the analyzed "
+                    f"program ever sends, raises or notifies it",
+                )
+            )
+    return diagnostics
+
+
+def _check_unreachable_machines(
+    program: ProgramModel, roots: Set[type]
+) -> List[Diagnostic]:
+    created: Set[type] = set()
+    for model in program:
+        if model.partial or model.method_external:
+            return []  # an unextracted/external method may create anything
+        for site in model.creates:
+            if site.machine is None:
+                return []  # an unresolved create may instantiate anything
+            created.add(site.machine)
+    diagnostics = []
+    for model in sorted(program, key=lambda m: (m.module, m.line, m.name)):
+        if model.kind != "machine" or model.cls in roots or model.cls in created:
+            continue
+        diagnostics.append(
+            _diag(
+                "unreachable-machine",
+                model,
+                SourceRef(model.file, model.line),
+                f"machine {model.name} is referenced by the program but "
+                f"never created (and is not an analysis root)",
+            )
+        )
+    return diagnostics
+
+
+def _check_monitor_never_notified(program: ProgramModel) -> List[Diagnostic]:
+    notified: Set[type] = set()
+    for model in program:
+        if model.partial or model.method_external:
+            return []  # an unextracted/external method may notify anything
+        for site in model.notifies:
+            if site.monitor is None:
+                return []  # an unresolved notify may reach any monitor
+            notified.add(site.monitor)
+    diagnostics = []
+    for model in sorted(program, key=lambda m: (m.module, m.line, m.name)):
+        if model.kind != "monitor" or model.cls in notified:
+            continue
+        diagnostics.append(
+            _diag(
+                "monitor-never-notified",
+                model,
+                SourceRef(model.file, model.line),
+                f"monitor {model.name} is never notified by any reachable "
+                f"machine; its invariants are never exercised",
+            )
+        )
+    return diagnostics
+
+
+def _must_dispatch_nodes(model: MachineModel) -> Dict[type, Set[str]]:
+    """Registered event type -> handler methods, restricted to handlers the
+    machine can actually sit in (reachable states); empty when the model's
+    transition structure is unknown (degrade to silence, this is a must-rule)."""
+    if model.has_unknown_transitions:
+        return {}
+    reached = reachable_states(model)
+    nodes: Dict[type, Set[str]] = {}
+    for (state, event_type), info in model.spec.handlers.items():
+        if not isinstance(event_type, type):
+            continue
+        if state != ANY_STATE and state not in reached:
+            continue
+        nodes.setdefault(event_type, set()).add(info.method_name)
+    return nodes
+
+
+def _check_unbounded_send_cycles(program: ProgramModel) -> List[Diagnostic]:
+    """Find (machine, event) dispatch cycles made of *unconditional* sends or
+    raises whose handlers never transition, pop or halt.
+
+    Every fact on the path is a must-fact, so a diagnosed cycle really loops:
+    once any participating dispatch runs, the cycle re-feeds itself forever
+    (self-send loops keep the machine spinning; cross-machine loops grow
+    queues without bound).
+    """
+    # node: (machine class, event type); edge: must-send/raise from one
+    # dispatch to the next
+    edges: Dict[Tuple[type, type], Set[Tuple[type, type]]] = {}
+    anchors: Dict[Tuple[type, type], Tuple[str, object]] = {}
+    node_methods: Dict[type, Dict[type, Set[str]]] = {
+        model.cls: _must_dispatch_nodes(model) for model in program
+    }
+
+    def _handler_is_guarded(model: MachineModel, methods: Set[str]) -> bool:
+        if methods & model.method_halts:
+            return True
+        for edge in model.edges:
+            if edge.method in methods:
+                return True
+        return any(pop.method in methods for pop in model.pops)
+
+    for model in program:
+        for event_type, methods in node_methods.get(model.cls, {}).items():
+            if _handler_is_guarded(model, methods):
+                continue
+            if methods & model.method_external:
+                # an external call inside the handler could fault or divert
+                # control; the "loops forever" claim is no longer a must-fact
+                continue
+            source = (model.cls, event_type)
+            for site in model.sends:
+                if site.method not in methods or not site.unconditional:
+                    continue
+                if site.event_type is None or site.target is None:
+                    continue
+                if site.event_type in node_methods.get(site.target, {}):
+                    edges.setdefault(source, set()).add((site.target, site.event_type))
+                    anchors.setdefault(source, (site.method, site.ref))
+            for site in model.raises:
+                if site.method not in methods or not site.unconditional:
+                    continue
+                if site.event_type is None:
+                    continue
+                if site.event_type in node_methods.get(model.cls, {}):
+                    edges.setdefault(source, set()).add((model.cls, site.event_type))
+                    anchors.setdefault(source, (site.method, site.ref))
+
+    # cycle detection over the must-edge graph
+    diagnostics = []
+    reported: Set[frozenset] = set()
+    for start in sorted(edges, key=lambda n: (n[0].__name__, n[1].__name__)):
+        path: List[Tuple[type, type]] = []
+        on_path: Set[Tuple[type, type]] = set()
+        done: Set[Tuple[type, type]] = set()
+
+        def _visit(node: Tuple[type, type]) -> Optional[List[Tuple[type, type]]]:
+            if node in on_path:
+                return path[path.index(node):]
+            if node in done:
+                return None
+            path.append(node)
+            on_path.add(node)
+            for succ in sorted(
+                edges.get(node, ()), key=lambda n: (n[0].__name__, n[1].__name__)
+            ):
+                cycle = _visit(succ)
+                if cycle is not None:
+                    return cycle
+            path.pop()
+            on_path.remove(node)
+            done.add(node)
+            return None
+
+        cycle = _visit(start)
+        if cycle is None:
+            continue
+        key = frozenset(cycle)
+        if key in reported:
+            continue
+        reported.add(key)
+        first = min(cycle, key=lambda n: (n[0].__name__, n[1].__name__))
+        model = program.model_for(first[0])
+        method, ref = anchors[first]
+        loop = " -> ".join(f"{cls.__name__}@{etype.__name__}" for cls, etype in cycle)
+        diagnostics.append(
+            _diag(
+                "unbounded-send-cycle",
+                model,
+                ref,
+                f"{model.name}.{model.pretty_method(method)} starts an "
+                f"unconditional send cycle ({loop}) with no state transition "
+                f"or halt on the path; queues grow without bound",
+            )
+        )
+    return diagnostics
+
+
+def check_unused_ignores(
+    program: ProgramModel, raw_diagnostics: List[Diagnostic]
+) -> List[Diagnostic]:
+    """Flag ``# repro: ignore[rule-id]`` pragmas that silence nothing.
+
+    A pragma is *used* when some raw (pre-suppression) diagnostic for one of
+    its listed rules anchors at the pragma's line (trailing form) or the line
+    below it (comment-above form).  Wildcard ``[*]`` pragmas are exempt.
+
+    Only lines inside the body of an analyzed class are scanned: a source
+    file may also hold classes outside this program (fixture modules,
+    library files analyzed piecemeal), and their pragmas are not this
+    program's business.  A class whose end line is unknown scans nothing —
+    silence is the safe direction for a hygiene rule.
+    """
+    import linecache
+
+    from .report import _SUPPRESS_RE
+
+    anchored: Dict[Tuple[str, int], Set[str]] = {}
+    for diag in raw_diagnostics:
+        anchored.setdefault((diag.file, diag.line), set()).add(diag.rule)
+
+    #: (file, line) -> owning model, covering each analyzed class body once
+    scan_lines: Dict[Tuple[str, int], MachineModel] = {}
+    for model in sorted(program, key=lambda m: (m.module, m.line, m.name)):
+        if not model.file or model.file == "<unknown>" or model.end_line < model.line:
+            continue
+        for lineno in range(model.line, model.end_line + 1):
+            scan_lines.setdefault((model.file, lineno), model)
+
+    diagnostics = []
+    for (file, lineno), model in sorted(
+        scan_lines.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[1].name)
+    ):
+        text = linecache.getline(file, lineno)
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        if "*" in rules:
+            continue
+        used = rules & (
+            anchored.get((file, lineno), set())
+            | anchored.get((file, lineno + 1), set())
+        )
+        if used:
+            continue
+        diagnostics.append(
+            _diag(
+                "unused-ignore",
+                model,
+                SourceRef(file, lineno),
+                f"'# repro: ignore[{match.group(1).strip()}]' suppresses "
+                f"nothing here; remove the stale pragma",
+            )
+        )
+    return diagnostics
+
+
+def run_checkers(
+    program: ProgramModel,
+    roots: Optional[Iterable[type]] = None,
+    produced_events: Iterable[type] = (),
+    whole_program: bool = False,
+) -> List[Diagnostic]:
+    """Run every rule over ``program`` and return the raw diagnostics.
+
+    ``roots`` are the classes the harness instantiates directly (exempt from
+    unreachable-machine); by default every analyzed machine is a root.
+    ``produced_events`` are event types the scenario's entry factory itself
+    constructs (they count as produced for dead-event).
+
+    ``whole_program`` asserts that ``program`` is a *closed* system — every
+    machine, producer and notifier that can run together is in the model
+    (true for scenario-driven discovery, not for an ad-hoc class list).  The
+    rules that reason about *absence* of a producer/creator/notifier
+    (dead-event, unreachable-machine, monitor-never-notified) only run then:
+    on a program fragment, "nothing sends this" is an artifact of the
+    fragment, not a defect.  Cycle detection stays on either way — a send
+    cycle found in a fragment survives in every larger program.
+    """
+    if roots is None:
+        root_set = {model.cls for model in program}
+    else:
+        root_set = set(roots)
     diagnostics: List[Diagnostic] = []
     for model in sorted(
         program, key=lambda m: (m.module, m.line, m.name)
@@ -429,4 +779,9 @@ def run_checkers(program: ProgramModel) -> List[Diagnostic]:
         diagnostics.extend(_check_hot_forever(model))
         diagnostics.extend(_check_payload_alias(model))
     diagnostics.extend(_check_unhandled_events(program))
+    if whole_program:
+        diagnostics.extend(_check_dead_events(program, set(produced_events)))
+        diagnostics.extend(_check_unreachable_machines(program, root_set))
+        diagnostics.extend(_check_monitor_never_notified(program))
+    diagnostics.extend(_check_unbounded_send_cycles(program))
     return diagnostics

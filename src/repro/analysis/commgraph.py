@@ -1,0 +1,246 @@
+"""Whole-program communication graph (the analyzer's cross-machine view).
+
+Nodes are machine, monitor and event *types*; edges are the statically
+extracted interactions between them — ``create`` / ``send`` / ``raise`` /
+``notify`` — each anchored to ``file:line`` and annotated with the sending
+state set and the payload fields the site populates.  Unresolvable endpoints
+stay in the graph as ``None`` (rendered ``"?"``): the graph shows what the
+analyzer could *not* see just as much as what it could, since every unknown
+edge is a place where the independence relation degrades to dependent.
+
+Everything serializes deterministically: nodes and edges are emitted in a
+fixed sort order and :meth:`CommGraph.to_json` output is byte-stable across
+runs and processes (paths are repo-relativized, no ids or hashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.events import Event
+
+from .model import MachineModel, ProgramModel
+from .report import display_path
+
+#: edge kinds, in legend order
+CREATE = "create"
+SEND = "send"
+RAISE = "raise"
+NOTIFY = "notify"
+
+
+def _type_key(cls: Optional[type]) -> Optional[str]:
+    if cls is None:
+        return None
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One machine/monitor/event type."""
+
+    key: str  # module.QualName
+    kind: str  # "machine" | "monitor" | "event"
+    name: str  # class name, for display
+    file: str = ""
+    line: int = 0
+
+    def to_dict(self) -> dict:
+        payload = {"key": self.key, "kind": self.kind, "name": self.name}
+        if self.file:
+            payload["anchor"] = f"{display_path(self.file)}:{self.line}"
+        return payload
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One interaction site.
+
+    ``dst is None`` means the target did not statically resolve; ``event`` is
+    the event-type key (``None`` for unresolvable event expressions and for
+    ``create`` edges, which carry no event).
+    """
+
+    kind: str
+    src: str
+    dst: Optional[str]
+    event: Optional[str]
+    states: Tuple[str, ...]
+    file: str
+    line: int
+    payload_fields: Tuple[str, ...] = ()
+
+    def sort_key(self):
+        return (
+            self.src,
+            self.kind,
+            self.dst or "",
+            self.event or "",
+            self.file,
+            self.line,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "event": self.event,
+            "states": list(self.states),
+            "anchor": f"{display_path(self.file)}:{self.line}",
+            "payload_fields": list(self.payload_fields),
+        }
+
+
+@dataclass
+class CommGraph:
+    """The assembled whole-program graph."""
+
+    nodes: List[GraphNode] = field(default_factory=list)
+    edges: List[GraphEdge] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": [node.to_dict() for node in self.nodes],
+            "edges": [edge.to_dict() for edge in self.edges],
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_dot(self) -> str:
+        """Graphviz rendering: machines are boxes, monitors are diamonds,
+        events ride on edge labels, unresolved endpoints collapse to "?"."""
+        shapes = {"machine": "box", "monitor": "diamond", "event": "ellipse"}
+        styles = {CREATE: "dashed", SEND: "solid", RAISE: "solid", NOTIFY: "dotted"}
+        lines = ["digraph commgraph {", "  rankdir=LR;", "  node [fontsize=10];"]
+        for node in self.nodes:
+            if node.kind == "event":
+                continue  # events appear as edge labels, not nodes
+            lines.append(
+                f'  "{node.key}" [label="{node.name}", shape={shapes[node.kind]}];'
+            )
+        if any(edge.dst is None for edge in self.edges):
+            lines.append('  "?" [label="?", shape=circle];')
+        for edge in self.edges:
+            dst = edge.dst if edge.dst is not None else "?"
+            event = edge.event.rsplit(".", 1)[-1] if edge.event else "?"
+            label = edge.kind if edge.kind == CREATE else f"{edge.kind} {event}"
+            lines.append(
+                f'  "{edge.src}" -> "{dst}" '
+                f'[label="{label}", style={styles[edge.kind]}];'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def _event_types_of(model: MachineModel) -> Set[type]:
+    """Every event type a model declares or references."""
+    events: Set[type] = set()
+    for (_state, registered) in model.spec.handlers:
+        if isinstance(registered, type):
+            events.add(registered)
+    for site in model.sends:
+        if site.event_type is not None:
+            events.add(site.event_type)
+    for site in model.raises:
+        if site.event_type is not None:
+            events.add(site.event_type)
+    for site in model.notifies:
+        if site.event_type is not None:
+            events.add(site.event_type)
+    events.update(model.receive_types)
+    return {cls for cls in events if cls is not Event}
+
+
+def build_comm_graph(program: ProgramModel) -> CommGraph:
+    """Assemble the deterministic whole-program communication graph."""
+    nodes: Dict[str, GraphNode] = {}
+    edges: List[GraphEdge] = []
+
+    for model in program:
+        key = _type_key(model.cls)
+        nodes[key] = GraphNode(
+            key=key, kind=model.kind, name=model.name, file=model.file, line=model.line
+        )
+        for event_type in _event_types_of(model):
+            event_key = _type_key(event_type)
+            if event_key not in nodes:
+                nodes[event_key] = GraphNode(
+                    key=event_key, kind="event", name=event_type.__name__
+                )
+
+    for model in program:
+        src = _type_key(model.cls)
+        for create in model.creates:
+            edges.append(
+                GraphEdge(
+                    kind=CREATE,
+                    src=src,
+                    dst=_type_key(create.machine),
+                    event=None,
+                    states=(),
+                    file=create.ref.file,
+                    line=create.ref.line,
+                )
+            )
+        for send in model.sends:
+            edges.append(
+                GraphEdge(
+                    kind=SEND,
+                    src=src,
+                    dst=_type_key(send.target),
+                    event=_type_key(send.event_type),
+                    states=tuple(sorted(send.states)),
+                    file=send.ref.file,
+                    line=send.ref.line,
+                    payload_fields=send.payload_fields,
+                )
+            )
+        for raise_site in model.raises:
+            edges.append(
+                GraphEdge(
+                    kind=RAISE,
+                    src=src,
+                    dst=src,  # raise_event is handler-local delivery
+                    event=_type_key(raise_site.event_type),
+                    states=tuple(sorted(raise_site.states)),
+                    file=raise_site.ref.file,
+                    line=raise_site.ref.line,
+                    payload_fields=raise_site.payload_fields,
+                )
+            )
+        for notify in model.notifies:
+            edges.append(
+                GraphEdge(
+                    kind=NOTIFY,
+                    src=src,
+                    dst=_type_key(notify.monitor),
+                    event=_type_key(notify.event_type),
+                    states=tuple(sorted(notify.states)),
+                    file=notify.ref.file,
+                    line=notify.ref.line,
+                    payload_fields=notify.payload_fields,
+                )
+            )
+
+    graph = CommGraph(
+        nodes=sorted(nodes.values(), key=lambda n: (n.kind, n.key)),
+        edges=sorted(edges, key=GraphEdge.sort_key),
+    )
+    return graph
+
+
+__all__ = [
+    "CREATE",
+    "SEND",
+    "RAISE",
+    "NOTIFY",
+    "CommGraph",
+    "GraphEdge",
+    "GraphNode",
+    "build_comm_graph",
+]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import ast
 import builtins
+import collections
 import functools
 import inspect
 import textwrap
@@ -42,6 +43,7 @@ from .model import (
     NotifySite,
     PopSite,
     ProgramModel,
+    QuerySite,
     RaiseSite,
     SendSite,
     SourceRef,
@@ -68,6 +70,263 @@ _MUTATING_METHODS = frozenset(
         "update",
     }
 )
+
+#: container methods that cannot change which values the container holds in
+#: a way that grows its membership (reads, plus pure removals would also be
+#: safe, but only provably-read-only names are exempted)
+_CONTAINER_READONLY = frozenset({"get", "keys", "values", "items", "copy", "count", "index"})
+
+#: ``self.<verb>`` framework calls whose effect the model captures; finding
+#: one inside a *deferred* body (lambda / nested def) taints the method as
+#: external, because the effect would run outside this dispatch's footprint
+_EFFECT_VERBS = frozenset(
+    {
+        "send",
+        "raise_event",
+        "notify_monitor",
+        "create",
+        "goto",
+        "push_state",
+        "pop_state",
+        "halt",
+        "count_pending",
+    }
+)
+
+#: ``self.<verb>`` framework calls with no cross-machine effect at all
+_BENIGN_SELF_VERBS = frozenset(
+    {"log", "random", "random_integer", "choose", "assert_that"}
+)
+
+#: builtins a handler may call without leaving the event-level model (pure
+#: value computation or fresh-container construction; identity-compared)
+_BENIGN_CALLABLES = (
+    isinstance, issubclass, len, sorted, reversed, set, list, dict, tuple,
+    frozenset, min, max, sum, abs, range, enumerate, zip, any, all, str,
+    int, float, bool, bytes, repr, format, hash, round, divmod, getattr,
+    hasattr, type, id, print, iter, next, collections.deque,
+)
+
+#: expressions that build a *fresh* container (confined unless leaked)
+_CONTAINER_FACTORIES = (set, list, dict, tuple, frozenset, sorted, collections.deque)
+
+#: control-flow ancestors under which a send is no longer a must-fact
+_CONDITIONAL_NODES = tuple(
+    getattr(ast, name)
+    for name in (
+        "If", "IfExp", "For", "AsyncFor", "While", "Try", "TryStar",
+        "ExceptHandler", "BoolOp", "Lambda", "FunctionDef",
+        "AsyncFunctionDef", "ListComp", "SetComp", "DictComp",
+        "GeneratorExp", "Match",
+    )
+    if hasattr(ast, name)
+)
+
+
+def _is_container_expr(node: ast.AST, scope: "_Scope") -> bool:
+    """The expression constructs a fresh container this method owns."""
+    if isinstance(
+        node,
+        (ast.Dict, ast.List, ast.Set, ast.Tuple, ast.ListComp, ast.SetComp, ast.DictComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = _resolve_or_none(node.func, scope)
+        return any(resolved is factory for factory in _CONTAINER_FACTORIES)
+    return False
+
+
+def _container_attrs(cls: type, funcs) -> Set[str]:
+    """``self.X`` attributes whose *every* assignment is a fresh container.
+
+    Method calls on such attributes (``self.pending.append(...)``) stay inside
+    this machine, so they do not taint the method as external.
+    """
+    verdicts: Dict[str, List[bool]] = {}
+    for _name, func in funcs.items():
+        info = _function_ast(func)
+        if info is None:
+            continue
+        fdef, _fname, _offset = info
+        scope = _Scope(func, cls)
+        for node in ast.walk(fdef):
+            if isinstance(node, ast.Assign):
+                pairs = [(target, node.value) for target in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                pairs = [(node.target, node.value)]
+            else:
+                continue
+            for target, value in pairs:
+                if _is_self_attr(target):
+                    verdicts.setdefault(target.attr, []).append(
+                        _is_container_expr(value, scope)
+                    )
+    return {attr for attr, oks in verdicts.items() if all(oks)}
+
+
+def _is_runtime_attr(node: ast.AST) -> bool:
+    """``self._runtime.X`` / ``self.runtime.X`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Attribute)
+        and isinstance(node.value.value, ast.Name)
+        and node.value.value.id == "self"
+        and node.value.attr in ("_runtime", "runtime")
+    )
+
+
+_PLAIN_CTOR_CACHE: Dict[type, bool] = {}
+
+
+def _is_super_init_stmt(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "__init__"
+        and isinstance(stmt.value.func.value, ast.Call)
+        and isinstance(stmt.value.func.value.func, ast.Name)
+        and stmt.value.func.value.func.id == "super"
+    )
+
+
+_BENIGN_CALL_NAMES = frozenset(
+    {"list", "dict", "set", "tuple", "frozenset", "sorted", "len", "str",
+     "int", "float", "bool", "deque", "isinstance"}
+)
+
+
+def _is_binding_stmt(stmt: ast.stmt) -> bool:
+    """The ``__init__`` statement only binds arguments onto ``self``."""
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # docstring
+    if _is_super_init_stmt(stmt):
+        return True
+    if isinstance(stmt, ast.Assign):
+        targets, value = stmt.targets, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets, value = [stmt.target], stmt.value
+    else:
+        return False
+    if not all(_is_self_attr(target) for target in targets):
+        return False
+    for inner in ast.walk(value):
+        if isinstance(inner, ast.Call):
+            if not (
+                isinstance(inner.func, ast.Name)
+                and inner.func.id in _BENIGN_CALL_NAMES
+            ):
+                return False
+        elif isinstance(inner, (ast.NamedExpr, ast.Await, ast.Yield, ast.YieldFrom)):
+            return False
+    return True
+
+
+def _is_plain_ctor(cls: type) -> bool:
+    """``cls(...)`` only builds a value carrier: a dataclass, enum, named
+    tuple, or a class whose ``__init__`` does nothing but bind arguments."""
+    cached = _PLAIN_CTOR_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    import dataclasses
+    import enum
+
+    result = False
+    if dataclasses.is_dataclass(cls) or issubclass(cls, enum.Enum):
+        result = True
+    elif issubclass(cls, tuple) and hasattr(cls, "_fields"):
+        result = True
+    else:
+        init = None
+        for klass in cls.__mro__:
+            if klass is object:
+                break
+            candidate = vars(klass).get("__init__")
+            if candidate is not None:
+                init = candidate
+                break
+        if init is None:
+            result = True  # object.__init__: no behavior at all
+        elif isinstance(init, types.FunctionType):
+            info = _function_ast(init)
+            if info is not None:
+                fdef, _fname, _offset = info
+                result = all(_is_binding_stmt(stmt) for stmt in fdef.body)
+    _PLAIN_CTOR_CACHE[cls] = result
+    return result
+
+
+def _member_read_attr(node: ast.AST, container_attrs: Set[str]) -> Optional[str]:
+    """``self.X[...]`` / ``self.X.get(...)`` over a confined container: the
+    expression's value is one of the current members of ``self.X``."""
+    if (
+        isinstance(node, ast.Subscript)
+        and _is_self_attr(node.value)
+        and node.value.attr in container_attrs
+    ):
+        return node.value.attr
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and _is_self_attr(node.func.value)
+        and node.func.value.attr in container_attrs
+    ):
+        return node.func.value.attr
+    return None
+
+
+def _target_expr_of(
+    node: ast.AST,
+    scope: "_Scope",
+    container_attrs: Set[str] = frozenset(),
+    member_locals: Optional[Dict[str, str]] = None,
+) -> Tuple[str, str]:
+    """Symbolic shape of a send/query target, for the independence table."""
+    if _is_self_attr(node):
+        if node.attr in ("id", "_id"):
+            return ("self", "")
+        return ("attr", node.attr)
+    if isinstance(node, ast.Name):
+        cls = scope.local_creates.get(node.id)
+        if cls is not None:
+            return ("class", f"{cls.__module__}.{cls.__qualname__}")
+        if member_locals is not None:
+            attr = member_locals.get(node.id)
+            if attr is not None:
+                return ("attr_item", attr)
+    member = _member_read_attr(node, container_attrs)
+    if member is not None:
+        return ("attr_item", member)
+    return ("unknown", "")
+
+
+def _payload_fields(node: ast.AST, event_type: Optional[type]) -> Tuple[str, ...]:
+    """Constructor field names a fresh-event site populates."""
+    if not isinstance(node, ast.Call):
+        return ()
+    positional: List[str] = []
+    if isinstance(event_type, type):
+        try:
+            params = inspect.signature(event_type.__init__).parameters
+        except (TypeError, ValueError):
+            params = {}
+        positional = [
+            name
+            for name, param in params.items()
+            if name != "self"
+            and param.kind in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD)
+        ]
+    names: List[str] = []
+    for index, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(positional):
+            names.append(positional[index])
+    for keyword in node.keywords:
+        if keyword.arg:
+            names.append(keyword.arg)
+    return tuple(dict.fromkeys(names))
 
 
 def _alias_key(node: ast.AST):
@@ -308,9 +567,10 @@ def extract_machine_model(cls: type) -> MachineModel:
     )
     try:
         filename = inspect.getsourcefile(cls) or "<unknown>"
-        _, class_line = inspect.getsourcelines(cls)
+        class_lines, class_line = inspect.getsourcelines(cls)
+        class_end = class_line + max(len(class_lines) - 1, 0)
     except (OSError, TypeError):
-        filename, class_line = "<unknown>", 0
+        filename, class_line, class_end = "<unknown>", 0, 0
 
     model = MachineModel(
         cls=cls,
@@ -319,6 +579,7 @@ def extract_machine_model(cls: type) -> MachineModel:
         module=cls.__module__,
         file=filename,
         line=class_line,
+        end_line=class_end,
         initial=initial,
         ignore_unhandled=bool(getattr(cls, "ignore_unhandled_events", False)),
     )
@@ -332,6 +593,7 @@ def extract_machine_model(cls: type) -> MachineModel:
     # attribute summaries: ``self.X = ...`` assignments across every method
     model.attr_targets = _attr_map(cls, funcs, _attr_create_value)
     model.attr_event_types = _attr_map(cls, funcs, _attr_event_value)
+    container_attrs = _container_attrs(cls, funcs)
 
     for name, func in sorted(funcs.items()):
         info = _function_ast(func)
@@ -349,7 +611,7 @@ def extract_machine_model(cls: type) -> MachineModel:
         args = fdef.args.args
         if len(args) >= 2 and args[0].arg == "self":
             scope.event_param = args[1].arg
-        _extract_function(model, fdef, fname, offset, scope, name, states)
+        _extract_function(model, fdef, fname, offset, scope, name, states, container_attrs)
 
     _MODEL_CACHE[cls] = model
     return model
@@ -409,26 +671,132 @@ def _extract_function(
     scope: _Scope,
     method: str,
     states: Tuple[str, ...],
+    container_attrs: Set[str],
 ) -> None:
-    # first pass: local bindings (create results, locally built events)
+    # first pass: local bindings (create results, locally built events, local
+    # names provably bound to fresh containers, and local names provably
+    # bound to members of a confined container attribute)
+    container_locals: Set[str] = set()
+    tainted_locals: Set[str] = set()
+    member_verdicts: Dict[str, List[Optional[str]]] = {}
+    classified_stores: Set[int] = set()  # Name nodes already given a verdict
+    for arg in ast.walk(fdef.args):
+        if isinstance(arg, ast.arg):
+            # a parameter is a binding our assignment scan never sees
+            member_verdicts.setdefault(arg.arg, []).append(None)
     for node in ast.walk(fdef):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.comprehension)):
+            for inner in ast.walk(node.target):
+                if isinstance(inner, ast.Name):
+                    tainted_locals.add(inner.id)
+                    member_verdicts.setdefault(inner.id, []).append(None)
+            continue
+        if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            tainted_locals.add(node.target.id)
+            member_verdicts.setdefault(node.target.id, []).append(None)
+            continue
         if not isinstance(node, ast.Assign) or len(node.targets) != 1:
             continue
         target = node.targets[0]
         if not isinstance(target, ast.Name):
+            for inner in ast.walk(target):
+                if isinstance(inner, ast.Name):
+                    tainted_locals.add(inner.id)
+                    member_verdicts.setdefault(inner.id, []).append(None)
             continue
+        member_verdicts.setdefault(target.id, []).append(
+            _member_read_attr(node.value, container_attrs)
+        )
+        classified_stores.add(id(target))
+        if _is_container_expr(node.value, scope):
+            container_locals.add(target.id)
+        else:
+            tainted_locals.add(target.id)
         created = _attr_create_value(node.value, scope)
         if created is not None:
             scope.local_creates[target.id] = created
         event = _attr_event_value(node.value, scope)
         if event is not None:
             scope.local_events[target.id] = event
+    local_containers = container_locals - tainted_locals
+    # catch-all: every other way a name can be (re)bound — walrus, with-as,
+    # del, imports, except-as, match captures — disqualifies it, because the
+    # scan above never saw what it was bound to
+    for node in ast.walk(fdef):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+            and id(node) not in classified_stores
+        ):
+            member_verdicts.setdefault(node.id, []).append(None)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound = (alias.asname or alias.name).split(".")[0]
+                member_verdicts.setdefault(bound, []).append(None)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            member_verdicts.setdefault(node.name, []).append(None)
+        elif hasattr(ast, "MatchAs") and isinstance(
+            node, (ast.MatchAs, ast.MatchStar)
+        ) and node.name:
+            member_verdicts.setdefault(node.name, []).append(None)
+        elif hasattr(ast, "MatchMapping") and isinstance(node, ast.MatchMapping) and node.rest:
+            member_verdicts.setdefault(node.rest, []).append(None)
+    # every binding of the name must read a member of the same container
+    # (the scan is flow-insensitive, so one divergent binding disqualifies)
+    member_locals: Dict[str, str] = {
+        name: verdicts[0]
+        for name, verdicts in member_verdicts.items()
+        if verdicts[0] is not None and all(v == verdicts[0] for v in verdicts)
+    }
 
     # parent links: needed to find the loop (if any) enclosing a send
     parents: Dict[ast.AST, ast.AST] = {}
     for node in ast.walk(fdef):
         for child in ast.iter_child_nodes(node):
             parents[child] = node
+
+    # Nodes excluded from the dispatch-time effect analysis:
+    #
+    # * decorators and argument defaults run at class-definition time, not
+    #   during a dispatch;
+    # * suites guarded by ``self._runtime.wall_clock`` model production-only
+    #   behavior — the flag is a class attribute that is statically False on
+    #   every controlled runtime, and both the analyzer's rules and the
+    #   independence table reason exclusively about controlled executions,
+    #   so the guarded suite is dead code for every explorable schedule.
+    skipped_nodes: Set[int] = set()
+    for def_time in [*fdef.decorator_list, fdef.args]:
+        for node in ast.walk(def_time):
+            skipped_nodes.add(id(node))
+    for node in ast.walk(fdef):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        negated = isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+        if negated:
+            test = test.operand
+        if not (_is_runtime_attr(test) and test.attr == "wall_clock"):
+            continue
+        for stmt in node.orelse if negated else node.body:
+            for inner in ast.walk(stmt):
+                skipped_nodes.add(id(inner))
+
+    # a send is a must-fact only when nothing can skip it: no conditional
+    # ancestor and no early exit anywhere in the method
+    has_exit = any(
+        isinstance(n, (ast.Return, ast.Raise)) and id(n) not in skipped_nodes
+        for n in ast.walk(fdef)
+    )
+
+    def _is_unconditional(node: ast.AST) -> bool:
+        if has_exit:
+            return False
+        cursor = parents.get(node)
+        while cursor is not None and cursor is not fdef:
+            if isinstance(cursor, _CONDITIONAL_NODES):
+                return False
+            cursor = parents.get(cursor)
+        return True
 
     def _enclosing_loop(node: ast.AST):
         cursor = parents.get(node)
@@ -464,8 +832,51 @@ def _extract_function(
             )
         )
 
-    # second pass: calls
+    # second pass: calls, plus everything that can taint the method as
+    # "external" — an effect the event-level model cannot account for
+    external = False
     for node in ast.walk(fdef):
+        if id(node) in skipped_nodes:
+            continue
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            external = True
+            continue
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                parent = parents.get(node)
+                if not (isinstance(parent, ast.Attribute) and parent.value is node):
+                    # bare ``self`` escaping (argument, container element,
+                    # ...): the callee could do anything with the machine
+                    external = True
+            elif isinstance(node.ctx, ast.Load):
+                # a bare reference to a plain function (e.g. passed as a
+                # predicate) defers a call our call rules never see
+                value = _resolve_or_none(node, scope)
+                if isinstance(value, types.FunctionType):
+                    external = True
+            continue
+        if _is_self_attr(node):
+            parent = parents.get(node)
+            if not (isinstance(parent, ast.Call) and parent.func is node):
+                # ``self.helper`` referenced without calling it: treat it as
+                # a call edge so the closure still covers its effects
+                candidate = getattr(model.cls, node.attr, None)
+                if isinstance(candidate, types.FunctionType):
+                    model.method_calls.setdefault(method, set()).add(node.attr)
+        if (
+            isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not fdef
+        ):
+            # a deferred body: any framework effect inside it would run at an
+            # unpredictable time, outside this dispatch's footprint
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Call)
+                    and _is_self_attr(inner.func)
+                    and inner.func.attr in _EFFECT_VERBS
+                ):
+                    external = True
+            continue
         if not isinstance(node, ast.Call):
             continue
         ref = _abs_ref(node, filename, offset)
@@ -482,7 +893,10 @@ def _extract_function(
                 )
         if _is_self_attr(func):
             verb = func.attr
-            if verb == "send" and len(node.args) >= 2:
+            if verb == "send":
+                if len(node.args) < 2:
+                    external = True
+                    continue
                 event_type, forwards = _event_type_of(node.args[1], scope, model)
                 model.sends.append(
                     SendSite(
@@ -493,10 +907,18 @@ def _extract_function(
                         ref=ref,
                         event_expr=ast.unparse(node.args[1]),
                         forwards_param=forwards,
+                        unconditional=_is_unconditional(node),
+                        payload_fields=_payload_fields(node.args[1], event_type),
+                        target_expr=_target_expr_of(
+                            node.args[0], scope, container_attrs, member_locals
+                        ),
                     )
                 )
                 _record_alias_send(node, node.args[1], event_type, forwards)
-            elif verb == "raise_event" and node.args:
+            elif verb == "raise_event":
+                if not node.args:
+                    external = True
+                    continue
                 event_type, forwards = _event_type_of(node.args[0], scope, model)
                 model.raises.append(
                     RaiseSite(
@@ -505,10 +927,15 @@ def _extract_function(
                         method=method,
                         ref=ref,
                         event_expr=ast.unparse(node.args[0]),
+                        unconditional=_is_unconditional(node),
+                        payload_fields=_payload_fields(node.args[0], event_type),
                     )
                 )
                 _record_alias_send(node, node.args[0], event_type, forwards)
-            elif verb == "notify_monitor" and len(node.args) >= 2:
+            elif verb == "notify_monitor":
+                if len(node.args) < 2:
+                    external = True
+                    continue
                 monitor = _resolve_or_none(node.args[0], scope)
                 if not (isinstance(monitor, type) and issubclass(monitor, Monitor)):
                     monitor = None
@@ -520,6 +947,7 @@ def _extract_function(
                         states=states,
                         method=method,
                         ref=ref,
+                        payload_fields=_payload_fields(node.args[1], event_type),
                     )
                 )
             elif verb in ("goto", "push_state") and node.args:
@@ -531,11 +959,71 @@ def _extract_function(
                     )
             elif verb == "pop_state":
                 model.pops.append(PopSite(states=states, method=method, ref=ref))
-            elif verb == "create" and node.args:
+            elif verb == "create":
+                if not node.args:
+                    external = True
+                    continue
                 created = _resolve_or_none(node.args[0], scope)
                 if not (isinstance(created, type) and issubclass(created, (Machine, Monitor))):
                     created = None
                 model.creates.append(CreateSite(machine=created, method=method, ref=ref))
+            elif verb == "halt":
+                model.method_halts.add(method)
+            elif verb == "count_pending":
+                if not node.args:
+                    external = True
+                    continue
+                model.queries.append(
+                    QuerySite(
+                        target_expr=_target_expr_of(
+                            node.args[0], scope, container_attrs, member_locals
+                        ),
+                        method=method,
+                        ref=ref,
+                    )
+                )
+            elif verb in _BENIGN_SELF_VERBS:
+                pass
+            else:
+                # ``self.helper(...)``: an own method (followed through the
+                # call graph) or something we cannot name — the independence
+                # layer degrades unresolvable entries to external
+                model.method_calls.setdefault(method, set()).add(verb)
+        elif _is_runtime_attr(func):
+            if func.attr in ("has_pending_event", "count_pending_events") and node.args:
+                model.queries.append(
+                    QuerySite(
+                        target_expr=_target_expr_of(
+                            node.args[0], scope, container_attrs, member_locals
+                        ),
+                        method=method,
+                        ref=ref,
+                    )
+                )
+            else:
+                external = True
+        elif isinstance(func, ast.Attribute):
+            receiver = func.value
+            confined = (
+                isinstance(receiver, ast.Constant)
+                or _is_container_expr(receiver, scope)
+                or (_is_self_attr(receiver) and receiver.attr in container_attrs)
+                or (isinstance(receiver, ast.Name) and receiver.id in local_containers)
+            )
+            if not confined:
+                # a method call on an object this machine does not confine:
+                # its effects are invisible to the event-level model
+                external = True
+            elif (
+                _is_self_attr(receiver)
+                and receiver.attr in container_attrs
+                and func.attr not in _CONTAINER_READONLY
+            ):
+                # the call may insert values the model cannot prove fresh,
+                # which blocks choice-time ``attr_item`` resolution
+                model.method_container_stores.setdefault(method, set()).add(
+                    receiver.attr
+                )
         else:
             resolved = _resolve_or_none(func, scope)
             if resolved is Receive:
@@ -545,9 +1033,73 @@ def _extract_function(
                         model.receive_types.add(event_type)
                     else:
                         model.receives_unknown = True
+            elif any(resolved is fn for fn in _BENIGN_CALLABLES):
+                pass
+            elif isinstance(resolved, type) and (
+                issubclass(resolved, BaseException) or _is_plain_ctor(resolved)
+            ):
+                pass
+            else:
+                external = True
 
-    # third pass: assignment-shaped mutations and sender-side retentions
+    # third pass: assignment-shaped mutations and sender-side retentions,
+    # plus the store-confinement check for the independence footprint
+    def _store_is_confined(target: ast.AST) -> bool:
+        if isinstance(target, ast.Name):
+            return True  # local rebind
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return all(_store_is_confined(element) for element in target.elts)
+        if isinstance(target, ast.Starred):
+            return _store_is_confined(target.value)
+        if _is_self_attr(target):
+            return True  # own-attribute rebind
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if _is_self_attr(base) and base.attr in container_attrs:
+                return True
+            if isinstance(base, ast.Name) and base.id in local_containers:
+                return True
+        return False
+
     for node in ast.walk(fdef):
+        if id(node) in skipped_nodes:
+            continue
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            for target in targets:
+                if not _store_is_confined(target):
+                    # writing through an object this machine does not own —
+                    # e.g. mutating a payload or a shared table
+                    external = True
+                if (
+                    isinstance(target, ast.Subscript)
+                    and _is_self_attr(target.value)
+                    and target.value.attr in container_attrs
+                    and not isinstance(node, ast.Delete)
+                ):
+                    # ``self.X[k] = v`` grows the membership of a confined
+                    # container; harmless for ``attr_item`` resolution only
+                    # when ``v`` is a machine created within this dispatch
+                    stored = getattr(node, "value", None)
+                    fresh = (
+                        isinstance(node, ast.Assign)
+                        and isinstance(stored, ast.Name)
+                        and stored.id in scope.local_creates
+                    )
+                    if not fresh:
+                        model.method_container_stores.setdefault(
+                            method, set()
+                        ).add(target.value.attr)
+                for inner in ast.walk(target):
+                    if _is_self_attr(inner) and inner is target:
+                        model.method_attr_stores.setdefault(method, set()).add(
+                            inner.attr
+                        )
         if isinstance(node, (ast.Assign, ast.AugAssign)):
             targets = node.targets if isinstance(node, ast.Assign) else [node.target]
             for target in targets:
@@ -575,6 +1127,8 @@ def _extract_function(
                                 ref=_abs_ref(node, filename, offset),
                             )
                         )
+    if external:
+        model.method_external.add(method)
 
     # referenced machine/monitor classes, for program-closure discovery
     for code in _iter_code_objects(scope.func.__code__):
@@ -632,6 +1186,19 @@ def discover_classes(build) -> Set[type]:
     ``store_cls=FlushStoreMachine`` default contributes that default even when
     a caller overrides it — which is the safe direction for analysis coverage.
     """
+    return _discover_types(build, (Machine, Monitor))
+
+
+def discover_event_types(build) -> Set[type]:
+    """Event types a scenario's ``build`` factory references directly.
+
+    The entry function may construct and post events no machine ever sends
+    (driver kick-offs); the dead-event rule must count those as produced.
+    """
+    return _discover_types(build, (Event,))
+
+
+def _discover_types(build, bases: Tuple[type, ...]) -> Set[type]:
     classes: Set[type] = set()
     seen: Set[object] = set()
     roots = {"repro"}
@@ -642,7 +1209,7 @@ def discover_classes(build) -> Set[type]:
     while work:
         obj = work.pop()
         if isinstance(obj, type):
-            if issubclass(obj, (Machine, Monitor)) and obj not in (Machine, Monitor):
+            if issubclass(obj, bases) and obj not in bases:
                 classes.add(obj)
             continue
         if isinstance(obj, functools.partial):

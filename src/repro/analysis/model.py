@@ -49,6 +49,17 @@ class SendSite:
     #: the event expression is the handler's received-event parameter
     #: (event forwarding: the sender re-sends an event it was delivered)
     forwards_param: bool = False
+    #: the send provably executes on *every* run of its method: it sits under
+    #: no ``if``/loop/``try`` and the method contains no early ``return`` or
+    #: ``raise`` (a must-fact, used by the unbounded-send-cycle rule)
+    unconditional: bool = False
+    #: event-constructor field names the site populates (empty when the
+    #: event expression is not a constructor call)
+    payload_fields: Tuple[str, ...] = ()
+    #: syntactic shape of the target expression, for the independence table:
+    #: ``("self", "")`` | ``("attr", name)`` | ``("class", qualified-name)``
+    #: | ``("unknown", "")``
+    target_expr: Tuple[str, str] = ("unknown", "")
 
 
 @dataclass
@@ -60,6 +71,8 @@ class RaiseSite:
     method: str
     ref: SourceRef
     event_expr: str
+    unconditional: bool = False
+    payload_fields: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -69,6 +82,18 @@ class NotifySite:
     monitor: Optional[type]
     event_type: Optional[type]
     states: Tuple[str, ...]
+    method: str
+    ref: SourceRef
+    payload_fields: Tuple[str, ...] = ()
+
+
+@dataclass
+class QuerySite:
+    """One ``self.count_pending(target, ...)`` (or the runtime's
+    ``count_pending_events``/``has_pending_event``) call: a cross-machine
+    *read* of another machine's inbox."""
+
+    target_expr: Tuple[str, str]  # same shape grammar as SendSite.target_expr
     method: str
     ref: SourceRef
 
@@ -149,6 +174,9 @@ class MachineModel:
     file: str
     line: int
     initial: str
+    #: last source line of the class body (0 when the source is unavailable);
+    #: bounds the span the unused-ignore pragma scan walks for this class
+    end_line: int = 0
     ignore_unhandled: bool = False
     sends: List[SendSite] = field(default_factory=list)
     raises: List[RaiseSite] = field(default_factory=list)
@@ -167,6 +195,28 @@ class MachineModel:
     method_states: Dict[str, Set[str]] = field(default_factory=dict)
     #: method name -> source anchor (for dead-handler diagnostics)
     method_refs: Dict[str, SourceRef] = field(default_factory=dict)
+    #: methods containing a ``self.halt()`` call (a halt always terminates
+    #: the dispatch, so it breaks unbounded-send cycles)
+    method_halts: Set[str] = field(default_factory=set)
+    #: own methods each method calls (``self.helper(...)``), for the
+    #: independence footprint's call-graph closure
+    method_calls: Dict[str, Set[str]] = field(default_factory=dict)
+    #: cross-machine inbox queries (count_pending / has_pending_event)
+    queries: List[QuerySite] = field(default_factory=list)
+    #: methods whose body we could not prove free of uncontrolled effects
+    #: (calls into non-framework objects, payload mutation, leaking ``self``);
+    #: dispatches reaching such a method degrade to dependent-with-everything
+    method_external: Set[str] = field(default_factory=set)
+    #: method name -> ``self.X`` attributes it (re)assigns; an ``("attr", X)``
+    #: footprint item is only resolvable at choice time when no method in the
+    #: dispatch closure reassigns ``X``
+    method_attr_stores: Dict[str, Set[str]] = field(default_factory=dict)
+    #: method name -> confined container attributes whose *membership* the
+    #: method may extend with values not provably fresh-created; an
+    #: ``("attr_item", X)`` footprint item (send target drawn from the
+    #: members of ``self.X``) is only resolvable at choice time when no
+    #: method in the dispatch closure can grow ``X`` mid-dispatch
+    method_container_stores: Dict[str, Set[str]] = field(default_factory=dict)
     #: Machine/Monitor classes referenced anywhere in this class's methods
     referenced: Set[type] = field(default_factory=set)
     #: ``self.X`` -> machine class, when every assignment to ``X`` is a

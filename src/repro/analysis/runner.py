@@ -4,35 +4,84 @@
 registry — walking each registered ``build`` factory's code for the classes
 it wires into the runtime, then closing over everything those machines
 create, reference or notify — and runs every checker over the combined
-program model.
+program model.  The same discovery feeds the whole-program communication
+graph (``graph_for_scenarios``) and the independence table the ``dpor-lite``
+strategy consumes (``independence_for_scenarios``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence, Set
 
 from repro.core.registry import TestCase
 
-from .checkers import run_checkers
-from .extract import build_program, discover_classes
+from .checkers import check_unused_ignores, run_checkers
+from .commgraph import CommGraph, build_comm_graph
+from .extract import build_program, discover_classes, discover_event_types
+from .independence import build_independence_table
 from .report import AnalysisReport
 
 
 def analyze_classes(
-    classes: Iterable[type], scenarios: Iterable[str] = ()
+    classes: Iterable[type],
+    scenarios: Iterable[str] = (),
+    roots: Optional[Iterable[type]] = None,
+    produced_events: Iterable[type] = (),
+    whole_program: bool = False,
 ) -> AnalysisReport:
-    """Analyze an explicit set of machine/monitor classes (plus closure)."""
+    """Analyze an explicit set of machine/monitor classes (plus closure).
+
+    ``roots`` are the classes the harness instantiates directly; by default
+    every listed class counts as a root (which silences the
+    unreachable-machine rule for them).  ``produced_events`` are event types
+    produced outside any machine (a scenario's entry function).
+    ``whole_program`` enables the rules that need a closed system (dead-event,
+    unreachable-machine, monitor-never-notified); leave it off when the class
+    list is a fragment of a larger program.
+    """
     program = build_program(classes)
+    diagnostics = run_checkers(
+        program,
+        roots=roots,
+        produced_events=produced_events,
+        whole_program=whole_program,
+    )
+    diagnostics = diagnostics + check_unused_ignores(program, diagnostics)
     return AnalysisReport.build(
-        run_checkers(program),
+        diagnostics,
         machines=[model.name for model in program],
         scenarios=scenarios,
     )
 
 
-def analyze_scenarios(testcases: Sequence[TestCase]) -> AnalysisReport:
-    """Analyze every machine reachable from the given registered scenarios."""
-    classes = set()
+def _discover(testcases: Sequence[TestCase]):
+    classes: Set[type] = set()
+    produced: Set[type] = set()
     for testcase in testcases:
         classes.update(discover_classes(testcase.build))
-    return analyze_classes(classes, scenarios=[t.name for t in testcases])
+        produced.update(discover_event_types(testcase.build))
+    return classes, produced
+
+
+def analyze_scenarios(testcases: Sequence[TestCase]) -> AnalysisReport:
+    """Analyze every machine reachable from the given registered scenarios."""
+    classes, produced = _discover(testcases)
+    return analyze_classes(
+        classes,
+        scenarios=[t.name for t in testcases],
+        roots=classes,
+        produced_events=produced,
+        whole_program=True,
+    )
+
+
+def graph_for_scenarios(testcases: Sequence[TestCase]) -> CommGraph:
+    """Whole-program communication graph over the given scenarios."""
+    classes, _produced = _discover(testcases)
+    return build_comm_graph(build_program(classes))
+
+
+def independence_for_scenarios(testcases: Sequence[TestCase]) -> dict:
+    """Independence table over the given scenarios (see ``run --prune``)."""
+    classes, _produced = _discover(testcases)
+    return build_independence_table(build_program(classes))

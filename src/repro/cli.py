@@ -8,9 +8,14 @@ Subcommands:
 * ``analyze`` — statically analyze the machines reachable from registered
   scenarios (no schedule is executed) and report rule violations; see
   :mod:`repro.analysis` for the rule catalog and suppression syntax.
+  ``--list-rules`` prints the catalog; ``--graph`` emits the whole-program
+  communication graph (byte-stable JSON, or Graphviz with ``--dot``) instead
+  of running rules.
 * ``run`` — fan a scenario out across a strategy portfolio on a worker pool
   and write the merged report (traces included) to a JSON file; ``--shrink``
-  minimizes the winning bug trace before the report is written.
+  minimizes the winning bug trace before the report is written; ``--prune``
+  builds the scenario's static independence table and defaults the portfolio
+  to the dependence-aware ``dpor-lite`` strategy.
 * ``replay`` — load a report file and deterministically re-execute its
   recorded bug trace against the scenario it names (``--shrunk`` replays the
   minimized trace instead).
@@ -67,8 +72,24 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import analyze_scenarios
+    from .analysis import RULES, analyze_scenarios, graph_for_scenarios
 
+    if args.list_rules:
+        if args.json:
+            catalog = {
+                rule: {"severity": severity, "summary": summary}
+                for rule, (severity, summary) in sorted(RULES.items())
+            }
+            print(json.dumps(catalog, indent=2))
+        else:
+            width = max(len(rule) for rule in RULES)
+            for rule, (severity, summary) in sorted(RULES.items()):
+                print(f"{rule:{width}s}  {severity:7s}  {summary}")
+            print(f"({len(RULES)} rules)")
+        return 0
+    if args.dot and not args.graph:
+        print("error: --dot requires --graph", file=sys.stderr)
+        return 2
     _import_extra_modules(args.imports)
     if args.scenario:
         cases = [get_scenario(name) for name in args.scenario]
@@ -77,6 +98,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if not cases:
             print("no scenarios registered", file=sys.stderr)
             return 2
+    if args.graph:
+        graph = graph_for_scenarios(cases)
+        print(graph.to_dot() if args.dot else graph.to_json())
+        return 0
     report = analyze_scenarios(cases)
     if args.json:
         print(report.to_json())
@@ -104,11 +129,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["max_steps"] = args.max_steps
     if args.verbose:
         overrides["verbose"] = True
+    if args.prune:
+        from .analysis import independence_for_scenarios
+
+        overrides["independence"] = independence_for_scenarios([testcase])
     # Built through the constructor so __post_init__ validates the values.
     config = testcase.default_config(**overrides)
     portfolio = Portfolio(
         testcase,
-        strategies=args.strategy or ["random", "pct"],
+        strategies=args.strategy or (["dpor-lite"] if args.prune else ["random", "pct"]),
         iterations=args.iterations,
         num_workers=args.workers,
         num_shards=args.shards,
@@ -348,9 +377,13 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="statically analyze machine programs (no schedule is executed)",
         description="Extract per-machine summary graphs for every machine "
-        "reachable from the selected scenarios and run the rule catalog "
-        "(unhandled-event, unreachable-state, dead-handler, pop-underflow, "
-        "stuck-deferral, hot-forever, payload-alias) over them.",
+        "reachable from the selected scenarios, build the whole-program "
+        "communication graph, and run the rule catalog over them "
+        "(see --list-rules for the full catalog).",
+        epilog="exit status: 0 = no gate failure (clean, or everything below "
+        "--fail-on / suppressed); 1 = unsuppressed diagnostics at or above "
+        "the --fail-on severity remain; 2 = usage or scenario-discovery "
+        "error.",
     )
     analyze.add_argument(
         "--scenario",
@@ -367,6 +400,23 @@ def build_parser() -> argparse.ArgumentParser:
         "remain unsuppressed (default: error)",
     )
     analyze.add_argument("--json", action="store_true", help="machine-readable report")
+    analyze.add_argument(
+        "--graph",
+        action="store_true",
+        help="emit the whole-program communication graph (byte-stable JSON) "
+        "instead of running rules",
+    )
+    analyze.add_argument(
+        "--dot",
+        action="store_true",
+        help="with --graph: emit Graphviz DOT instead of JSON",
+    )
+    analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, severity, summary) and exit; "
+        "honors --json",
+    )
     add_import_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -395,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exit non-zero if no bug is found")
     run.add_argument("--shrink", action="store_true",
                      help="minimize the winning bug trace before writing the report")
+    run.add_argument("--prune", action="store_true",
+                     help="build the scenario's static independence table and "
+                     "prune provably-commuting schedules (defaults the "
+                     "portfolio to the dpor-lite strategy)")
     run.add_argument("--verbose", action="store_true",
                      help="stream formatted execution-log records live "
                      "(instead of only at bug-record time)")

@@ -47,6 +47,11 @@ class TestingConfig:
             (:mod:`repro.core.shrink`); each candidate costs one controlled
             execution, so this bounds the worst-case cost of ``shrink=True``
             runs and of ``python -m repro shrink``.
+        independence: statically computed independence table consumed by the
+            ``dpor-lite`` strategy (the JSON-safe dict produced by
+            :func:`repro.analysis.independence.build_independence_table`).
+            ``None`` (the default) disables dependence-aware pruning:
+            ``dpor-lite`` then degenerates to plain ``dfs``.
         extra: per-strategy option namespaces, keyed by strategy name
             (e.g. ``extra["pct"] = {"priority_switches": 4}``); consumed by
             each strategy's ``from_config``.
@@ -68,6 +73,7 @@ class TestingConfig:
     max_log_records: int = 8192
     max_bugs: Optional[int] = None
     shrink_max_replays: int = 500
+    independence: Optional[dict] = None
     extra: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:

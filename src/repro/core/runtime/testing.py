@@ -78,6 +78,7 @@ class TestRuntime(RuntimeKernel):
     ) -> None:
         super().__init__(config, coverage)
         self.strategy = strategy
+        strategy.attach_runtime(self)
         self.trace = ScheduleTrace()
         #: machine ids currently runnable, kept sorted ascending by id value
         #: (== creation order); maintained incrementally, never rebound.

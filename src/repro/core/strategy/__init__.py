@@ -4,7 +4,8 @@ The set of strategies is open: every strategy class self-registers with the
 :func:`register_strategy` decorator (see :mod:`repro.core.strategy.registry`),
 and :func:`create_strategy` builds whichever one a
 :class:`~repro.core.config.TestingConfig` names.  Importing this package
-registers the built-in strategies (random, pct/priority, round-robin, dfs).
+registers the built-in strategies (random, pct/priority, round-robin, dfs,
+dpor-lite).
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from .registry import (
 
 # Importing the modules below runs their @register_strategy decorators.
 from .dfs_strategy import DFSStrategy
+from .dpor_lite import DporLiteStrategy
 from .pct_strategy import PCTStrategy
 from .random_strategy import RandomStrategy
 from .replay import ReplayStrategy
@@ -30,6 +32,7 @@ __all__ = [
     "PCTStrategy",
     "RoundRobinStrategy",
     "DFSStrategy",
+    "DporLiteStrategy",
     "ReplayStrategy",
     "available_strategies",
     "create_strategy",

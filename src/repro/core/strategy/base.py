@@ -52,6 +52,16 @@ class SchedulingStrategy(abc.ABC):
     def prepare_iteration(self, iteration: int) -> None:
         """Reset internal state before execution number ``iteration``."""
 
+    def attach_runtime(self, runtime) -> None:
+        """Called by the runtime in its constructor, before any choice.
+
+        Most strategies are oblivious to program state and ignore this (the
+        default is a no-op).  Dependence-aware strategies (``dpor-lite``)
+        keep the reference to inspect machine inboxes at scheduling points.
+        The runtime is rebuilt per iteration, so the hook fires once per
+        execution and must not leak state across iterations on its own.
+        """
+
     @abc.abstractmethod
     def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
         """Choose which enabled machine executes the next step.

@@ -1,0 +1,240 @@
+"""Dependence-aware DFS: sleep-set pruning from static independence facts.
+
+``dpor-lite`` is :class:`~repro.core.strategy.dfs_strategy.DFSStrategy` plus
+*sleep sets* (Godefroid).  At each scheduling point the strategy determines,
+for every enabled machine, the event its dispatch would consume next, and
+looks that ``(machine class, event type)`` pair up in a statically computed
+independence table (built by
+:func:`repro.analysis.independence.build_independence_table` and threaded in
+through ``TestingConfig.independence``).  Once the search has fully explored
+the subtree where machine *m* runs at a point, *m* goes to *sleep* in the
+sibling subtrees: as long as every subsequently chosen dispatch provably
+commutes with *m*'s, scheduling *m* later can only reach states the explored
+subtree already covered, so branches that would schedule it are pruned.
+
+Soundness discipline — everything degrades to *dependent*:
+
+* no table, unknown machine class, unknown event type, or an ``opaque``
+  table entry: the dispatch conflicts with everything;
+* a machine paused in a coroutine or blocked in ``Receive``: its next step
+  resumes arbitrary handler code, so it is dynamically opaque;
+* a symbolic ``{"attr": name}`` footprint item that does not resolve to a
+  live :class:`MachineId` at the scheduling point: opaque.
+
+Why insertion-time footprints stay valid while a machine sleeps: a sleeping
+machine is by definition not dispatched, so its state, its attributes and
+its inbox head cannot change (sends append at the back; defer/ignore
+disciplines depend only on its own state), and any *other* dispatch that
+could invalidate the resolution would have to touch the sleeping machine —
+which makes it dependent and removes the sleep entry first.
+
+When ``TestingConfig.independence`` is ``None`` the strategy behaves exactly
+like plain ``dfs``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, NamedTuple, Optional, Sequence
+
+from ..ids import MachineId
+from .dfs_strategy import DFSStrategy
+from .registry import register_strategy
+
+#: table format version this consumer understands (see
+#: ``repro.analysis.independence.TABLE_VERSION``); any other version is
+#: ignored, falling back to plain DFS.
+_SUPPORTED_TABLE_VERSION = 1
+
+
+def _type_key(cls: type) -> str:
+    # Mirrors repro.analysis.independence.type_key; duplicated so repro.core
+    # never imports from repro.analysis (the dependency points the other way).
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+class _Touch(NamedTuple):
+    """A dispatch footprint resolved against the live machine table."""
+
+    insts: FrozenSet[int]  # machine-id values the dispatch can touch
+    inst_classes: FrozenSet[str]  # type keys of those instances
+    classes: FrozenSet[str]  # type keys of freshly created send targets
+    monitors: FrozenSet[str]  # monitor type keys the dispatch can notify
+    creates: bool  # whether the dispatch allocates machine ids
+
+
+@register_strategy("dpor-lite")
+class DporLiteStrategy(DFSStrategy):
+    """DFS with static-independence sleep-set pruning."""
+
+    name = "dpor-lite"
+
+    def __init__(self, seed: int = 0, independence: Optional[dict] = None) -> None:
+        super().__init__(seed)
+        table: Optional[Mapping[str, dict]] = None
+        if (
+            isinstance(independence, dict)
+            and independence.get("version") == _SUPPORTED_TABLE_VERSION
+        ):
+            table = independence.get("machines", {})
+        self._table = table
+        self._runtime = None
+        #: machine-id value -> footprint resolved when the machine fell asleep
+        self._sleep: Dict[int, _Touch] = {}
+
+    @classmethod
+    def from_config(cls, config, options: Optional[Mapping] = None) -> "DporLiteStrategy":
+        return cls(seed=config.seed, independence=getattr(config, "independence", None))
+
+    def attach_runtime(self, runtime) -> None:
+        self._runtime = runtime
+
+    def prepare_iteration(self, iteration: int) -> None:
+        super().prepare_iteration(iteration)
+        self._sleep = {}
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        if self._table is None or self._runtime is None:
+            return super().next_machine(enabled, step)
+        ordered = sorted(enabled, key=lambda mid: mid.value)
+        sleep = self._sleep
+        if sleep:
+            allowed = [mid for mid in ordered if mid.value not in sleep]
+            if not allowed:
+                # Every enabled machine is asleep.  Classical sleep sets
+                # would cut the execution here (the state is fully covered);
+                # this strategy cannot abort mid-execution, so it re-opens
+                # the full set — sound, merely exploring a covered branch.
+                allowed = ordered
+                sleep = {}
+        else:
+            allowed = ordered
+        index = self._choose(len(allowed))
+        chosen = allowed[index]
+        chosen_touch = self._touch_of(chosen)
+        new_sleep: Dict[int, _Touch] = {}
+        if chosen_touch is not None:
+            # Surviving sleepers: still independent of the chosen dispatch.
+            for value, touch in sleep.items():
+                if value != chosen.value and _independent(touch, chosen_touch):
+                    new_sleep[value] = touch
+            # Earlier siblings at this point: their subtrees are fully
+            # explored (DFS walks allowed[] left to right), so they fall
+            # asleep for the remainder of this branch if they commute.
+            for sibling in allowed[:index]:
+                if sibling.value in new_sleep:
+                    continue
+                touch = self._touch_of(sibling)
+                if touch is not None and _independent(touch, chosen_touch):
+                    new_sleep[sibling.value] = touch
+        self._sleep = new_sleep
+        return chosen
+
+    # ------------------------------------------------------------------
+    # footprint resolution
+    # ------------------------------------------------------------------
+    def _touch_of(self, mid: MachineId) -> Optional[_Touch]:
+        """Resolved footprint of ``mid``'s next dispatch (None = opaque)."""
+        machine = self._runtime._machines_by_value.get(mid.value)
+        if machine is None:
+            return None
+        if machine._coroutine is not None or machine._pending_receive is not None:
+            return None  # paused mid-handler: dynamically opaque
+        event_type = _head_event_type(machine)
+        if event_type is None:
+            return None
+        entry = self._table.get(_type_key(type(machine)))
+        if entry is None:
+            return None
+        footprint = entry.get("events", {}).get(_type_key(event_type))
+        if footprint is None or footprint.get("opaque"):
+            return None
+        return self._resolve(machine, mid, footprint)
+
+    def _resolve(self, machine, mid: MachineId, footprint: dict) -> Optional[_Touch]:
+        machines_by_value = self._runtime._machines_by_value
+        insts = {mid.value}  # a dispatch always touches its own machine
+        classes = set()
+        for item in (*footprint.get("sends", ()), *footprint.get("queries", ())):
+            if item == "self":
+                continue
+            if not isinstance(item, dict):
+                return None
+            if "attr" in item:
+                target = getattr(machine, item["attr"], None)
+                if not isinstance(target, MachineId):
+                    return None  # attr unset or not a machine id yet
+                insts.add(target.value)
+            elif "attr-values" in item:
+                container = getattr(machine, item["attr-values"], None)
+                if isinstance(container, dict):
+                    values = container.values()
+                elif isinstance(container, (list, tuple, set, frozenset)):
+                    values = container
+                else:
+                    return None
+                for value in values:
+                    if not isinstance(value, MachineId):
+                        return None
+                    insts.add(value.value)
+            elif "class" in item:
+                classes.add(item["class"])
+            else:
+                return None
+        inst_classes = set()
+        for value in insts:
+            target = machines_by_value.get(value)
+            if target is None:
+                return None  # names a machine the runtime no longer knows
+            inst_classes.add(_type_key(type(target)))
+        return _Touch(
+            insts=frozenset(insts),
+            inst_classes=frozenset(inst_classes),
+            classes=frozenset(classes),
+            monitors=frozenset(footprint.get("monitors", ())),
+            creates=bool(footprint.get("creates")),
+        )
+
+
+def _head_event_type(machine) -> Optional[type]:
+    """Event type the next dispatch of ``machine`` will consume.
+
+    Mirrors the dispatch order in ``TestRuntime._execution_loop``: the raised
+    queue drains first and bypasses disciplines; otherwise the first
+    dequeuable inbox event is consumed (a plain state context dequeues the
+    head directly).
+    """
+    if machine._raised:
+        return type(machine._raised[0])
+    ctx = machine._state_ctx
+    inbox = machine._inbox
+    if ctx.plain:
+        return type(inbox[0]) if inbox else None
+    for event in inbox:
+        event_type = type(event)
+        if ctx.dequeuable(event_type):
+            return event_type
+    return None
+
+
+def _independent(a: _Touch, b: _Touch) -> bool:
+    """Whether two resolved footprints provably commute."""
+    if a.creates and b.creates:
+        return False  # machine-id allocation order is observable
+    if a.monitors & b.monitors:
+        return False
+    if a.insts & b.insts:
+        return False
+    # A freshly created target cannot alias an existing instance, but guard
+    # against a same-class interaction anyway: the conservative direction
+    # costs at most one unpruned branch.
+    if a.classes & (b.classes | b.inst_classes):
+        return False
+    if b.classes & (a.classes | a.inst_classes):
+        return False
+    return True
+
+
+__all__ = ["DporLiteStrategy"]

@@ -10,7 +10,7 @@ liveness bug of §3.6.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, FrozenSet
 
 from repro.core import Monitor, State, on_event
 
@@ -30,7 +30,7 @@ class RepairMonitor(Monitor):
     def __init__(self, runtime) -> None:
         super().__init__(runtime)
         self.replica_target = 3
-        self.replicas: Dict[ExtentId, Set[int]] = {}
+        self.replicas: Dict[ExtentId, FrozenSet[int]] = {}
 
     # ------------------------------------------------------------------
     def _fully_replicated(self) -> bool:
@@ -48,18 +48,25 @@ class RepairMonitor(Monitor):
     @on_event(NotifyExtentTracked)
     def track_extent(self, event: NotifyExtentTracked) -> None:
         self.replica_target = event.replica_target
-        self.replicas.setdefault(event.extent_id, set())
+        self.replicas.setdefault(event.extent_id, frozenset())
         self._update_temperature()
 
+    # The replica sets are updated by whole-value assignment into the
+    # confined ``replicas`` dict (never by mutating a set through an alias):
+    # the independence analysis can then verify that notifications stay
+    # monitor-local, which keeps the notifying dispatches' footprints
+    # concrete for dependence-aware search (``run --prune``).
     @on_event(NotifyReplicaAdded)
     def replica_added(self, event: NotifyReplicaAdded) -> None:
-        self.replicas.setdefault(event.extent_id, set()).add(event.node_id)
+        self.replicas[event.extent_id] = self.replicas.get(
+            event.extent_id, frozenset()
+        ) | {event.node_id}
         self._update_temperature()
 
     @on_event(NotifyNodeFailed)
     def node_failed(self, event: NotifyNodeFailed) -> None:
-        for nodes in self.replicas.values():
-            nodes.discard(event.node_id)
+        for extent_id in self.replicas:
+            self.replicas[extent_id] = self.replicas[extent_id] - {event.node_id}
         self._update_temperature()
 
     # ------------------------------------------------------------------

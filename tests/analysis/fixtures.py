@@ -306,3 +306,81 @@ class SuppressedSender(Machine):
         def poke(self) -> None:
             # repro: ignore[unhandled-event]
             self.send(self.peer, Ping(1))
+
+
+# ---------------------------------------------------------------------------
+# whole-program (communication-graph) rules — these fire only under
+# ``analyze_classes(..., whole_program=True)``; a fragment cannot prove that
+# a producer/creator/notifier is truly absent
+# ---------------------------------------------------------------------------
+class GhostHandler(Machine):
+    """Handles ``Wake``, but nothing in the program ever produces one."""
+
+    class Idle(State, initial=True):
+        @on_event(Wake)
+        def rouse(self, event: Wake) -> None:
+            pass
+
+
+class SelfWaker(Machine):
+    """Clean twin: produces the one event type it handles."""
+
+    def on_start(self) -> None:
+        self.raise_event(Wake("boot"))
+
+    class Idle(State, initial=True):
+        @on_event(Wake)
+        def rouse(self, event: Wake) -> None:
+            pass
+
+
+class Islander(Machine):
+    """Reachable only if some root creates it — nothing does."""
+
+    class Alone(State, initial=True):
+        pass
+
+
+class ForgottenMonitor(Monitor):
+    """Part of the program, but no machine ever notifies it."""
+
+    class Watching(State, initial=True):
+        pass
+
+
+class EchoLooper(Machine):
+    """Unconditionally re-raises the event it handles: the dispatch re-feeds
+    itself forever."""
+
+    class Loop(State, initial=True):
+        @on_event(Ping)
+        def echo(self, event: Ping) -> None:
+            self.raise_event(Ping(event.n))
+
+
+class DampedEcho(Machine):
+    """Clean twin: the re-raise is conditional, so the loop is not a must-cycle."""
+
+    class Loop(State, initial=True):
+        @on_event(Ping)
+        def echo(self, event: Ping) -> None:
+            if event.n > 0:
+                self.raise_event(Ping(event.n - 1))
+
+
+class StalePragma(Machine):
+    """Carries a pragma that silences nothing (the handler is defect-free)."""
+
+    class Only(State, initial=True):
+        @on_event(Nudge)
+        def tick(self) -> None:
+            self.count = 1  # repro: ignore[pop-underflow]
+
+
+class WildcardPragma(Machine):
+    """Wildcard pragmas are exempt from unused-ignore by design."""
+
+    class Only(State, initial=True):
+        @on_event(Nudge)
+        def tick(self) -> None:
+            self.count = 1  # repro: ignore[*]

@@ -8,8 +8,8 @@ from repro.analysis import RULES, analyze_classes
 from . import fixtures as fx
 
 
-def _rules_for(*classes):
-    report = analyze_classes(classes)
+def _rules_for(*classes, **kwargs):
+    report = analyze_classes(classes, **kwargs)
     return report, {d.rule for d in report.diagnostics}
 
 
@@ -38,8 +38,51 @@ def test_rule_fires_on_defect_and_not_on_clean_twin(rule, bad, clean):
     assert rule not in clean_rules
 
 
+# ---------------------------------------------------------------------------
+# whole-program rules: need ``whole_program=True`` (a closed system)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "rule, bad, clean",
+    [
+        ("dead-event", (fx.GhostHandler,), (fx.SelfWaker,)),
+        ("monitor-never-notified", (fx.ForgottenMonitor,), (fx.HandledNotifier,)),
+        ("unbounded-send-cycle", (fx.EchoLooper,), (fx.DampedEcho,)),
+        ("unused-ignore", (fx.StalePragma,), (fx.SuppressedPopper,)),
+        ("unused-ignore", (fx.StalePragma,), (fx.WildcardPragma,)),
+    ],
+)
+def test_graph_rule_fires_on_defect_and_not_on_clean_twin(rule, bad, clean):
+    _, bad_rules = _rules_for(*bad, whole_program=True)
+    assert rule in bad_rules
+    _, clean_rules = _rules_for(*clean, whole_program=True)
+    assert rule not in clean_rules
+
+
+def test_unreachable_machine_needs_explicit_roots():
+    # Islander is in the program but no root creates it.
+    _, fired = _rules_for(
+        fx.Islander, fx.SelfWaker, roots=[fx.SelfWaker], whole_program=True
+    )
+    assert "unreachable-machine" in fired
+    # A created machine is reachable even when it is not a root.
+    _, clean = _rules_for(
+        fx.UnhandledSender, roots=[fx.UnhandledSender], whole_program=True
+    )
+    assert "unreachable-machine" not in clean
+
+
+def test_graph_rules_stay_silent_on_program_fragments():
+    # The same defect classes analyzed without the closed-system claim:
+    # "nothing sends/notifies/creates X" is then an artifact of the fragment.
+    _, fired = _rules_for(fx.GhostHandler, fx.ForgottenMonitor, fx.Islander)
+    assert fired == set()
+    # ... but must-cycles survive in every larger program, so they still fire.
+    _, cycles = _rules_for(fx.EchoLooper)
+    assert cycles == {"unbounded-send-cycle"}
+
+
 def test_every_rule_id_is_covered_by_a_fixture():
-    """The parametrization above spans the complete rule catalog."""
+    """The parametrizations above span the complete rule catalog."""
     _, fired = _rules_for(
         fx.UnhandledSender,
         fx.OrphanState,
@@ -48,7 +91,16 @@ def test_every_rule_id_is_covered_by_a_fixture():
         fx.TrappedHotMonitor,
         fx.PayloadAliaser,
     )
-    assert fired == set(RULES)
+    _, graph_fired = _rules_for(
+        fx.GhostHandler,
+        fx.ForgottenMonitor,
+        fx.EchoLooper,
+        fx.StalePragma,
+        fx.Islander,
+        roots=[fx.GhostHandler, fx.ForgottenMonitor, fx.EchoLooper, fx.StalePragma],
+        whole_program=True,
+    )
+    assert fired | graph_fired == set(RULES)
 
 
 def test_clean_twins_are_fully_clean():
@@ -62,6 +114,9 @@ def test_clean_twins_are_fully_clean():
         fx.CoolableHotMonitor,
         fx.FreshPayloadSender,
         fx.LoopFreshSender,
+        fx.SelfWaker,
+        fx.DampedEcho,
+        fx.WildcardPragma,
     )
     assert report.diagnostics == []
     assert report.suppressed == []

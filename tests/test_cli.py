@@ -264,3 +264,56 @@ def test_replay_verbose_streams_log_records_live(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "[repro]" in out
     assert "replay reproduced the recorded bug deterministically" in out
+
+
+# ---------------------------------------------------------------------------
+# analyze: rule catalog, communication graph, pruned runs
+# ---------------------------------------------------------------------------
+def test_analyze_list_rules(capsys):
+    assert main(["analyze", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("unhandled-event", "dead-event", "unbounded-send-cycle",
+                 "unused-ignore"):
+        assert rule in out
+    assert main(["analyze", "--list-rules", "--json"]) == 0
+    catalog = json.loads(capsys.readouterr().out)
+    assert catalog["dead-event"]["severity"] == "warning"
+    assert list(catalog) == sorted(catalog)
+
+
+def test_analyze_graph_emits_byte_stable_json(capsys):
+    assert main(["analyze", "--graph", "--scenario", "vnext/extent-node-liveness"]) == 0
+    first = capsys.readouterr().out
+    assert main(["analyze", "--graph", "--scenario", "vnext/extent-node-liveness"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    assert set(payload) == {"nodes", "edges"}
+
+
+def test_analyze_graph_dot(capsys):
+    assert main(["analyze", "--graph", "--dot",
+                 "--scenario", "vnext/extent-node-liveness"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "TestingDriverMachine" in out
+
+
+def test_analyze_dot_without_graph_is_a_usage_error(capsys):
+    assert main(["analyze", "--dot"]) == 2
+    assert "--graph" in capsys.readouterr().err
+
+
+def test_run_prune_defaults_to_dpor_lite_and_finds_the_bug(tmp_path, capsys):
+    report_path = str(tmp_path / "pruned.json")
+    assert main([
+        "run", "--scenario", "vnext/extent-node-liveness", "--prune",
+        "--iterations", "200", "--max-steps", "12",
+        "--output", report_path, "--expect-bug",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "dpor-lite" in out
+    with open(report_path) as handle:
+        payload = json.load(handle)
+    assert any(result["job"]["strategy"] == "dpor-lite"
+               for result in payload["results"])
