@@ -122,6 +122,10 @@ def _cmd_list_strategies(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.json and args.verbose:
+        # the execution log would corrupt the machine-readable document
+        print("error: --json and --verbose are mutually exclusive", file=sys.stderr)
+        return 2
     _import_extra_modules(args.imports)
     testcase = get_scenario(args.scenario)
     overrides = {"seed": args.seed}
@@ -129,15 +133,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["max_steps"] = args.max_steps
     if args.verbose:
         overrides["verbose"] = True
+    if args.fingerprints:
+        overrides["fingerprints"] = True
+    if args.stateful:
+        overrides["stateful"] = True
     if args.prune:
         from .analysis import independence_for_scenarios
 
         overrides["independence"] = independence_for_scenarios([testcase])
     # Built through the constructor so __post_init__ validates the values.
     config = testcase.default_config(**overrides)
+    default_strategies = ["random", "pct"]
+    if args.prune:
+        default_strategies = ["dpor-lite"]
+    elif args.stateful:
+        default_strategies = ["dfs"]
     portfolio = Portfolio(
         testcase,
-        strategies=args.strategy or (["dpor-lite"] if args.prune else ["random", "pct"]),
+        strategies=args.strategy or default_strategies,
         iterations=args.iterations,
         num_workers=args.workers,
         num_shards=args.shards,
@@ -148,10 +161,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shrink=args.shrink,
     )
     report = portfolio.run()
-    print(report.summary())
+    if args.json:
+        merged = report.merged_coverage
+        print(json.dumps({
+            "scenario": report.scenario,
+            "summary": report.summary(),
+            "bug_found": report.bug_found,
+            "total_iterations": report.total_iterations,
+            "coverage": merged.summary(),
+            "fingerprints": sorted(format(fp, "016x") for fp in merged.fingerprints),
+        }, indent=2))
+    else:
+        print(report.summary())
     if args.output:
         report.save(args.output)
-        print(f"report written to {args.output}")
+        if not args.json:
+            print(f"report written to {args.output}")
     if args.expect_bug and not report.bug_found:
         print("error: a bug was expected but none was found", file=sys.stderr)
         return 1
@@ -449,6 +474,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="build the scenario's static independence table and "
                      "prune provably-commuting schedules (defaults the "
                      "portfolio to the dpor-lite strategy)")
+    run.add_argument("--fingerprints", action="store_true",
+                     help="maintain the global-state execution fingerprint and "
+                     "record distinct states into coverage")
+    run.add_argument("--stateful", action="store_true",
+                     help="prune schedules revisiting fully-explored global "
+                     "states (dfs/dpor-lite; implies fingerprinting; defaults "
+                     "the portfolio to the dfs strategy)")
+    run.add_argument("--json", action="store_true",
+                     help="print a machine-readable result document (summary, "
+                     "merged coverage, distinct state fingerprints)")
     run.add_argument("--verbose", action="store_true",
                      help="stream formatted execution-log records live "
                      "(instead of only at bug-record time)")

@@ -52,6 +52,18 @@ class TestingConfig:
             :func:`repro.analysis.independence.build_independence_table`).
             ``None`` (the default) disables dependence-aware pruning:
             ``dpor-lite`` then degenerates to plain ``dfs``.
+        fingerprints: maintain the incremental execution fingerprint
+            (:mod:`repro.core.fingerprint`) and collect the distinct
+            fingerprints seen into ``CoverageTracker.fingerprints``.  Off by
+            default: fingerprinting hashes event payloads and machine
+            attributes on every step, which the no-bug hot path otherwise
+            never pays for.
+        stateful: let the DFS-family strategies (``dfs``, ``dpor-lite``)
+            prune schedules that revisit an already fully-explored global
+            state (implies fingerprint maintenance for those strategies).
+            Dedupe only ever acts on *exact* fingerprints, so inexactly
+            encodable harnesses degrade to plain search, never to unsound
+            pruning.
         extra: per-strategy option namespaces, keyed by strategy name
             (e.g. ``extra["pct"] = {"priority_switches": 4}``); consumed by
             each strategy's ``from_config``.
@@ -74,6 +86,8 @@ class TestingConfig:
     max_bugs: Optional[int] = None
     shrink_max_replays: int = 500
     independence: Optional[dict] = None
+    fingerprints: bool = False
+    stateful: bool = False
     extra: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:

@@ -22,6 +22,9 @@ class CoverageTracker:
     handled: Counter = field(default_factory=Counter)
     transitions: Set[Tuple[str, str, str]] = field(default_factory=set)
     monitor_states: Set[Tuple[str, str]] = field(default_factory=set)
+    #: distinct global-state fingerprints observed at scheduling points
+    #: (see :mod:`repro.core.fingerprint`); empty unless fingerprinting is on
+    fingerprints: Set[int] = field(default_factory=set)
 
     def record_machine(self, machine_type: str) -> None:
         self.machines[machine_type] += 1
@@ -37,6 +40,9 @@ class CoverageTracker:
 
     def record_monitor_state(self, monitor_type: str, state: str) -> None:
         self.monitor_states.add((monitor_type, state))
+
+    def record_fingerprint(self, fingerprint: int) -> None:
+        self.fingerprints.add(fingerprint)
 
     # ------------------------------------------------------------------
     @property
@@ -56,6 +62,9 @@ class CoverageTracker:
             "handled": [[*key, count] for key, count in sorted(self.handled.items())],
             "transitions": sorted(list(t) for t in self.transitions),
             "monitor_states": sorted(list(s) for s in self.monitor_states),
+            # 64-bit values as fixed-width hex: JSON numbers lose precision
+            # past 2**53 in some consumers, and hex round-trips exactly.
+            "fingerprints": sorted(format(fp, "016x") for fp in self.fingerprints),
         }
 
     @staticmethod
@@ -63,10 +72,17 @@ class CoverageTracker:
         tracker = CoverageTracker()
         tracker.machines.update(payload.get("machines", {}))
         tracker.events.update(payload.get("events", {}))
-        for machine, state, event, count in payload.get("handled", []):
+        for index, row in enumerate(payload.get("handled", [])):
+            if len(row) != 4:
+                raise ValueError(
+                    f"coverage handled row {index}: expected "
+                    f"[machine, state, event, count], got {len(row)} items"
+                )
+            machine, state, event, count = row
             tracker.handled[(machine, state, event)] = count
         tracker.transitions.update(tuple(t) for t in payload.get("transitions", []))
         tracker.monitor_states.update(tuple(s) for s in payload.get("monitor_states", []))
+        tracker.fingerprints.update(int(fp, 16) for fp in payload.get("fingerprints", []))
         return tracker
 
     def merge(self, other: "CoverageTracker") -> None:
@@ -75,6 +91,7 @@ class CoverageTracker:
         self.handled.update(other.handled)
         self.transitions.update(other.transitions)
         self.monitor_states.update(other.monitor_states)
+        self.fingerprints.update(other.fingerprints)
 
     def summary(self) -> Dict[str, int]:
         return {
@@ -85,4 +102,5 @@ class CoverageTracker:
             "handled_tuples": self.distinct_handled_tuples,
             "transitions": self.distinct_transitions,
             "monitor_states": len(self.monitor_states),
+            "fingerprints": len(self.fingerprints),
         }

@@ -68,6 +68,15 @@ class TestReport:
                 f"{self.strategy} scheduler in {self.elapsed_seconds:.2f}s"
             )
         bug = self.first_bug
+        # Reports loaded from JSON (or aggregated across workers) may carry
+        # bugs without the session-local timing fields; degrade gracefully
+        # instead of crashing on formatting None.
+        if self.time_to_first_bug is None or self.first_bug_iteration is None:
+            return (
+                f"bug found by the {self.strategy} scheduler (timing unavailable) "
+                f"({self.num_nondeterministic_choices} nondeterministic choices): "
+                f"{bug.message}"
+            )
         return (
             f"bug found by the {self.strategy} scheduler in {self.time_to_first_bug:.2f}s "
             f"after {self.first_bug_iteration + 1} executions "

@@ -1,0 +1,520 @@
+"""Execution fingerprinting: an incremental hash of the global state.
+
+A *fingerprint* summarizes the complete controlled-execution state — for
+every machine its state stack, its inbox and raised-queue contents (in
+order), its halted/paused status, its user-visible attributes and its
+pending start arguments, plus every registered monitor's state — in one
+64-bit value.  The testing runtime maintains it *incrementally*, alongside
+the enabled-set bookkeeping: every enqueue/dequeue updates a rolling queue
+hash in O(1), every dispatched step refreshes only the executed machine's
+component, and the global value is the XOR-fold of the per-machine and
+per-monitor components.  Nothing ever rescans the whole system.
+
+Three consumers build on it:
+
+* **Coverage** — :class:`~repro.core.coverage.CoverageTracker` collects the
+  set of distinct fingerprints seen across executions ("novel behaviours"),
+  which survives JSON round-trips and portfolio merges.
+* **Stateful search** — the DFS-family strategies prune schedules that
+  revisit an already fully-explored global state (see
+  :mod:`repro.core.strategy.dfs_strategy`).
+* **Feedback** — the ``feedback`` strategy mutates schedule prefixes that
+  reached novel fingerprints, AFL-style.
+
+Determinism and exactness
+-------------------------
+
+Fingerprints must be identical across processes and runs for the same
+execution, so all hashing goes through :func:`stable_hash` — a
+``blake2b``-based canonical encoding that never touches Python's
+``PYTHONHASHSEED``-randomized built-in ``hash()``.  Values the encoder does
+not understand (open files, lambdas, ...) degrade to a type-only marker and
+mark the encoding *inexact*: still deterministic, but two genuinely
+different states may collide.  Similarly, a machine paused inside a
+generator handler carries frame state no encoding can capture, so it is
+inexact while paused.  :meth:`FingerprintTracker.current` reports both the
+value and whether it is exact; stateful-search dedupe only ever acts on
+exact fingerprints, while coverage and feedback (heuristics) use every
+value.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from hashlib import blake2b
+from types import ModuleType
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional, Set
+
+from .events import Event
+from .ids import MachineId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .machine import Machine
+    from .monitors import Monitor
+    from .runtime.kernel import RuntimeKernel
+
+__all__ = ["Fingerprint", "FingerprintTracker", "stable_hash"]
+
+#: Mersenne-prime modulus of the rolling queue hashes; keeps every hash in
+#: 61 bits so the Python ints stay single-digit (fast) on 64-bit builds.
+_M = (1 << 61) - 1
+#: rolling-hash base (any value coprime with the modulus works)
+_B = 1_000_003
+#: modular inverse of the base: multiplying by it "pops" one power off the
+#: front of the polynomial, which is what makes popleft O(1).
+_B_INV = pow(_B, _M - 2, _M)
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix(*parts: int) -> int:
+    """Order-sensitive 64-bit combiner for already-hashed components."""
+    acc = 0x243F6A8885A308D3
+    for part in parts:
+        acc ^= (part + _GOLDEN + ((acc << 6) & _MASK64) + (acc >> 2)) & _MASK64
+        acc = (acc * _GOLDEN) & _MASK64
+        acc ^= acc >> 29
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# stable hashing
+# ---------------------------------------------------------------------------
+def stable_hash(value) -> "tuple[int, bool]":
+    """Hash ``value`` into ``(64-bit int, exact)`` deterministically.
+
+    Identical values produce identical hashes in every process and on every
+    run (no dependence on ``PYTHONHASHSEED``, object identity or dict
+    insertion order).  ``exact`` is False when some part of ``value`` had no
+    canonical encoding and was represented by a type-only marker.
+    """
+    hasher = blake2b(digest_size=8)
+    exact = _feed(hasher, value, {})
+    return int.from_bytes(hasher.digest(), "big"), exact
+
+
+def _sub_digest(value, memo) -> "tuple[bytes, bool]":
+    """Digest of one value in isolation (for order-canonicalizing sets/dicts)."""
+    hasher = blake2b(digest_size=8)
+    exact = _feed(hasher, value, memo)
+    return hasher.digest(), exact
+
+
+def _feed(hasher, value, memo) -> bool:
+    """Feed a canonical encoding of ``value`` into ``hasher``.
+
+    ``memo`` maps ``id()`` of the containers currently on the encoding path
+    to their path position, turning reference cycles into a deterministic
+    back-reference marker instead of infinite recursion.
+    """
+    # Exact scalar types first (isinstance checks ordered by frequency).
+    if value is None:
+        hasher.update(b"N")
+        return True
+    cls = value.__class__
+    if cls is bool:
+        hasher.update(b"T" if value else b"F")
+        return True
+    if cls is int:
+        data = str(value).encode()
+        hasher.update(b"i%d:" % len(data))
+        hasher.update(data)
+        return True
+    if cls is str:
+        data = value.encode("utf-8", "surrogatepass")
+        hasher.update(b"s%d:" % len(data))
+        hasher.update(data)
+        return True
+    if cls is float:
+        data = repr(value).encode()
+        hasher.update(b"f%d:" % len(data))
+        hasher.update(data)
+        return True
+    if cls is bytes:
+        hasher.update(b"y%d:" % len(value))
+        hasher.update(value)
+        return True
+    if cls is MachineId:
+        hasher.update(b"m")
+        return (
+            _feed(hasher, value.value, memo)
+            & _feed(hasher, value.type_name, memo)
+            & _feed(hasher, value.name, memo)
+        )
+    ident = id(value)
+    if ident in memo:
+        # Back-reference: encode the cycle by path position, which is the
+        # same in every process for the same object graph shape.
+        hasher.update(b"c%d:" % memo[ident])
+        return True
+    if isinstance(value, (tuple, list, deque)):
+        memo[ident] = len(memo)
+        hasher.update(b"t%d:" % len(value))
+        exact = True
+        for item in value:
+            exact &= _feed(hasher, item, memo)
+        del memo[ident]
+        return exact
+    if isinstance(value, dict):
+        memo[ident] = len(memo)
+        hasher.update(b"d%d:" % len(value))
+        exact = True
+        entries = []
+        for key, item in value.items():
+            key_digest, key_exact = _sub_digest(key, memo)
+            item_digest, item_exact = _sub_digest(item, memo)
+            exact &= key_exact & item_exact
+            entries.append(key_digest + item_digest)
+        # Canonical order: sort by encoded bytes, not by key comparison,
+        # so mixed-type keys never raise and the order is process-stable.
+        for entry in sorted(entries):
+            hasher.update(entry)
+        del memo[ident]
+        return exact
+    if isinstance(value, (set, frozenset)):
+        memo[ident] = len(memo)
+        hasher.update(b"S%d:" % len(value))
+        exact = True
+        digests = []
+        for item in value:
+            digest, item_exact = _sub_digest(item, memo)
+            exact &= item_exact
+            digests.append(digest)
+        for digest in sorted(digests):
+            hasher.update(digest)
+        del memo[ident]
+        return exact
+    # Avoid a module-level import cycle: machine -> runtime -> fingerprint.
+    from .machine import Machine
+
+    if isinstance(value, Machine):
+        # A machine *reference* is its identity: the referenced machine's own
+        # component already covers its state, and encoding it structurally
+        # would chase the back-references it holds (runtime, strategy, ...).
+        hasher.update(b"R")
+        return _feed(hasher, value._id, memo)
+    if isinstance(value, type):
+        # A class reference is fully identified by its import path.
+        hasher.update(b"k")
+        return _feed(hasher, f"{value.__module__}.{value.__qualname__}", memo)
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None and not callable(value) and not isinstance(value, ModuleType):
+        # Structured object (event payloads, harness helper objects,
+        # dataclasses): class identity plus its public attributes.
+        # Underscore-prefixed attributes are runtime-internal bookkeeping by
+        # repo convention and excluded.
+        memo[ident] = len(memo)
+        hasher.update(b"o")
+        _feed(hasher, f"{cls.__module__}.{cls.__qualname__}", memo)
+        exact = True
+        public = [name for name in attrs if not name.startswith("_")]
+        hasher.update(b"%d:" % len(public))
+        for name in sorted(public):
+            _feed(hasher, name, memo)
+            exact &= _feed(hasher, attrs[name], memo)
+        del memo[ident]
+        return exact
+    # No canonical encoding (functions, modules, file handles, slotted
+    # objects, ...): a deterministic type-only marker, flagged inexact.
+    hasher.update(b"?")
+    _feed(hasher, f"{cls.__module__}.{cls.__qualname__}", memo)
+    return False
+
+
+class Fingerprint(NamedTuple):
+    """One observation of the global execution fingerprint."""
+
+    value: int
+    #: True when the value captures the state exactly (no paused coroutine,
+    #: no unencodable attribute or payload anywhere); dedupe requires it.
+    exact: bool
+
+
+class _QueueHash:
+    """Rolling polynomial hash of one event queue (order-sensitive).
+
+    ``hash = sum(h_i * B**(n-1-i)) mod M`` over the per-event hashes, so
+    append is ``H*B + h`` and popleft subtracts the head term using the
+    maintained ``B**n`` power and the precomputed modular inverse — both
+    O(1).  Removal at an arbitrary index (the rare discipline/receive path,
+    itself already O(n)) refolds from the mirrored hash deque.
+    """
+
+    __slots__ = ("value", "power", "items", "inexact")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.power = 1  # B ** len(items) mod M
+        #: per-event ``(hash mod M, exact)`` pairs mirroring the real queue
+        self.items: deque = deque()
+        #: number of queued items whose encoding was inexact
+        self.inexact = 0
+
+    def append(self, item_hash: int, exact: bool) -> None:
+        folded = item_hash % _M
+        self.items.append((folded, exact))
+        self.value = (self.value * _B + folded) % _M
+        self.power = (self.power * _B) % _M
+        if not exact:
+            self.inexact += 1
+
+    def popleft(self) -> None:
+        folded, exact = self.items.popleft()
+        self.power = (self.power * _B_INV) % _M
+        self.value = (self.value - folded * self.power) % _M
+        if not exact:
+            self.inexact -= 1
+
+    def remove_at(self, index: int) -> None:
+        _, exact = self.items[index]
+        del self.items[index]
+        if not exact:
+            self.inexact -= 1
+        self._refold()
+
+    def clear(self) -> None:
+        self.items.clear()
+        self.value = 0
+        self.power = 1
+        self.inexact = 0
+
+    def _refold(self) -> None:
+        value = 0
+        for folded, _ in self.items:
+            value = (value * _B + folded) % _M
+        self.value = value
+        self.power = pow(_B, len(self.items), _M)
+
+
+class _MachineRecord:
+    """Cached fingerprint component of one machine."""
+
+    __slots__ = (
+        "base", "start_hash", "start_exact", "stack_hash", "attrs_hash",
+        "attrs_exact", "status", "paused", "inbox", "raised", "component",
+        "exact",
+    )
+
+    def __init__(self, base: int, start_hash: int, start_exact: bool) -> None:
+        self.base = base
+        self.start_hash = start_hash
+        self.start_exact = start_exact
+        self.stack_hash = 0
+        self.attrs_hash = 0
+        self.attrs_exact = True
+        self.status = 0
+        self.paused = False
+        self.inbox = _QueueHash()
+        self.raised = _QueueHash()
+        self.component = 0
+        self.exact = True
+
+    def fold(self) -> int:
+        inbox = self.inbox
+        raised = self.raised
+        return _mix(
+            self.base, self.start_hash, self.stack_hash, self.attrs_hash,
+            self.status, inbox.value, len(inbox.items), raised.value,
+            len(raised.items),
+        )
+
+    def is_exact(self) -> bool:
+        return (
+            self.attrs_exact
+            and self.start_exact
+            and not self.paused
+            and self.inbox.inexact == 0
+            and self.raised.inexact == 0
+        )
+
+
+class FingerprintTracker:
+    """Incrementally maintained global execution fingerprint.
+
+    The owning runtime calls the ``on_*`` hooks from every queue-mutation
+    site (mirroring the enabled-set bookkeeping) and :meth:`touch` once per
+    dispatched step for the executed machine — the only machine whose state
+    stack, attributes or paused/halted status can have changed during the
+    step.  Monitors are notified synchronously from inside steps, so they
+    are dirty-marked at notification and refreshed lazily at the next
+    :meth:`current` query.
+    """
+
+    def __init__(self, runtime: "RuntimeKernel") -> None:
+        self._runtime = runtime
+        self._records: Dict[int, _MachineRecord] = {}
+        self._monitor_components: Dict[type, int] = {}
+        self._monitor_exact: Dict[type, bool] = {}
+        self._dirty_monitors: Set[type] = set()
+        self._global = 0
+        #: count of machines/monitors whose component is currently inexact
+        self._inexact = 0
+        #: stack-tuple -> hash cache (state stacks repeat across machines
+        #: and steps; the tuples are tiny and the set of distinct stacks is
+        #: bounded by the specs)
+        self._stack_cache: Dict[tuple, int] = {}
+        #: set by :meth:`current` when the latest observation had not been
+        #: seen before in this tracker's lifetime (one execution)
+        self.last_novel = False
+        self._seen: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # machine lifecycle
+    # ------------------------------------------------------------------
+    def register_machine(self, machine: "Machine") -> None:
+        """Start tracking ``machine`` (before its StartEvent is enqueued)."""
+        mid = machine._id
+        base = stable_hash((mid.value, mid.type_name, mid.name))[0]
+        args, kwargs = getattr(machine, "_start_args", ((), {}))
+        start_hash, start_exact = stable_hash((args, kwargs))
+        record = _MachineRecord(base, start_hash, start_exact)
+        self._records[mid.value] = record
+        self._refresh(machine, record)
+
+    def touch(self, machine: "Machine") -> None:
+        """Refresh the slow-changing parts of ``machine``'s component.
+
+        Called once after each dispatched step of ``machine``: the state
+        stack, public attributes, paused status and halted flag only change
+        while the machine itself executes, so this plus the eager queue
+        hooks keeps the component exact without ever scanning other
+        machines.
+        """
+        record = self._records.get(machine._id.value)
+        if record is not None:
+            self._refresh(machine, record)
+
+    def _refresh(self, machine: "Machine", record: _MachineRecord) -> None:
+        stack = tuple(machine._state_stack)
+        stack_hash = self._stack_cache.get(stack)
+        if stack_hash is None:
+            stack_hash = self._stack_cache[stack] = stable_hash(stack)[0]
+        record.stack_hash = stack_hash
+        attrs = machine.__dict__
+        public = {name: attrs[name] for name in attrs if not name.startswith("_")}
+        record.attrs_hash, record.attrs_exact = stable_hash(public)
+        record.paused = (
+            machine._coroutine is not None or machine._pending_receive is not None
+        )
+        record.status = (1 if machine._halted else 0) | (2 if record.paused else 0)
+        self._fold(record)
+
+    def _fold(self, record: _MachineRecord) -> None:
+        component = record.fold()
+        self._global ^= record.component ^ component
+        record.component = component
+        exact = record.is_exact()
+        if exact != record.exact:
+            self._inexact += -1 if exact else 1
+            record.exact = exact
+
+    # ------------------------------------------------------------------
+    # queue hooks (O(1) on the append/popleft hot paths)
+    # ------------------------------------------------------------------
+    def on_enqueue(self, machine: "Machine", event: Event) -> None:
+        record = self._records.get(machine._id.value)
+        if record is not None:
+            record.inbox.append(*stable_hash(event))
+            self._fold(record)
+
+    def on_inbox_popleft(self, machine: "Machine") -> None:
+        record = self._records.get(machine._id.value)
+        if record is not None:
+            record.inbox.popleft()
+            self._fold(record)
+
+    def on_inbox_remove(self, machine: "Machine", index: int) -> None:
+        record = self._records.get(machine._id.value)
+        if record is not None:
+            record.inbox.remove_at(index)
+            self._fold(record)
+
+    def on_raise(self, machine: "Machine", event: Event) -> None:
+        record = self._records.get(machine._id.value)
+        if record is not None:
+            record.raised.append(*stable_hash(event))
+            self._fold(record)
+
+    def on_raised_popleft(self, machine: "Machine") -> None:
+        record = self._records.get(machine._id.value)
+        if record is not None:
+            record.raised.popleft()
+            self._fold(record)
+
+    def on_halt_clear(self, machine: "Machine") -> None:
+        """Both queues were cleared by a halt (touch refreshes the rest)."""
+        record = self._records.get(machine._id.value)
+        if record is not None:
+            record.inbox.clear()
+            record.raised.clear()
+            self._fold(record)
+
+    # ------------------------------------------------------------------
+    # monitors (synchronously notified => dirty-marked, lazily refreshed)
+    # ------------------------------------------------------------------
+    def register_monitor(self, monitor: "Monitor") -> None:
+        self._monitor_components[type(monitor)] = 0
+        self._monitor_exact[type(monitor)] = True
+        self._dirty_monitors.add(type(monitor))
+
+    def mark_monitor_dirty(self, monitor: "Monitor") -> None:
+        self._dirty_monitors.add(type(monitor))
+
+    def _refresh_monitor(self, monitor_cls: type) -> None:
+        monitor = self._runtime._monitors.get(monitor_cls)
+        if monitor is None:  # pragma: no cover - defensive
+            return
+        attrs = monitor.__dict__
+        public = {name: attrs[name] for name in attrs if not name.startswith("_")}
+        component_input = (monitor_cls.__name__, monitor._current_state)
+        state_hash, _ = stable_hash(component_input)
+        attrs_hash, exact = stable_hash(public)
+        component = _mix(state_hash, attrs_hash)
+        self._global ^= self._monitor_components[monitor_cls] ^ component
+        self._monitor_components[monitor_cls] = component
+        if exact != self._monitor_exact[monitor_cls]:
+            self._inexact += -1 if exact else 1
+            self._monitor_exact[monitor_cls] = exact
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def current(self) -> Fingerprint:
+        """The fingerprint of the current global state."""
+        if self._dirty_monitors:
+            for monitor_cls in self._dirty_monitors:
+                self._refresh_monitor(monitor_cls)
+            self._dirty_monitors.clear()
+        value = self._global
+        self.last_novel = value not in self._seen
+        if self.last_novel:
+            self._seen.add(value)
+        return Fingerprint(value, self._inexact == 0)
+
+    def recompute(self) -> Fingerprint:
+        """The fingerprint rebuilt from scratch (for invariant checking).
+
+        Walks every machine and monitor and re-derives the value the
+        incremental bookkeeping should be holding; tests assert
+        ``current().value == recompute().value`` at arbitrary points.  Never
+        called on any hot path.
+        """
+        fresh = FingerprintTracker(self._runtime)
+        for machine in self._runtime._machines.values():
+            fresh.register_machine(machine)
+            record = fresh._records[machine._id.value]
+            for event in machine._inbox:
+                record.inbox.append(*stable_hash(event))
+            for event in machine._raised:
+                record.raised.append(*stable_hash(event))
+            fresh._fold(record)
+        for monitor_cls in self._runtime._monitors:
+            fresh.register_monitor(fresh._runtime._monitors[monitor_cls])
+        value = fresh.current()
+        return Fingerprint(value.value, value.exact)
+
+
+def tracker_for(runtime: "RuntimeKernel") -> Optional[FingerprintTracker]:
+    """The runtime's tracker, if fingerprinting is active (else ``None``)."""
+    return getattr(runtime, "_fingerprint", None)

@@ -226,6 +226,9 @@ class Machine:
         if self._halted:
             return
         self._raised.append(event)
+        tracker = self._runtime._fingerprint
+        if tracker is not None:
+            tracker.on_raise(self, event)
         if not self._enabled and self._pending_receive is None:
             self._runtime._mark_enabled(self)
 
@@ -294,6 +297,9 @@ class Machine:
         counts = self._pending_counts
         event_type = type(event)
         counts[event_type] = counts.get(event_type, 0) + 1
+        tracker = self._runtime._fingerprint
+        if tracker is not None:
+            tracker.on_enqueue(self, event)
         # Incremental enabled-set maintenance: a new event can only make
         # this machine runnable (never less runnable), and only does so if
         # the machine is not blocked in a receive the event fails to match
@@ -329,6 +335,9 @@ class Machine:
             if receive.matches(event):
                 del self._inbox[index]
                 _dec_pending(self._pending_counts, type(event))
+                tracker = self._runtime._fingerprint
+                if tracker is not None:
+                    tracker.on_inbox_remove(self, index)
                 return event
         raise FrameworkError(f"{self._id}: no event matching {receive} in inbox")
 

@@ -144,6 +144,9 @@ class PortfolioReport:
             f"{len(self.results)} jobs, {self.total_iterations} executions "
             f"in {self.elapsed_seconds:.2f}s ({self.num_workers} workers)"
         )
+        distinct_states = len(self.merged_coverage.fingerprints)
+        if distinct_states:
+            base = f"{base}, {distinct_states} distinct states"
         winner = self.winning_result
         if winner is None:
             return f"{base} — no bug found"

@@ -180,6 +180,12 @@ class RuntimeKernel:
     #: its controlled-choice loop and the runtime's timer service.
     wall_clock = False
 
+    #: execution-fingerprint tracker (:mod:`repro.core.fingerprint`); ``None``
+    #: unless the testing controller enabled fingerprinting, so every hook
+    #: site below guards with one ``is not None`` check and the default hot
+    #: path pays nothing else.
+    _fingerprint = None
+
     def __init__(
         self,
         config: Optional[TestingConfig] = None,
@@ -257,6 +263,10 @@ class RuntimeKernel:
         machine._start_args = (args, kwargs)
         self._machines[machine_id] = machine
         self._machines_by_value[machine_id.value] = machine
+        # The tracker must know the machine before its StartEvent lands in
+        # the inbox (the enqueue hook looks its record up).
+        if self._fingerprint is not None:
+            self._fingerprint.register_machine(machine)
         machine._enqueue(StartEvent())
         if self.coverage is not None:
             self.coverage.record_machine(machine_cls.__name__)
@@ -274,6 +284,8 @@ class RuntimeKernel:
             raise FrameworkError(f"monitor {monitor_cls.__name__} is already registered")
         monitor = monitor_cls(self)
         self._monitors[monitor_cls] = monitor
+        if self._fingerprint is not None:
+            self._fingerprint.register_monitor(monitor)
         self.log("registered monitor {}", monitor_cls.__name__)
         # Like machine start-up, the monitor's initial state runs its entry
         # action once, at registration — unless the constructor already
@@ -379,6 +391,10 @@ class RuntimeKernel:
             return
         self.log("monitor {} <- {!r} (from {})", monitor_cls.__name__, event, source)
         monitor.handle(event)
+        # Monitors run synchronously inside a machine's step; their component
+        # is refreshed lazily at the next fingerprint observation.
+        if self._fingerprint is not None:
+            self._fingerprint.mark_monitor_dirty(monitor)
 
     def transition_machine(self, machine: Machine, state: StateRef) -> None:
         """``goto``: replace the top of the state stack, running exit/entry."""
@@ -465,10 +481,15 @@ class RuntimeKernel:
         and otherwise selection goes through the discipline scan.
         """
         if machine._raised:
-            return machine._raised.popleft()
+            event = machine._raised.popleft()
+            if self._fingerprint is not None:
+                self._fingerprint.on_raised_popleft(machine)
+            return event
         if ctx.plain:
             event = machine._inbox.popleft()
             _dec_pending(machine._pending_counts, type(event))
+            if self._fingerprint is not None:
+                self._fingerprint.on_inbox_popleft(machine)
             return event
         return self._dequeue_with_disciplines(machine, ctx)
 
@@ -496,6 +517,8 @@ class RuntimeKernel:
             if action is IGNORE:
                 del inbox[index]
                 _dec_pending(counts, event_type)
+                if self._fingerprint is not None:
+                    self._fingerprint.on_inbox_remove(machine, index)
                 self._sink.append((
                     "{}: ignored {!r} in state {!r}",
                     machine._id, event, machine._current_state,
@@ -506,6 +529,8 @@ class RuntimeKernel:
                 continue
             del inbox[index]
             _dec_pending(counts, event_type)
+            if self._fingerprint is not None:
+                self._fingerprint.on_inbox_remove(machine, index)
             return event
         raise FrameworkError(
             f"{machine.id}: scheduled with no dequeuable event "
@@ -646,6 +671,8 @@ class RuntimeKernel:
         machine._inbox.clear()
         machine._pending_counts.clear()
         machine._raised.clear()
+        if self._fingerprint is not None:
+            self._fingerprint.on_halt_clear(machine)
         self._mark_disabled(machine)
         machine.on_halt()
         self.log("{}: halted", machine._id)

@@ -53,6 +53,7 @@ from ..errors import (
     UnexpectedExceptionError,
 )
 from ..events import Event
+from ..fingerprint import Fingerprint, FingerprintTracker
 from ..ids import MachineId
 from ..machine import Machine, MachineHaltRequested
 from ..strategy.base import SchedulingStrategy
@@ -78,6 +79,11 @@ class TestRuntime(RuntimeKernel):
     ) -> None:
         super().__init__(config, coverage)
         self.strategy = strategy
+        # Fingerprint maintenance is opt-in (config) or strategy-demanded
+        # (stateful search, feedback); the tracker must exist before
+        # attach_runtime so strategies can observe state from step 0.
+        if self.config.fingerprints or getattr(strategy, "wants_fingerprints", False):
+            self._fingerprint = FingerprintTracker(self)
         strategy.attach_runtime(self)
         self.trace = ScheduleTrace()
         #: machine ids currently runnable, kept sorted ascending by id value
@@ -97,6 +103,11 @@ class TestRuntime(RuntimeKernel):
     def enabled_machine_ids(self) -> List[MachineId]:
         """Snapshot of the currently runnable machine ids (ascending id)."""
         return list(self._enabled_ids)
+
+    def execution_fingerprint(self) -> Optional[Fingerprint]:
+        """Current global-state fingerprint, or ``None`` when not tracked."""
+        tracker = self._fingerprint
+        return None if tracker is None else tracker.current()
 
     # ------------------------------------------------------------------
     # machine-facing services
@@ -120,6 +131,8 @@ class TestRuntime(RuntimeKernel):
         event_type = type(event)
         counts = machine._pending_counts
         counts[event_type] = counts.get(event_type, 0) + 1
+        if self._fingerprint is not None:
+            self._fingerprint.on_enqueue(machine, event)
         if not machine._enabled:
             receive = machine._pending_receive
             if receive is None:
@@ -189,6 +202,11 @@ class TestRuntime(RuntimeKernel):
         try:
             test_entry(self)
             self._execution_loop()
+            if self._fingerprint is not None and self.coverage is not None:
+                # Record the terminal state too (the loop observes the state
+                # *before* each step, so quiescence/bound ends are not yet
+                # covered).
+                self.coverage.record_fingerprint(self._fingerprint.current().value)
             if self.bug is None:
                 self._check_end_of_execution()
         except BugError as error:
@@ -216,12 +234,18 @@ class TestRuntime(RuntimeKernel):
         sink_append = self._sink.append
         coverage = self.coverage
         coverage_handled = coverage.handled if coverage is not None else None
+        tracker = self._fingerprint
+        fingerprints_seen = (
+            coverage.fingerprints if (tracker is not None and coverage is not None) else None
+        )
         max_steps = self.config.max_steps
         step_count = self.step_count
         while step_count < max_steps:
             if not enabled_ids:
                 self.termination_reason = "quiescence"
                 return
+            if fingerprints_seen is not None:
+                fingerprints_seen.add(tracker.current().value)
             # Strategies receive an immutable snapshot, never the live list
             # the bookkeeping maintains; it is rebuilt only on steps where
             # the enabled set changed.
@@ -269,6 +293,8 @@ class TestRuntime(RuntimeKernel):
                         # inbox and bypasses defer/ignore disciplines.
                         event = machine._raised.popleft()
                         event_type = type(event)
+                        if tracker is not None:
+                            tracker.on_raised_popleft(machine)
                     elif ctx.plain:
                         event = machine._inbox.popleft()
                         event_type = type(event)
@@ -280,6 +306,8 @@ class TestRuntime(RuntimeKernel):
                             counts[event_type] = remaining
                         else:
                             counts.pop(event_type, None)
+                        if tracker is not None:
+                            tracker.on_inbox_popleft(machine)
                     else:
                         event = self._dequeue_with_disciplines(machine, ctx)
                         event_type = type(event)
@@ -335,6 +363,12 @@ class TestRuntime(RuntimeKernel):
                 error.__cause__ = exc
                 self._record_bug(error)
                 return
+            # The executed machine is the only one whose state stack, public
+            # attributes or paused/halted status can have changed during the
+            # step (queue mutations were tracked eagerly at their sites), so
+            # one touch keeps its fingerprint component exact.
+            if tracker is not None:
+                tracker.touch(machine)
             # The executed machine is the only one whose runnability can
             # have *decreased* during the step (sends to other machines only
             # enable, handled at enqueue time; state transitions change only

@@ -5,7 +5,7 @@ The set of strategies is open: every strategy class self-registers with the
 and :func:`create_strategy` builds whichever one a
 :class:`~repro.core.config.TestingConfig` names.  Importing this package
 registers the built-in strategies (random, pct/priority, round-robin, dfs,
-dpor-lite).
+dpor-lite, feedback).
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ from .registry import (
 # Importing the modules below runs their @register_strategy decorators.
 from .dfs_strategy import DFSStrategy
 from .dpor_lite import DporLiteStrategy
+from .feedback import FeedbackStrategy
 from .pct_strategy import PCTStrategy
 from .random_strategy import RandomStrategy
 from .replay import ReplayStrategy
@@ -33,6 +34,7 @@ __all__ = [
     "RoundRobinStrategy",
     "DFSStrategy",
     "DporLiteStrategy",
+    "FeedbackStrategy",
     "ReplayStrategy",
     "available_strategies",
     "create_strategy",

@@ -31,6 +31,12 @@ class SchedulingStrategy(abc.ABC):
     #: canonical registry name, set by ``@register_strategy``
     registered_name = "abstract"
 
+    #: strategies that consult the execution fingerprint set this (or define
+    #: a property) so the runtime builds a
+    #: :class:`~repro.core.fingerprint.FingerprintTracker` even when
+    #: ``TestingConfig.fingerprints`` is off.
+    wants_fingerprints = False
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         #: set to True by exhaustive strategies (e.g. DFS) once the bounded

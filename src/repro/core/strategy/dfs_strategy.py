@@ -7,6 +7,38 @@ than probabilistically.  The search is bounded by the engine's ``max_steps``
 and by the iteration budget; :attr:`DFSStrategy.exhausted` reports whether the
 full tree was covered.
 
+Stateful search
+---------------
+
+With ``stateful=True`` (``TestingConfig.stateful``) the search additionally
+prunes schedules that revisit an already fully-explored *global state*: at
+each scheduling point the strategy reads the runtime's execution fingerprint
+(:mod:`repro.core.fingerprint`) and, when that exact fingerprint was
+previously explored with at least as many remaining steps, collapses the
+choice point to a single forced branch instead of fanning out over every
+enabled machine.  Different schedule prefixes routinely *commute* into the
+same global state, so this removes whole families of redundant schedules
+while still visiting every distinct bounded behaviour.
+
+Soundness discipline:
+
+* **Post-order recording.**  A fingerprint enters the visited set only when
+  its choice point pops off the DFS stack as exhausted (every branch below
+  it fully explored) — never when it is first reached — so a state can
+  never suppress the exploration of its own subtree.
+* **Remaining-steps guard.**  The visited set stores the number of steps
+  that remained below the bound when the state was explored; a revisit is
+  pruned only when it has *at most* that many steps remaining, so a revisit
+  closer to the root (which could reach deeper behaviours) still fans out.
+* **Exactness.**  Only fingerprints the tracker reports as *exact* (no
+  paused coroutine, no unencodable value anywhere) participate; anything
+  else degrades to plain DFS at that node.
+* **Forced nodes occupy a stack slot.**  A pruned node records a one-option
+  choice point, so replayed prefixes stay aligned across iterations; when a
+  previously-branching node becomes forced in a later iteration (the
+  visited set grew), the existing option-count-mismatch restart abandons
+  that subtree — deliberately, because it is provably covered.
+
 This strategy is an extension beyond the paper's evaluation (which used the
 random and priority-based schedulers) and is used by the ablation benchmarks.
 """
@@ -14,7 +46,7 @@ random and priority-based schedulers) and is used by the ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ids import MachineId
 from .base import SchedulingStrategy
@@ -25,6 +57,11 @@ from .registry import register_strategy
 class _ChoicePoint:
     num_options: int
     index: int
+    #: ``(fingerprint, remaining steps)`` of the global state at this node,
+    #: captured when the node was created; ``None`` for value choices,
+    #: forced nodes and inexact states.  Recorded into the visited set when
+    #: the node pops as exhausted.
+    state: Optional[Tuple[int, int]] = None
 
 
 @register_strategy("dfs")
@@ -33,42 +70,107 @@ class DFSStrategy(SchedulingStrategy):
 
     name = "dfs"
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, stateful: bool = False) -> None:
         super().__init__(seed)
         self._stack: List[_ChoicePoint] = []
         self._depth = 0
         self.exhausted = False
+        self._stateful = stateful
+        self._runtime = None
+        self._max_steps = 0
+        #: fingerprint -> most remaining steps it has been fully explored
+        #: with; persists across iterations (the whole point).
+        self._visited: Dict[int, int] = {}
+        #: schedules that hit at least one covered state (observability)
+        self.pruned_schedules = 0
+        self._pruned_this_iteration = False
+
+    @property
+    def wants_fingerprints(self) -> bool:
+        """Stateful search needs the runtime to maintain fingerprints."""
+        return self._stateful
+
+    @classmethod
+    def from_config(cls, config, options: Optional[Mapping] = None) -> "DFSStrategy":
+        options = dict(options or {})
+        stateful = bool(options.get("stateful", getattr(config, "stateful", False)))
+        return cls(seed=config.seed, stateful=stateful)
+
+    def attach_runtime(self, runtime) -> None:
+        self._runtime = runtime
+        self._max_steps = runtime.config.max_steps
 
     def prepare_iteration(self, iteration: int) -> None:
         self._depth = 0
+        if self._pruned_this_iteration:
+            self.pruned_schedules += 1
+            self._pruned_this_iteration = False
         if iteration == 0:
             return
         # Advance to the next unexplored branch: drop exhausted suffix, then
-        # bump the deepest remaining choice.
+        # bump the deepest remaining choice.  A popped point's subtree is
+        # fully explored, which is exactly when its state becomes safe to
+        # record as visited (post-order).
+        visited = self._visited
         while self._stack and self._stack[-1].index + 1 >= self._stack[-1].num_options:
-            self._stack.pop()
+            point = self._stack.pop()
+            state = point.state
+            if state is not None:
+                fingerprint, remaining = state
+                if remaining > visited.get(fingerprint, -1):
+                    visited[fingerprint] = remaining
         if not self._stack:
             self.exhausted = True
             return
         self._stack[-1].index += 1
 
-    def _choose(self, num_options: int) -> int:
+    def _choose(self, num_options: int, state: Optional[Tuple[int, int]] = None) -> int:
         if self._depth < len(self._stack):
             point = self._stack[self._depth]
             if point.num_options != num_options:
                 # The prefix diverged (the program is not purely determined by
-                # earlier choices); restart the subtree from this point.
+                # earlier choices, or a node's covered-status flipped);
+                # restart the subtree from this point.
                 del self._stack[self._depth:]
-                self._stack.append(_ChoicePoint(num_options, 0))
+                self._stack.append(_ChoicePoint(num_options, 0, state))
         else:
-            self._stack.append(_ChoicePoint(num_options, 0))
+            self._stack.append(_ChoicePoint(num_options, 0, state))
         index = self._stack[self._depth].index
         self._depth += 1
         return index
 
+    def _observe_state(self, step: int) -> Optional[Tuple[int, int]]:
+        """``(fingerprint, remaining steps)`` of the current global state.
+
+        ``None`` when stateful search is off, the runtime maintains no
+        tracker, or the fingerprint is inexact (dedupe would be unsound).
+        """
+        if not self._stateful or self._runtime is None:
+            return None
+        current = self._runtime.execution_fingerprint()
+        if current is None or not current.exact:
+            return None
+        return (current.value, self._max_steps - step)
+
+    def _is_covered(self, state: Optional[Tuple[int, int]]) -> bool:
+        """Whether the state was already fully explored this deep or deeper."""
+        return (
+            state is not None
+            and self._visited.get(state[0], -1) >= state[1]
+        )
+
     def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
         ordered = sorted(enabled, key=lambda mid: mid.value)
-        return ordered[self._choose(len(ordered))]
+        state = self._observe_state(step)
+        if self._is_covered(state):
+            # Every behaviour below this point was explored from a previous
+            # visit with at least as many remaining steps: walk out through
+            # a single forced branch instead of fanning out.  The forced
+            # node still occupies a stack slot so replay stays aligned.
+            self._pruned_this_iteration = True
+            self._choose(1)
+            return ordered[0]
+        return ordered[self._choose(len(ordered), state)]
 
     def next_boolean(self, requester: MachineId, step: int) -> bool:
         return bool(self._choose(2))

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Mapping, NamedTuple, Optional, Sequence
 
+from ..fingerprint import stable_hash
 from ..ids import MachineId
 from .dfs_strategy import DFSStrategy
 from .registry import register_strategy
@@ -68,8 +69,13 @@ class DporLiteStrategy(DFSStrategy):
 
     name = "dpor-lite"
 
-    def __init__(self, seed: int = 0, independence: Optional[dict] = None) -> None:
-        super().__init__(seed)
+    def __init__(
+        self,
+        seed: int = 0,
+        independence: Optional[dict] = None,
+        stateful: bool = False,
+    ) -> None:
+        super().__init__(seed, stateful=stateful)
         table: Optional[Mapping[str, dict]] = None
         if (
             isinstance(independence, dict)
@@ -77,16 +83,17 @@ class DporLiteStrategy(DFSStrategy):
         ):
             table = independence.get("machines", {})
         self._table = table
-        self._runtime = None
         #: machine-id value -> footprint resolved when the machine fell asleep
         self._sleep: Dict[int, _Touch] = {}
 
     @classmethod
     def from_config(cls, config, options: Optional[Mapping] = None) -> "DporLiteStrategy":
-        return cls(seed=config.seed, independence=getattr(config, "independence", None))
-
-    def attach_runtime(self, runtime) -> None:
-        self._runtime = runtime
+        options = dict(options or {})
+        return cls(
+            seed=config.seed,
+            independence=getattr(config, "independence", None),
+            stateful=bool(options.get("stateful", getattr(config, "stateful", False))),
+        )
 
     def prepare_iteration(self, iteration: int) -> None:
         super().prepare_iteration(iteration)
@@ -99,6 +106,23 @@ class DporLiteStrategy(DFSStrategy):
         if self._table is None or self._runtime is None:
             return super().next_machine(enabled, step)
         ordered = sorted(enabled, key=lambda mid: mid.value)
+        # Stateful dedupe composes *before* the sleep-set machinery: a
+        # covered state needs no fan-out at all, and the forced branch may
+        # legitimately run a sleeping machine, so the sleep set is dropped
+        # for the remainder of this (provably covered) suffix.  The sleep
+        # set is folded into the state identity (Godefroid): the same global
+        # state entered with a different sleep set explores a different
+        # pruned subtree, so only identical (state, sleep) revisits are
+        # provably redundant.
+        state = self._observe_state(step)
+        if state is not None and self._sleep:
+            sleep_hash = stable_hash(tuple(sorted(self._sleep)))[0]
+            state = (state[0] ^ sleep_hash, state[1])
+        if self._is_covered(state):
+            self._pruned_this_iteration = True
+            self._choose(1)
+            self._sleep = {}
+            return ordered[0]
         sleep = self._sleep
         if sleep:
             allowed = [mid for mid in ordered if mid.value not in sleep]
@@ -111,7 +135,7 @@ class DporLiteStrategy(DFSStrategy):
                 sleep = {}
         else:
             allowed = ordered
-        index = self._choose(len(allowed))
+        index = self._choose(len(allowed), state)
         chosen = allowed[index]
         chosen_touch = self._touch_of(chosen)
         new_sleep: Dict[int, _Touch] = {}

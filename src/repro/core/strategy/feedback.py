@@ -1,0 +1,165 @@
+"""Coverage-guided scheduling: mutate prefixes that reached novel states.
+
+The ``feedback`` strategy closes the loop between the execution fingerprint
+(:mod:`repro.core.fingerprint`) and schedule generation, AFL-style: every
+execution records its decision sequence, and whenever the global-state
+fingerprint observed at a scheduling point has never been seen before in the
+session, the decision prefix that led there is marked *interesting*.  The
+longest interesting prefix of each execution enters a bounded corpus; later
+iterations pick a corpus entry, replay its prefix (tolerantly — a decision
+that no longer applies falls back to a random one), and explore a fresh
+random suffix from the novel state onwards.
+
+Compared to pure random search this concentrates the execution budget on
+the frontier of *behaviourally new* states instead of re-rolling the whole
+schedule from the root every time.  Like the random strategy it is fair and
+probabilistically complete; unlike DFS it needs no bounded state space.
+
+Determinism: iteration ``i`` derives its RNG from ``(seed, i)`` and the
+corpus evolves deterministically from the observed fingerprints, so a
+session is exactly reproducible given the seed — and every buggy execution
+is replayable from its trace as usual.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from ..ids import MachineId
+from .base import SchedulingStrategy
+from .registry import register_strategy
+
+#: decision kinds recorded for replay
+_SCHEDULE = "s"
+_BOOLEAN = "b"
+_INTEGER = "i"
+
+
+@register_strategy("feedback")
+class FeedbackStrategy(SchedulingStrategy):
+    """Random scheduling with fingerprint-novelty prefix feedback."""
+
+    name = "feedback"
+
+    #: the runtime must maintain the execution fingerprint for this strategy
+    wants_fingerprints = True
+
+    def __init__(self, seed: int = 0, corpus_size: int = 64) -> None:
+        super().__init__(seed)
+        self.corpus_size = corpus_size
+        self._rng = random.Random(seed)
+        self._runtime = None
+        #: fingerprints seen across the whole session (novelty baseline)
+        self._seen: set = set()
+        #: decisions of the current execution, as (kind, value) pairs
+        self._decisions: List[Tuple[str, int]] = []
+        #: length of the longest decision prefix that reached a novel state
+        self._novel_prefix_len = 0
+        #: interesting prefixes from previous executions
+        self._corpus: deque = deque(maxlen=corpus_size)
+        #: prefix being replayed this execution (None = pure random)
+        self._replay: Optional[List[Tuple[str, int]]] = None
+        self._replay_pos = 0
+        #: observability counters
+        self.novel_states = 0
+        self.corpus_hits = 0
+
+    @classmethod
+    def from_config(cls, config, options: Optional[Mapping] = None) -> "FeedbackStrategy":
+        options = dict(options or {})
+        return cls(
+            seed=config.seed,
+            corpus_size=int(options.get("corpus_size", 64)),
+        )
+
+    def attach_runtime(self, runtime) -> None:
+        self._runtime = runtime
+
+    def prepare_iteration(self, iteration: int) -> None:
+        # Harvest the previous execution before resetting: its longest
+        # novel-state prefix becomes a corpus entry.  (The engine calls
+        # prepare_iteration before building the next runtime, so the
+        # decisions list is complete here.)
+        if self._novel_prefix_len > 0:
+            self._corpus.append(list(self._decisions[: self._novel_prefix_len]))
+        self._rng = random.Random(f"{self.seed}:{iteration}:feedback")
+        self._decisions = []
+        self._novel_prefix_len = 0
+        self._replay = None
+        self._replay_pos = 0
+        if self._corpus and iteration % 2 == 1:
+            # Mutation on alternating iterations: replay a corpus prefix
+            # (possibly truncated, which re-randomizes the tail of the
+            # prefix itself), then a fresh random suffix from wherever the
+            # replay lands.  Even iterations stay pure random so guided
+            # depth never crowds out global exploration.
+            entry = self._corpus[self._rng.randrange(len(self._corpus))]
+            cut = self._rng.randrange(len(entry)) + 1
+            self._replay = entry[:cut]
+            self.corpus_hits += 1
+
+    # ------------------------------------------------------------------
+    def _observe_novelty(self) -> None:
+        if self._runtime is None:
+            return
+        current = self._runtime.execution_fingerprint()
+        if current is None:
+            return
+        if current.value not in self._seen:
+            self._seen.add(current.value)
+            self.novel_states += 1
+            self._novel_prefix_len = len(self._decisions)
+
+    def _replayed(self, kind: str) -> Optional[int]:
+        """Next replay decision if it is of ``kind``, else end the replay."""
+        replay = self._replay
+        if replay is None or self._replay_pos >= len(replay):
+            return None
+        recorded_kind, value = replay[self._replay_pos]
+        if recorded_kind != kind:
+            # The schedule diverged structurally; the remaining recorded
+            # decisions no longer line up, so fall back to random.
+            self._replay = None
+            return None
+        self._replay_pos += 1
+        return value
+
+    # ------------------------------------------------------------------
+    def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
+        self._observe_novelty()
+        chosen = None
+        recorded = self._replayed(_SCHEDULE)
+        if recorded is not None:
+            for mid in enabled:
+                if mid.value == recorded:
+                    chosen = mid
+                    break
+            # Tolerant replay: a recorded machine that is not currently
+            # enabled degrades this decision to a random one.
+        if chosen is None:
+            chosen = enabled[self._rng.randrange(len(enabled))]
+        self._decisions.append((_SCHEDULE, chosen.value))
+        return chosen
+
+    def next_boolean(self, requester: MachineId, step: int) -> bool:
+        recorded = self._replayed(_BOOLEAN)
+        value = bool(recorded) if recorded is not None else self._rng.random() < 0.5
+        self._decisions.append((_BOOLEAN, int(value)))
+        return value
+
+    def next_integer(self, requester: MachineId, max_value: int, step: int) -> int:
+        recorded = self._replayed(_INTEGER)
+        if recorded is not None and 0 <= recorded < max_value:
+            value = recorded
+        else:
+            value = self._rng.randrange(max_value)
+        self._decisions.append((_INTEGER, value))
+        return value
+
+    def is_fair(self) -> bool:
+        return True
+
+
+__all__ = ["FeedbackStrategy"]

@@ -77,9 +77,16 @@ class PCTStrategy(SchedulingStrategy):
         self._rng = random.Random(f"{self.seed}:{iteration}:pct")
         self._priorities = {}
         self._low_priority_counter = 0
-        self._change_points = sorted(
-            self._rng.randrange(self.expected_length) for _ in range(self.priority_switches)
-        )
+        # Change points must be *distinct*: a duplicate draw would silently
+        # spend two of the budgeted priority switches on the same step,
+        # demoting one machine fewer than PCT's d-1 guarantee assumes.  Draw
+        # until the set fills (identical RNG stream to independent draws when
+        # no collision occurs), capped by the number of available steps.
+        points: set = set()
+        budget = min(self.priority_switches, self.expected_length)
+        while len(points) < budget:
+            points.add(self._rng.randrange(self.expected_length))
+        self._change_points = sorted(points)
 
     # ------------------------------------------------------------------
     def _priority_of(self, machine: MachineId) -> float:
@@ -94,7 +101,11 @@ class PCTStrategy(SchedulingStrategy):
         if self._in_fair_suffix(step):
             return enabled[self._rng.randrange(len(enabled))]
         chosen = max(enabled, key=self._priority_of)
-        if self._change_points and step >= self._change_points[0]:
+        # Steps are a shared counter with boolean/integer choices, so several
+        # change points can drift past between two scheduling points.  Drain
+        # every stale point now — popping only one per call would smear the
+        # remaining demotions onto arbitrary later steps.
+        while self._change_points and step >= self._change_points[0]:
             self._change_points.pop(0)
             # Demote the chosen machine below everything seen so far.
             self._low_priority_counter += 1

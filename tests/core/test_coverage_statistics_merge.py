@@ -43,6 +43,7 @@ def test_merge_empty_into_empty():
         "handled_tuples": 0,
         "transitions": 0,
         "monitor_states": 0,
+        "fingerprints": 0,
     }
 
 

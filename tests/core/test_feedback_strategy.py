@@ -1,0 +1,63 @@
+"""The coverage-guided ``feedback`` strategy."""
+
+from repro.core import TestingConfig, TestingEngine, run_test
+from repro.core.strategy import FeedbackStrategy, available_strategies, create_strategy
+from repro.examplesys.harness.scenarios import build_replication_test
+from repro.vnext.harness.scenarios import build_failover_test
+
+
+def test_feedback_is_registered():
+    assert "feedback" in available_strategies()
+    strategy = create_strategy(TestingConfig(strategy="feedback", seed=5))
+    assert isinstance(strategy, FeedbackStrategy)
+    assert strategy.seed == 5
+    assert strategy.wants_fingerprints  # forces the tracker on
+
+
+def test_feedback_finds_seeded_bug():
+    config = TestingConfig(iterations=300, max_steps=120, strategy="feedback", seed=3)
+    report = run_test(build_replication_test(check_liveness=False), config)
+    assert report.bug_found
+    assert report.strategy == "feedback"
+    # the tracker ran, so coverage carries the states the search visited
+    assert len(report.coverage.fingerprints) > 0
+
+
+def test_feedback_is_deterministic():
+    def once():
+        config = TestingConfig(iterations=40, max_steps=60, strategy="feedback",
+                               seed=9, stop_at_first_bug=False, max_bugs=None)
+        engine = TestingEngine(build_failover_test(fixed=True, num_nodes=2), config)
+        report = engine.run()
+        return (
+            report.iterations_executed,
+            [b.kind for b in report.bugs],
+            sorted(report.coverage.fingerprints),
+            engine.strategy.novel_states,
+        )
+
+    assert once() == once()
+
+
+def test_feedback_builds_and_replays_a_corpus():
+    config = TestingConfig(iterations=25, max_steps=60, strategy="feedback",
+                           seed=7, stop_at_first_bug=False, max_bugs=None)
+    engine = TestingEngine(build_failover_test(fixed=True, num_nodes=2), config)
+    engine.run()
+    strategy = engine.strategy
+    assert strategy.novel_states > 0
+    assert len(strategy._corpus) > 0
+    assert strategy.corpus_hits > 0
+
+
+def test_feedback_bug_traces_replay():
+    config = TestingConfig(iterations=300, max_steps=120, strategy="feedback", seed=3)
+    entry = build_replication_test(check_liveness=False)
+    engine = TestingEngine(entry, config)
+    report = engine.run()
+    assert report.bug_found
+    bug = report.first_bug
+    assert bug.trace is not None
+    replayed = engine.replay(bug.trace)
+    assert replayed is not None
+    assert replayed.kind == bug.kind

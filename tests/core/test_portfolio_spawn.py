@@ -83,3 +83,38 @@ def test_spawn_portfolio_runs_imported_scenario(quickstart_scenario):
 def test_spawn_context_available():
     """The platform must offer spawn for the regression above to be meaningful."""
     assert "spawn" in multiprocessing.get_all_start_methods()
+
+
+def test_spawn_portfolio_merges_fingerprint_coverage_deterministically():
+    """State fingerprints survive the worker JSON round-trip and merge to the
+    same set whether jobs run serially or in spawned processes."""
+    from repro.core import get_scenario
+
+    testcase = get_scenario("examplesys/safety-bug")
+
+    def build(num_workers):
+        return Portfolio(
+            testcase,
+            strategies=["random", "round-robin"],
+            iterations=8,
+            num_shards=2,
+            num_workers=num_workers,
+            seed=3,
+            config=testcase.default_config(fingerprints=True),
+            start_method="spawn" if num_workers > 1 else None,
+        )
+
+    serial = build(1).run()
+    spawned = build(2).run()
+
+    merged_serial = serial.merged_coverage
+    merged_spawned = spawned.merged_coverage
+    assert len(merged_serial.fingerprints) > 0
+    assert merged_spawned.fingerprints == merged_serial.fingerprints
+    # the merged set is exactly the union of the per-job sets
+    union = set()
+    for result in spawned.results:
+        union |= result.report.coverage.fingerprints
+    assert merged_spawned.fingerprints == union
+    # distinct-state count surfaces in the portfolio summary line
+    assert f"{len(merged_spawned.fingerprints)} distinct states" in spawned.summary()

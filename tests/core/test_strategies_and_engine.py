@@ -198,3 +198,88 @@ def test_report_summary_strings():
     assert "bug found" in report.summary()
     clean = run_test(lambda rt: None, TestingConfig(iterations=2, max_steps=10))
     assert "no bug found" in clean.summary()
+
+
+def test_report_summary_survives_missing_timing_fields():
+    """A JSON-loaded report with bugs but no timing must not crash."""
+    from repro.core.engine import TestReport
+
+    report = run_test(ring_test, TestingConfig(iterations=3, max_steps=100, seed=1))
+    assert report.bug_found
+    payload = report.to_dict()
+    # older writers (and cross-process aggregators) drop the timing fields
+    payload.pop("time_to_first_bug", None)
+    payload.pop("first_bug_iteration", None)
+    loaded = TestReport.from_dict(payload)
+    assert loaded.bug_found
+    assert "timing unavailable" in loaded.summary()
+
+    import json as json_module
+
+    payload["time_to_first_bug"] = None
+    payload["first_bug_iteration"] = None
+    via_json = TestReport.from_json(json_module.dumps(payload))
+    assert "timing unavailable" in via_json.summary()
+
+    # the normal in-process path is unaffected
+    assert "timing unavailable" not in report.summary()
+
+
+def test_coverage_from_dict_reports_malformed_handled_row():
+    from repro.core import CoverageTracker
+
+    with pytest.raises(ValueError, match="coverage handled row 1"):
+        CoverageTracker.from_dict(
+            {"handled": [["M", "s", "E", 1], ["M", "s", "E"]]}
+        )
+
+
+# ---------------------------------------------------------------------------
+# PCT change-point regressions
+# ---------------------------------------------------------------------------
+def test_pct_change_points_are_distinct():
+    """Duplicate draws must not silently waste priority switches."""
+    for iteration in range(200):
+        strategy = PCTStrategy(seed=13, priority_switches=3, expected_length=4)
+        strategy.prepare_iteration(iteration)
+        points = strategy._change_points
+        assert len(points) == len(set(points)) == 3
+
+
+def test_pct_change_point_budget_capped_by_expected_length():
+    strategy = PCTStrategy(seed=1, priority_switches=10, expected_length=4)
+    strategy.prepare_iteration(0)
+    assert sorted(strategy._change_points) == [0, 1, 2, 3]
+
+
+def test_pct_drains_drifted_change_points_in_one_call():
+    """Steps shared with value choices can jump past several change points;
+    every stale point must be consumed (and demote) at the next scheduling
+    point instead of smearing onto arbitrary later steps."""
+    strategy = PCTStrategy(seed=2, priority_switches=2, expected_length=100)
+    strategy.prepare_iteration(0)
+    strategy._change_points = [3, 5]
+    enabled = ids(4)
+    strategy.next_machine(enabled, 0)  # before any change point
+    assert strategy._change_points == [3, 5]
+    strategy.next_machine(enabled, 50)  # drifted past both
+    assert strategy._change_points == []
+    # both demotions happened: two machines now carry sub-zero priorities
+    demoted = [m for m in enabled if strategy._priorities.get(m, 1.0) < 0]
+    assert len(demoted) == 2
+
+
+def test_pct_demotion_schedule_regression():
+    """Pin the demotion behaviour: after a change point fires, the demoted
+    machine stops being scheduled until every other machine is demoted too."""
+    strategy = PCTStrategy(seed=4, priority_switches=1, expected_length=1)
+    strategy.prepare_iteration(0)
+    enabled = ids(3)
+    first = strategy.next_machine(enabled, 0)  # change point at step 0 fires
+    # the machine holding the highest initial priority was demoted below
+    # everything, so it is never chosen again while others are enabled
+    later = {strategy.next_machine(enabled, step) for step in range(1, 10)}
+    demoted = [m for m, p in strategy._priorities.items() if p < 0]
+    assert len(demoted) == 1
+    assert demoted[0] not in later
+    assert first != demoted[0] or first not in later
