@@ -6,11 +6,12 @@ schedules.  Both strategies are fully deterministic, so the iteration counts
 are exact, not noisy timings.
 
 Known-good reference (one-node failover scenario, max_steps=7): DFS exhausts
-the space in 10669 schedules, dpor-lite in 4648 — a 2.30x reduction.  At
-max_steps=8 the gap widens to 3.26x (74156 vs 22744).
+the space in 10669 schedules, a v1 (method-level) independence table prunes
+to 4648 (2.30x), and the v2 field-level table of PR 9 to 1862 (5.73x vs DFS,
+2.50x vs v1).  At max_steps=8 the v1 gap widens to 3.26x (74156 vs 22744).
 """
 
-from repro.analysis import independence_for_classes
+from repro.analysis import LEGACY_TABLE_VERSION, independence_for_classes
 from repro.analysis.extract import discover_classes
 from repro.core import TestingConfig, TestingEngine
 from repro.vnext.harness.scenarios import build_failover_test
@@ -53,6 +54,27 @@ def test_bench_dpor_prunes_dfs_schedule_space(benchmark):
     assert dfs.bug_found and pruned.bug_found
     assert {bug.kind for bug in dfs.bugs} == {bug.kind for bug in pruned.bugs}
     assert ratio >= 2.0, f"expected >= 2x pruning, got {ratio:.2f}x"
+
+
+def test_bench_dpor_v2_table_outprunes_v1(benchmark):
+    """The field-level (v2) footprints must beat the method-level (v1) table
+    by at least 1.2x on the same space, with identical bug coverage."""
+    classes = discover_classes(lambda: build_failover_test(fixed=False, num_nodes=1))
+    v1_table = independence_for_classes(classes, version=LEGACY_TABLE_VERSION)
+    v2_table = independence_for_classes(classes)
+    v1 = _exhaust("dpor-lite", independence=v1_table)
+    v2 = benchmark.pedantic(
+        lambda: _exhaust("dpor-lite", independence=v2_table), rounds=1, iterations=1
+    )
+    ratio = v1.iterations_executed / v2.iterations_executed
+    print()
+    print(
+        f"[dpor-lite v2 gate] v1={v1.iterations_executed} schedules, "
+        f"v2={v2.iterations_executed} schedules ({ratio:.2f}x fewer)"
+    )
+    assert v1.bug_found and v2.bug_found
+    assert {bug.kind for bug in v1.bugs} == {bug.kind for bug in v2.bugs}
+    assert ratio >= 1.2, f"expected >= 1.2x field-level pruning, got {ratio:.2f}x"
 
 
 def test_bench_dpor_without_table_degenerates_to_dfs():

@@ -5,18 +5,28 @@ schedule (states, transitions, sends with resolved event/target types,
 defer/ignore disciplines) and checks the model against a fixed rule catalog —
 per-machine rules (``unhandled-event``, ``unreachable-state``,
 ``dead-handler``, ``pop-underflow``, ``stuck-deferral``, ``hot-forever``,
-``payload-alias``) plus whole-program graph rules (``dead-event``,
-``unreachable-machine``, ``monitor-never-notified``,
-``unbounded-send-cycle``) and pragma hygiene (``unused-ignore``).
+``payload-alias``, ``nondeterministic-handler``) plus whole-program graph
+and dataflow rules (``dead-event``, ``unreachable-machine``,
+``monitor-never-notified``, ``unbounded-send-cycle``,
+``payload-missing-field``, ``payload-dead-field``) and pragma hygiene
+(``unused-ignore``).
 
-The same extraction layer feeds two machine-readable artifacts:
+The same extraction layer feeds three machine-readable artifacts:
 
 * the **communication graph** (:func:`build_comm_graph` /
   ``python -m repro analyze --graph [--dot|--json]``) — machine, monitor and
   event types with every create/send/raise/notify site as an anchored edge;
+* the **payload dataflow** (:func:`build_dataflow`) — field-sensitive
+  def-use facts joining what each producing site constructs with what each
+  receiving handler reads;
 * the **independence table** (:func:`build_independence_table`) — the static
-  per-``(machine, event-type)`` footprints the ``dpor-lite`` strategy uses to
-  prune the schedule search (``python -m repro run --prune``).
+  per-``(machine, event-type)`` read/write footprints the ``dpor-lite``
+  strategy uses to prune the schedule search (``python -m repro run
+  --prune``).
+
+Repeated runs over an unchanged tree are served from an on-disk incremental
+cache (:class:`AnalysisCache`, ``.repro-cache/``) keyed on per-module source
+digests; ``--no-cache`` bypasses it.
 
 Run the analyzer via ``python -m repro analyze`` or programmatically::
 
@@ -30,6 +40,7 @@ Run the analyzer via ``python -m repro analyze`` or programmatically::
 Diagnostics are suppressed inline with ``# repro: ignore[rule-id]``.
 """
 
+from .cache import CACHE_VERSION, AnalysisCache
 from .checkers import (
     RULES,
     check_unused_ignores,
@@ -38,6 +49,16 @@ from .checkers import (
     run_checkers,
 )
 from .commgraph import CommGraph, GraphEdge, GraphNode, build_comm_graph
+from .dataflow import (
+    HandlerReads,
+    NondetFinding,
+    ProducerSite,
+    ProgramDataflow,
+    build_dataflow,
+    clear_dataflow_cache,
+    event_ctor_fields,
+    event_has_own_methods,
+)
 from .extract import (
     build_program,
     clear_model_cache,
@@ -46,6 +67,7 @@ from .extract import (
     extract_machine_model,
 )
 from .independence import (
+    LEGACY_TABLE_VERSION,
     TABLE_VERSION,
     build_independence_table,
     footprint_for,
@@ -62,13 +84,20 @@ from .runner import (
 )
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisReport",
+    "CACHE_VERSION",
     "CommGraph",
     "Diagnostic",
     "ERROR",
     "GraphEdge",
     "GraphNode",
+    "HandlerReads",
+    "LEGACY_TABLE_VERSION",
     "MachineModel",
+    "NondetFinding",
+    "ProducerSite",
+    "ProgramDataflow",
     "ProgramModel",
     "QuerySite",
     "RULES",
@@ -78,12 +107,16 @@ __all__ = [
     "analyze_classes",
     "analyze_scenarios",
     "build_comm_graph",
+    "build_dataflow",
     "build_independence_table",
     "build_program",
     "check_unused_ignores",
+    "clear_dataflow_cache",
     "clear_model_cache",
     "discover_classes",
     "discover_event_types",
+    "event_ctor_fields",
+    "event_has_own_methods",
     "extract_machine_model",
     "footprint_for",
     "graph_for_scenarios",

@@ -14,6 +14,7 @@ from repro.core.declarations import ANY_STATE, DEFER, is_control_event
 from repro.core.events import Event
 from repro.core.monitors import Monitor
 
+from .dataflow import build_dataflow, event_ctor_fields, event_has_own_methods
 from .model import GOTO, PUSH, MachineModel, ProgramModel, SourceRef
 from .report import ERROR, WARNING, Diagnostic
 
@@ -76,6 +77,23 @@ RULES: Dict[str, Tuple[str, str]] = {
         WARNING,
         "a '# repro: ignore[rule-id]' pragma suppresses nothing at its "
         "anchor lines (wildcard '[*]' pragmas are exempt)",
+    ),
+    "payload-missing-field": (
+        ERROR,
+        "a handler reads an event payload field that no reachable producer "
+        "of that event ever sets — a guaranteed AttributeError on dispatch",
+    ),
+    "payload-dead-field": (
+        WARNING,
+        "an event payload field is populated by its producers but never "
+        "read by any handler or monitor in the program",
+    ),
+    "nondeterministic-handler": (
+        WARNING,
+        "a handler body draws on uncontrolled nondeterminism (wall clock, "
+        "OS entropy, the global random module, or unordered-set iteration "
+        "with framework effects), which silently breaks replay, shrinking "
+        "and state-fingerprint stability",
     ),
 }
 
@@ -683,6 +701,184 @@ def _check_unbounded_send_cycles(program: ProgramModel) -> List[Diagnostic]:
     return diagnostics
 
 
+# ---------------------------------------------------------------------------
+# payload dataflow rules (field-sensitive def-use, see repro.analysis.dataflow)
+# ---------------------------------------------------------------------------
+def _check_payload_missing_fields(
+    program: ProgramModel, flow, extra_produced: Set[type]
+) -> List[Diagnostic]:
+    """A handler reads ``event.f`` but *no* producer of any deliverable event
+    type can construct an instance carrying ``f``: the first matching
+    dispatch raises ``AttributeError``.
+
+    Anti-monotone like the other whole-program rules — adding producers can
+    only remove diagnostics — so it requires a fully ``resolved`` dataflow,
+    at least one producer that provably targets the handler's machine, and
+    constructor may-sets for every deliverable type.  Harness-constructed
+    events (``extra_produced``) are opaque producers: any read off them is
+    assumed satisfiable.
+    """
+    if not flow.resolved:
+        return []
+    diagnostics = []
+    for entry in flow.handler_reads:
+        if not entry.fields:  # opaque (None) or reads nothing: no claim
+            continue
+        if is_control_event(entry.event_type):
+            continue
+        if any(issubclass(extra, entry.event_type) for extra in extra_produced):
+            continue
+        model = program.model_for(entry.owner)
+        if model is None:
+            continue
+        states = model.method_states.get(entry.method, set())
+        if states and ANY_STATE not in states and not (
+            states & reachable_states(model)
+        ):
+            continue  # bound only to unreachable states: never dispatched
+        deliverable = [
+            etype
+            for etype in flow.producers
+            if issubclass(etype, entry.event_type)
+        ]
+        if not deliverable:
+            continue  # nothing produces it at all: dead-event territory
+        if not any(
+            site.target is not None
+            and (
+                issubclass(entry.owner, site.target)
+                or issubclass(site.target, entry.owner)
+            )
+            for etype in deliverable
+            for site in flow.producers[etype]
+        ):
+            continue  # no producer provably delivers to this machine
+        provided: Set[str] = set()
+        opaque = False
+        for etype in deliverable:
+            fields = flow.fields_provided(etype)
+            if fields is None:
+                opaque = True
+                break
+            provided.update(fields)
+        if opaque:
+            continue
+        missing = sorted(entry.fields - provided)
+        if not missing:
+            continue
+        names = ", ".join(repr(name) for name in missing)
+        plural = "s" if len(missing) > 1 else ""
+        diagnostics.append(
+            _diag(
+                "payload-missing-field",
+                model,
+                entry.ref,
+                f"{model.name}.{model.pretty_method(entry.method)} reads "
+                f"field{plural} {names} off {entry.event_type.__name__}, but "
+                f"no reachable producer ever sets "
+                f"{'them' if plural else 'it'} — guaranteed AttributeError "
+                f"on dispatch",
+            )
+        )
+    return diagnostics
+
+
+def _check_payload_dead_fields(
+    program: ProgramModel, flow, extra_produced: Set[type]
+) -> List[Diagnostic]:
+    """Every producer populates a payload field that nothing ever reads.
+
+    Needs the full consumer set to be visible, so it skips event types with
+    any read-opaque handler, any ``Receive(...)`` consumer (coroutine bodies
+    read fields outside the handler model), harness-related types, framework
+    and control events, and events with behavior of their own.
+    """
+    if not flow.resolved:
+        return []
+    receive_opaque: Set[type] = set()
+    receives_unknown = False
+    for model in program:
+        if model.receives_unknown:
+            receives_unknown = True
+        receive_opaque.update(model.receive_types)
+    diagnostics = []
+    for event_type in sorted(
+        flow.producers, key=lambda t: (t.__module__, t.__qualname__)
+    ):
+        if is_control_event(event_type) or _framework_event(event_type):
+            continue
+        if receives_unknown or any(
+            issubclass(event_type, received) for received in receive_opaque
+        ):
+            continue
+        if any(
+            issubclass(extra, event_type) or issubclass(event_type, extra)
+            for extra in extra_produced
+        ):
+            continue  # the harness constructs/inspects these opaquely
+        if event_has_own_methods(event_type):
+            continue
+        consumers = [
+            entry
+            for entry in flow.handler_reads
+            if issubclass(event_type, entry.event_type)
+        ]
+        if not consumers:
+            continue  # no reader at all: dead-event territory, not a field
+        required = flow.fields_required(event_type)
+        if required is None:
+            continue  # some consumer is read-opaque
+        must, _may = event_ctor_fields(event_type)
+        if must is None:
+            continue
+        sites = sorted(
+            flow.producers[event_type], key=lambda s: (s.ref.file, s.ref.line)
+        )
+        extras: Set[str] = set()
+        for site in sites:
+            extras.update(site.extra_fields)
+        dead = sorted((set(must) | extras) - required)
+        if not dead:
+            continue
+        anchor = sites[0]
+        model = program.model_for(anchor.owner)
+        if model is None:
+            continue
+        names = ", ".join(repr(name) for name in dead)
+        plural = "s" if len(dead) > 1 else ""
+        diagnostics.append(
+            _diag(
+                "payload-dead-field",
+                model,
+                anchor.ref,
+                f"field{plural} {names} of {event_type.__name__} "
+                f"{'are' if plural else 'is'} populated on every construction "
+                f"but never read by any handler or monitor; dead payload",
+            )
+        )
+    return diagnostics
+
+
+def _check_nondeterministic_handlers(program: ProgramModel) -> List[Diagnostic]:
+    """Uncontrolled-nondeterminism sites are must-facts (the call or loop is
+    syntactically present), so this rule needs no whole-program gating."""
+    diagnostics = []
+    for model in sorted(program, key=lambda m: (m.module, m.line, m.name)):
+        for site in model.nondet_sites:
+            diagnostics.append(
+                _diag(
+                    "nondeterministic-handler",
+                    model,
+                    site.ref,
+                    f"{model.name}.{model.pretty_method(site.method)} "
+                    f"{site.reason}; test-mode handlers must be deterministic "
+                    f"functions of machine state and the delivered event, or "
+                    f"replay, shrinking and fingerprints silently break",
+                )
+            )
+    return diagnostics
+
+
 def check_unused_ignores(
     program: ProgramModel, raw_diagnostics: List[Diagnostic]
 ) -> List[Diagnostic]:
@@ -690,7 +886,10 @@ def check_unused_ignores(
 
     A pragma is *used* when some raw (pre-suppression) diagnostic for one of
     its listed rules anchors at the pragma's line (trailing form) or the line
-    below it (comment-above form).  Wildcard ``[*]`` pragmas are exempt.
+    below it (comment-above form) — hopping over contiguous decorator lines,
+    mirroring :func:`repro.analysis.report.suppressed_rules`, so a pragma
+    above a decorated handler attaches to the handler's ``def`` anchor.
+    Wildcard ``[*]`` pragmas are exempt.
 
     Only lines inside the body of an analyzed class are scanned: a source
     file may also hold classes outside this program (fixture modules,
@@ -725,9 +924,13 @@ def check_unused_ignores(
         rules = {part.strip() for part in match.group(1).split(",")}
         if "*" in rules:
             continue
+        below = lineno + 1
+        while linecache.getline(file, below).lstrip().startswith("@"):
+            below += 1
         used = rules & (
             anchored.get((file, lineno), set())
             | anchored.get((file, lineno + 1), set())
+            | anchored.get((file, below), set())
         )
         if used:
             continue
@@ -779,9 +982,14 @@ def run_checkers(
         diagnostics.extend(_check_hot_forever(model))
         diagnostics.extend(_check_payload_alias(model))
     diagnostics.extend(_check_unhandled_events(program))
+    diagnostics.extend(_check_nondeterministic_handlers(program))
     if whole_program:
-        diagnostics.extend(_check_dead_events(program, set(produced_events)))
+        flow = build_dataflow(program)
+        extra = set(produced_events)
+        diagnostics.extend(_check_dead_events(program, extra))
         diagnostics.extend(_check_unreachable_machines(program, root_set))
         diagnostics.extend(_check_monitor_never_notified(program))
+        diagnostics.extend(_check_payload_missing_fields(program, flow, extra))
+        diagnostics.extend(_check_payload_dead_fields(program, flow, extra))
     diagnostics.extend(_check_unbounded_send_cycles(program))
     return diagnostics

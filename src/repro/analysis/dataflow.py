@@ -1,0 +1,366 @@
+"""Layer 2b: field-sensitive payload dataflow over the extracted program.
+
+The communication graph (PR 7) answers *which event types flow where*; this
+module refines it to *which payload fields* flow.  For every producing site
+(``send``/``raise_event``/``notify_monitor``) the extractor records the
+constructor fields the site populates plus any post-construction attribute
+writes; for every receiving handler it records the fields read off the event
+parameter.  Joining the two gives def-use facts per event type:
+
+* a handler reading a field **no** deliverable producer ever sets is a
+  guaranteed ``AttributeError`` on delivery (``payload-missing-field``);
+* a field **every** producer sets but no handler or monitor ever reads is
+  dead payload (``payload-dead-field``).
+
+Conservatism discipline (same as :mod:`repro.analysis.model`): everything
+degrades to *opaque*.  A handler whose event parameter escapes reads
+"any field"; an event type whose ``__init__`` uses ``setattr``/``**kwargs``
+or leaks ``self`` provides "any field"; a program with unresolvable
+producers or external methods is not ``resolved`` and the whole-program
+payload rules stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import types
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.events import Event
+
+from .extract import _function_ast
+from .model import MachineModel, ProgramModel, SourceRef
+
+#: (must_set, may_set) per event type; ``None`` on a side means "unknown"
+_CtorFields = Tuple[Optional[FrozenSet[str]], Optional[FrozenSet[str]]]
+
+_CTOR_FIELD_CACHE: Dict[type, _CtorFields] = {}
+
+
+def clear_dataflow_cache() -> None:
+    """Drop memoized per-event-type field summaries (test hygiene)."""
+    _CTOR_FIELD_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class HandlerReads:
+    """Field reads of one registered handler for one event type."""
+
+    owner: type
+    event_type: type
+    method: str
+    #: fields read off the event parameter; ``None`` = parameter escapes,
+    #: any field may be read
+    fields: Optional[FrozenSet[str]]
+    ref: SourceRef
+
+
+@dataclass(frozen=True)
+class ProducerSite:
+    """One site that introduces an event instance into the program."""
+
+    owner: type
+    event_type: type
+    method: str
+    #: constructor fields the site populates (empty when the event
+    #: expression is not a constructor call, e.g. forwarding)
+    fields: FrozenSet[str]
+    #: fields attached after construction (``evt.extra = ...``)
+    extra_fields: FrozenSet[str]
+    #: the site forwards the handler's own received event
+    forwards: bool
+    #: the machine/monitor class the site delivers to — the send's resolved
+    #: target, the site's own class for ``raise_event`` (self-delivery), the
+    #: monitor class for ``notify_monitor``; ``None`` when unresolvable
+    target: Optional[type]
+    ref: SourceRef
+
+
+@dataclass(frozen=True)
+class NondetFinding:
+    """One uncontrolled-nondeterminism site (determinism lint)."""
+
+    owner: type
+    method: str
+    reason: str
+    ref: SourceRef
+
+
+@dataclass
+class ProgramDataflow:
+    """Joined def-use payload facts for one extracted program."""
+
+    handler_reads: List[HandlerReads] = field(default_factory=list)
+    producers: Dict[type, List[ProducerSite]] = field(default_factory=dict)
+    nondet: List[NondetFinding] = field(default_factory=list)
+    #: every model is complete and effect-visible and every producing site's
+    #: event type resolved; when False the producer map under-approximates
+    #: and the whole-program payload rules must stay silent
+    resolved: bool = True
+
+    def fields_provided(self, event_type: type) -> Optional[FrozenSet[str]]:
+        """May-set of fields an instance of ``event_type`` can carry.
+
+        The union of the constructor's may-set with every producing site's
+        post-construction writes; ``None`` when the constructor is opaque.
+        """
+        _must, may = event_ctor_fields(event_type)
+        if may is None:
+            return None
+        extras: set = set()
+        for site in self.producers.get(event_type, ()):
+            extras.update(site.extra_fields)
+        return frozenset(may | extras)
+
+    def fields_required(self, event_type: type) -> Optional[FrozenSet[str]]:
+        """Union of fields any registered handler reads off ``event_type``
+        (including supertype-registered handlers); ``None`` when any of
+        those handlers is read-opaque."""
+        reads: set = set()
+        for entry in self.handler_reads:
+            if not issubclass(event_type, entry.event_type):
+                continue
+            if entry.fields is None:
+                return None
+            reads.update(entry.fields)
+        return frozenset(reads)
+
+
+def _mro_up_to_event(cls: type) -> List[type]:
+    return [
+        klass
+        for klass in cls.__mro__
+        if issubclass(klass, Event) and klass is not Event
+    ]
+
+
+def _class_attr_fields(cls: type) -> FrozenSet[str]:
+    """Plain data attributes declared on the class body (always readable)."""
+    names = set()
+    for klass in _mro_up_to_event(cls):
+        for name, value in vars(klass).items():
+            if name.startswith("__"):
+                continue
+            if callable(value) or isinstance(value, (property, staticmethod, classmethod)):
+                continue
+            names.add(name)
+    return frozenset(names)
+
+
+def event_has_own_methods(cls: type) -> bool:
+    """The event type defines behavior beyond ``__init__`` — its fields may
+    be consumed internally, so the dead-field rule skips it."""
+    for klass in _mro_up_to_event(cls):
+        for name, value in vars(klass).items():
+            if name == "__init__":
+                continue
+            if isinstance(value, (types.FunctionType, property, staticmethod, classmethod)):
+                return True
+    return False
+
+
+def _own_init(cls: type) -> Optional[object]:
+    for klass in cls.__mro__:
+        if klass in (Event, object):
+            break
+        candidate = vars(klass).get("__init__")
+        if candidate is not None:
+            return candidate
+    return None
+
+
+def _init_fields(cls: type, init: types.FunctionType) -> _CtorFields:
+    info = _function_ast(init)
+    if info is None:
+        return (None, None)
+    fdef, _fname, _offset = info
+    if fdef.args.vararg is not None or fdef.args.kwarg is not None:
+        return (None, None)  # field names flow through *args/**kwargs
+    # opacity scan: dynamic attribute machinery or an escaping ``self``
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(fdef):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    for node in ast.walk(fdef):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("setattr", "delattr", "vars"):
+                return (None, None)
+        if isinstance(node, ast.Attribute) and node.attr == "__dict__":
+            return (None, None)
+        if isinstance(node, ast.Name) and node.id == "self":
+            parent = parents.get(node)
+            if not (isinstance(parent, ast.Attribute) and parent.value is node):
+                return (None, None)  # bare self escapes: anything may be set
+            grand = parents.get(parent)
+            if isinstance(grand, ast.Call) and grand.func is parent:
+                return (None, None)  # self.m(...): the method may set fields
+    has_return = any(isinstance(node, ast.Return) for node in ast.walk(fdef))
+    must: set = set()
+    may: set = set()
+
+    def _self_attr_targets(stmt: ast.stmt) -> List[str]:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        else:
+            return []
+        names = []
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                names.append(target.attr)
+        return names
+
+    for stmt in fdef.body:
+        top_level = _self_attr_targets(stmt)
+        may.update(top_level)
+        if not has_return:
+            must.update(top_level)
+        for inner in ast.walk(stmt):
+            if isinstance(inner, ast.stmt) and inner is not stmt:
+                may.update(_self_attr_targets(inner))
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == "__init__"
+            and isinstance(stmt.value.func.value, ast.Call)
+            and isinstance(stmt.value.func.value.func, ast.Name)
+            and stmt.value.func.value.func.id == "super"
+        ):
+            base = cls.__mro__[1] if len(cls.__mro__) > 1 else object
+            if base not in (Event, object):
+                base_must, base_may = event_ctor_fields(base)
+                if base_may is None:
+                    return (None, None)
+                may.update(base_may)
+                if base_must is not None and not has_return:
+                    must.update(base_must)
+    return (frozenset(must), frozenset(may))
+
+
+def event_ctor_fields(cls: type) -> _CtorFields:
+    """``(must_set, may_set)`` of payload fields ``cls(...)`` instances carry.
+
+    ``must_set`` — fields every constructed instance is guaranteed to have
+    (unconditional top-level ``self.f = ...``, dataclass/namedtuple fields,
+    class-body data attributes).  ``may_set`` — every field an instance can
+    possibly have.  ``None`` on a side means that side is unknowable
+    (dynamic ``setattr``, ``**kwargs``, escaping ``self``, missing source).
+    """
+    cached = _CTOR_FIELD_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    import dataclasses
+
+    result: _CtorFields
+    class_fields = _class_attr_fields(cls)
+    if dataclasses.is_dataclass(cls):
+        names = frozenset(f.name for f in dataclasses.fields(cls)) | class_fields
+        result = (names, names)
+    elif issubclass(cls, tuple):
+        # the namedtuple ``_fields`` tuple can be shadowed through the MRO
+        # (``Event._fields`` is a method), so find the genuine declaration
+        nt_fields = next(
+            (
+                vars(klass)["_fields"]
+                for klass in cls.__mro__
+                if isinstance(vars(klass).get("_fields"), tuple)
+            ),
+            None,
+        )
+        if nt_fields is None:
+            result = (None, None)  # a tuple payload we cannot enumerate
+        else:
+            names = frozenset(nt_fields) | class_fields
+            result = (names, names)
+    else:
+        init = _own_init(cls)
+        if init is None:
+            result = (class_fields, class_fields)
+        elif not isinstance(init, types.FunctionType):
+            result = (None, None)
+        else:
+            must, may = _init_fields(cls, init)
+            if must is None or may is None:
+                result = (None, None)
+            else:
+                result = (must | class_fields, may | class_fields)
+    _CTOR_FIELD_CACHE[cls] = result
+    return result
+
+
+def _handler_reads_of(model: MachineModel) -> List[HandlerReads]:
+    entries: Dict[Tuple[type, str], HandlerReads] = {}
+    for (_state, registered), info in model.spec.handlers.items():
+        if not isinstance(registered, type):
+            continue
+        method = info.method_name
+        fields = model.handler_field_reads.get(method)
+        ref = model.method_refs.get(method, SourceRef(model.file, model.line))
+        entries[(registered, method)] = HandlerReads(
+            owner=model.cls,
+            event_type=registered,
+            method=method,
+            fields=fields,
+            ref=ref,
+        )
+    return [entries[key] for key in sorted(entries, key=lambda k: (k[0].__qualname__, k[1]))]
+
+
+def build_dataflow(program: ProgramModel) -> ProgramDataflow:
+    """Join producer-side and consumer-side payload facts for ``program``."""
+    flow = ProgramDataflow()
+    for model in sorted(program, key=lambda m: (m.module, m.name)):
+        if model.partial or model.method_external:
+            flow.resolved = False
+        flow.handler_reads.extend(_handler_reads_of(model))
+        for site in (*model.sends, *model.raises, *model.notifies):
+            if site.event_type is None:
+                flow.resolved = False
+                continue
+            if hasattr(site, "monitor"):
+                target: Optional[type] = site.monitor
+            elif hasattr(site, "target"):
+                target = site.target
+            else:  # raise_event delivers to the raising machine itself
+                target = model.cls
+            flow.producers.setdefault(site.event_type, []).append(
+                ProducerSite(
+                    owner=model.cls,
+                    event_type=site.event_type,
+                    method=site.method,
+                    fields=frozenset(site.payload_fields),
+                    extra_fields=frozenset(site.payload_extra),
+                    forwards=bool(getattr(site, "forwards_param", False)),
+                    target=target,
+                    ref=site.ref,
+                )
+            )
+        for nondet in model.nondet_sites:
+            flow.nondet.append(
+                NondetFinding(
+                    owner=model.cls,
+                    method=nondet.method,
+                    reason=nondet.reason,
+                    ref=nondet.ref,
+                )
+            )
+    return flow
+
+
+__all__ = [
+    "HandlerReads",
+    "NondetFinding",
+    "ProducerSite",
+    "ProgramDataflow",
+    "build_dataflow",
+    "clear_dataflow_cache",
+    "event_ctor_fields",
+    "event_has_own_methods",
+]

@@ -40,6 +40,7 @@ from .model import (
     AliasSend,
     CreateSite,
     MachineModel,
+    NondetSite,
     NotifySite,
     PopSite,
     ProgramModel,
@@ -256,6 +257,391 @@ def _is_plain_ctor(cls: type) -> bool:
     return result
 
 
+# ---------------------------------------------------------------------------
+# effect-confined classes
+# ---------------------------------------------------------------------------
+# A class is *effect-confined* when every method that can run on an instance
+# provably touches only the instance's own state: locals, ``self``
+# attributes, fresh containers, confined sub-objects, and pure builtins.
+# Machines may then call methods on attributes holding such objects
+# (``self.store.add_extent(...)``) without the method degrading to
+# "external" — the effect stays inside the machine's own heap, which the
+# independence table already accounts for.  Anything the walk cannot prove
+# keeps the v1 verdict: external.
+_CONFINED_CLASS_CACHE: Dict[type, bool] = {}
+_CONFINED_CTOR_CACHE: Dict[type, bool] = {}
+
+
+def _class_functions(cls: type) -> Optional[Dict[str, types.FunctionType]]:
+    """Every function that can run on an instance of ``cls`` (methods plus
+    property accessors, across the MRO); ``None`` when the class carries a
+    descriptor or callable attribute the walk cannot see through."""
+    funcs: Dict[str, types.FunctionType] = {}
+    for klass in reversed(cls.__mro__):
+        if klass is object:
+            continue
+        for name, attr in vars(klass).items():
+            if isinstance(attr, types.FunctionType):
+                funcs[name] = attr
+            elif isinstance(attr, property):
+                for accessor in (attr.fget, attr.fset, attr.fdel):
+                    if accessor is None:
+                        continue
+                    if not isinstance(accessor, types.FunctionType):
+                        return None
+                    funcs[f"{name}.{accessor.__name__}.{id(accessor):x}"] = accessor
+            elif isinstance(attr, (staticmethod, classmethod)):
+                return None  # may reach class-level shared state
+            elif callable(attr) and not isinstance(attr, type):
+                return None  # unknown descriptor / callable attribute
+    return funcs
+
+
+def _attr_ctor_value(node: ast.AST, scope: "_Scope"):
+    """Value summary for ``self.X = <node>`` as a fresh helper object."""
+    if isinstance(node, ast.Call):
+        resolved = _resolve_or_none(node.func, scope)
+        if isinstance(resolved, type) and not issubclass(
+            resolved, (Machine, Monitor, Event)
+        ):
+            return resolved
+    return None
+
+
+def _chain_root(node: ast.AST) -> Tuple[ast.AST, Optional[ast.AST]]:
+    """Walk an attribute/subscript chain down to its root expression.
+
+    Returns ``(root, hop)`` where ``hop`` is the chain link directly above
+    the root (``None`` when ``node`` is the root itself).
+    """
+    hop: Optional[ast.AST] = None
+    base = node
+    while isinstance(base, (ast.Attribute, ast.Subscript)):
+        hop = base
+        base = base.value
+    return base, hop
+
+
+def _confined_receiver_owned(
+    node: ast.AST,
+    scope: "_Scope",
+    container_attrs: Set[str],
+    attr_classes: Dict[str, type],
+) -> bool:
+    """The receiver is a value this instance (or its caller) owns: rooted at
+    a confined ``self`` attribute, a local/parameter name, a call result, a
+    literal, or a fresh container — never a module-global."""
+    base, hop = _chain_root(node)
+    if isinstance(base, ast.Name):
+        if base.id == "self":
+            return isinstance(hop, ast.Attribute) and (
+                hop.attr in container_attrs or hop.attr in attr_classes
+            )
+        return _resolve_or_none(base, scope) is None  # local or parameter
+    return (
+        isinstance(base, (ast.Call, ast.Constant))
+        or _is_container_expr(base, scope)
+    )
+
+
+def _confined_store_ok(
+    target: ast.AST,
+    scope: "_Scope",
+    container_attrs: Set[str],
+    attr_classes: Dict[str, type],
+) -> bool:
+    if isinstance(target, ast.Name):
+        return True
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return all(
+            _confined_store_ok(el, scope, container_attrs, attr_classes)
+            for el in target.elts
+        )
+    if isinstance(target, ast.Starred):
+        return _confined_store_ok(target.value, scope, container_attrs, attr_classes)
+    base, hop = _chain_root(target)
+    if isinstance(base, ast.Name):
+        if base.id == "self":
+            if isinstance(target, ast.Attribute) and target.value is base:
+                return True  # plain own-attribute rebind
+            return isinstance(hop, ast.Attribute) and (
+                hop.attr in container_attrs or hop.attr in attr_classes
+            )
+        return _resolve_or_none(base, scope) is None
+    return isinstance(base, ast.Call) or _is_container_expr(base, scope)
+
+
+def _confined_call_ok(
+    node: ast.Call,
+    cls: type,
+    scope: "_Scope",
+    container_attrs: Set[str],
+    attr_classes: Dict[str, type],
+    stack: Set[type],
+) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "super"
+        ):
+            base_cls = cls.__mro__[1] if len(cls.__mro__) > 1 else object
+            if base_cls is object:
+                return True
+            if func.attr == "__init__":
+                return _ctor_is_confined(base_cls, stack)
+            return _is_effect_confined_class(base_cls, stack)
+        if _is_self_attr(receiver):
+            if receiver.attr in container_attrs:
+                return True
+            if receiver.attr in attr_classes:
+                # a confined sub-object: all of its runnable code is (being)
+                # checked by _is_effect_confined_class
+                return True
+        if func.attr in _MUTATING_METHODS or func.attr in _CONTAINER_READONLY:
+            return _confined_receiver_owned(receiver, scope, container_attrs, attr_classes)
+        if isinstance(receiver, ast.Constant):
+            return True  # e.g. ", ".join(...)
+        return False
+    resolved = _resolve_or_none(func, scope)
+    if resolved is None:
+        return False
+    if any(resolved is fn for fn in _BENIGN_CALLABLES):
+        return True
+    if isinstance(resolved, type):
+        return (
+            issubclass(resolved, BaseException)
+            or _is_plain_ctor(resolved)
+            or _ctor_is_confined(resolved, stack)
+        )
+    return False
+
+
+def _method_effect_confined(
+    cls: type,
+    func: types.FunctionType,
+    container_attrs: Set[str],
+    attr_classes: Dict[str, type],
+    stack: Set[type],
+) -> Tuple[bool, Set[str]]:
+    """Whether one method body provably has no effects outside the instance.
+
+    Returns ``(verdict, self_calls)``; ``self_calls`` are own-method names
+    invoked as ``self.m(...)`` (callers needing a closure follow them).
+    """
+    info = _function_ast(func)
+    if info is None:
+        return False, set()
+    fdef, _fname, _offset = info
+    scope = _Scope(func, cls)
+    self_calls: Set[str] = set()
+    for node in ast.walk(fdef):
+        if isinstance(node, (ast.Global, ast.Nonlocal, ast.Await)):
+            return False, self_calls
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Delete)):
+            if isinstance(node, (ast.Assign, ast.Delete)):
+                targets = list(node.targets)
+            else:
+                targets = [node.target]
+            for target in targets:
+                if not _confined_store_ok(target, scope, container_attrs, attr_classes):
+                    return False, self_calls
+        if isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and isinstance(func_expr.value, ast.Name)
+                and func_expr.value.id == "self"
+            ):
+                attr = getattr(cls, func_expr.attr, None)
+                if isinstance(attr, (types.FunctionType, property)):
+                    self_calls.add(func_expr.attr)
+                    continue
+                return False, self_calls
+            if not _confined_call_ok(node, cls, scope, container_attrs, attr_classes, stack):
+                return False, self_calls
+    return True, self_calls
+
+
+def _is_effect_confined_class(cls: type, _stack: Optional[Set[type]] = None) -> bool:
+    cached = _CONFINED_CLASS_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    stack = _stack if _stack is not None else set()
+    if cls in stack:
+        return True  # provisional: co-recursive confinement is consistent
+    result = False
+    if not issubclass(cls, (Machine, Monitor, Event)):
+        funcs = _class_functions(cls)
+        if funcs is not None:
+            inner = stack | {cls}
+            container_attrs = _container_attrs(cls, funcs)
+            attr_classes = {
+                attr: target
+                for attr, target in _attr_map(cls, funcs, _attr_ctor_value).items()
+                if _is_effect_confined_class(target, inner)
+            }
+            result = all(
+                _method_effect_confined(cls, fn, container_attrs, attr_classes, inner)[0]
+                for fn in funcs.values()
+            )
+    if not stack:
+        _CONFINED_CLASS_CACHE[cls] = result
+    return result
+
+
+def _ctor_is_confined(cls: type, _stack: Optional[Set[type]] = None) -> bool:
+    """``cls(...)`` runs only confined code (argument binding, fresh
+    sub-object construction, own-attribute initialization).  Weaker than
+    full effect-confinement: later *method calls* on the instance may still
+    have arbitrary effects, so callers must keep treating those separately.
+    """
+    cached = _CONFINED_CTOR_CACHE.get(cls)
+    if cached is not None:
+        return cached
+    stack = _stack if _stack is not None else set()
+    if cls in stack:
+        return True
+    result = False
+    if _is_plain_ctor(cls):
+        result = True
+    elif not issubclass(cls, (Machine, Monitor)):
+        init = None
+        for klass in cls.__mro__:
+            if klass is object:
+                break
+            candidate = vars(klass).get("__init__")
+            if candidate is not None:
+                init = candidate
+                break
+        if init is None:
+            result = True
+        elif isinstance(init, types.FunctionType):
+            funcs = _class_functions(cls) or {"__init__": init}
+            container_attrs = _container_attrs(cls, funcs)
+            inner = stack | {cls}
+            checked = {"__init__"}
+            pending = [init]
+            result = True
+            while pending:
+                fn = pending.pop()
+                ok, calls = _method_effect_confined(cls, fn, container_attrs, {}, inner)
+                if not ok:
+                    result = False
+                    break
+                for name in sorted(calls - checked):
+                    checked.add(name)
+                    attr = getattr(cls, name, None)
+                    if isinstance(attr, types.FunctionType):
+                        pending.append(attr)
+                    elif isinstance(attr, property):
+                        pending.extend(
+                            accessor
+                            for accessor in (attr.fget, attr.fset)
+                            if isinstance(accessor, types.FunctionType)
+                        )
+                    else:
+                        result = False
+                if not result:
+                    break
+    if not stack:
+        _CONFINED_CTOR_CACHE[cls] = result
+    return result
+
+
+def _self_escapes_to_confined_ctor(node: ast.Name, parents, scope: "_Scope") -> bool:
+    """Bare ``self`` passed directly to a plain/confined constructor: the
+    constructor only binds the reference (it cannot invoke machine methods),
+    so the machine does not escape into arbitrary code at this site."""
+    parent = parents.get(node)
+    call = None
+    if isinstance(parent, ast.Call) and node in parent.args:
+        call = parent
+    elif isinstance(parent, ast.keyword):
+        grand = parents.get(parent)
+        if isinstance(grand, ast.Call) and parent in grand.keywords:
+            call = grand
+    if call is None:
+        return False
+    resolved = _resolve_or_none(call.func, scope)
+    return isinstance(resolved, type) and _ctor_is_confined(resolved)
+
+
+# ---------------------------------------------------------------------------
+# uncontrolled nondeterminism (determinism lint)
+# ---------------------------------------------------------------------------
+@functools.lru_cache(maxsize=1)
+def _nondet_callables() -> Tuple[object, ...]:
+    import datetime
+    import os
+    import time
+    import uuid
+
+    candidates = (
+        time.time, time.time_ns, time.monotonic, time.monotonic_ns,
+        time.perf_counter, time.perf_counter_ns, os.urandom,
+        getattr(os, "getrandom", None), uuid.uuid1, uuid.uuid4,
+        datetime.datetime.now, datetime.datetime.utcnow, datetime.date.today,
+    )
+    return tuple(fn for fn in candidates if fn is not None)
+
+
+_NONDET_MODULES = frozenset({"random", "secrets"})
+
+
+def _nondet_call_reason(node: ast.Call, scope: "_Scope") -> Optional[str]:
+    resolved = _resolve_or_none(node.func, scope)
+    if resolved is None:
+        return None
+    for fn in _nondet_callables():
+        if resolved is fn:
+            module = getattr(fn, "__module__", "?")
+            qualname = getattr(fn, "__qualname__", getattr(fn, "__name__", "?"))
+            return f"calls {module}.{qualname}(), an uncontrolled wall-clock/entropy source"
+    module = getattr(resolved, "__module__", None)
+    if module in _NONDET_MODULES and callable(resolved):
+        name = getattr(resolved, "__name__", "?")
+        return f"calls {module}.{name}(), drawing from uncontrolled global randomness"
+    return None
+
+
+def _is_set_expr(node: ast.AST, scope: "_Scope") -> bool:
+    """The expression's value is an unordered set (iteration order is
+    interpreter hash order, not program order)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = _resolve_or_none(node.func, scope)
+        return resolved is set or resolved is frozenset
+    return False
+
+
+def _set_attrs(cls: type, funcs) -> Set[str]:
+    """``self.X`` attributes whose *every* assignment is an unordered set."""
+    verdicts: Dict[str, List[bool]] = {}
+    for _name, func in funcs.items():
+        info = _function_ast(func)
+        if info is None:
+            continue
+        fdef, _fname, _offset = info
+        scope = _Scope(func, cls)
+        for node in ast.walk(fdef):
+            if isinstance(node, ast.Assign):
+                pairs = [(target, node.value) for target in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                pairs = [(node.target, node.value)]
+            else:
+                continue
+            for target, value in pairs:
+                if _is_self_attr(target):
+                    verdicts.setdefault(target.attr, []).append(
+                        _is_set_expr(value, scope)
+                    )
+    return {attr for attr, oks in verdicts.items() if oks and all(oks)}
+
+
 def _member_read_attr(node: ast.AST, container_attrs: Set[str]) -> Optional[str]:
     """``self.X[...]`` / ``self.X.get(...)`` over a confined container: the
     expression's value is one of the current members of ``self.X``."""
@@ -281,6 +667,7 @@ def _target_expr_of(
     scope: "_Scope",
     container_attrs: Set[str] = frozenset(),
     member_locals: Optional[Dict[str, str]] = None,
+    event_param: Optional[str] = None,
 ) -> Tuple[str, str]:
     """Symbolic shape of a send/query target, for the independence table."""
     if _is_self_attr(node):
@@ -295,6 +682,15 @@ def _target_expr_of(
             attr = member_locals.get(node.id)
             if attr is not None:
                 return ("attr_item", attr)
+    if (
+        event_param is not None
+        and isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == event_param
+    ):
+        # the target is carried in the received event's payload; resolvable
+        # at choice time by reading the field off the head event instance
+        return ("event_field", node.attr)
     member = _member_read_attr(node, container_attrs)
     if member is not None:
         return ("attr_item", member)
@@ -550,6 +946,8 @@ _MODEL_CACHE: Dict[type, MachineModel] = {}
 def clear_model_cache() -> None:
     """Drop memoized models (tests defining throwaway classes use this)."""
     _MODEL_CACHE.clear()
+    _CONFINED_CLASS_CACHE.clear()
+    _CONFINED_CTOR_CACHE.clear()
 
 
 def extract_machine_model(cls: type) -> MachineModel:
@@ -594,6 +992,14 @@ def extract_machine_model(cls: type) -> MachineModel:
     model.attr_targets = _attr_map(cls, funcs, _attr_create_value)
     model.attr_event_types = _attr_map(cls, funcs, _attr_event_value)
     container_attrs = _container_attrs(cls, funcs)
+    set_attrs = _set_attrs(cls, funcs)
+    # attrs holding a fresh, provably effect-confined helper object: method
+    # calls on them stay inside this machine's heap (v2 external discipline)
+    confined_objects = {
+        attr
+        for attr, target in _attr_map(cls, funcs, _attr_ctor_value).items()
+        if _is_effect_confined_class(target)
+    }
 
     for name, func in sorted(funcs.items()):
         info = _function_ast(func)
@@ -611,7 +1017,10 @@ def extract_machine_model(cls: type) -> MachineModel:
         args = fdef.args.args
         if len(args) >= 2 and args[0].arg == "self":
             scope.event_param = args[1].arg
-        _extract_function(model, fdef, fname, offset, scope, name, states, container_attrs)
+        _extract_function(
+            model, fdef, fname, offset, scope, name, states,
+            container_attrs, confined_objects, set_attrs,
+        )
 
     _MODEL_CACHE[cls] = model
     return model
@@ -672,6 +1081,8 @@ def _extract_function(
     method: str,
     states: Tuple[str, ...],
     container_attrs: Set[str],
+    confined_objects: Set[str] = frozenset(),
+    set_attrs: Set[str] = frozenset(),
 ) -> None:
     # first pass: local bindings (create results, locally built events, local
     # names provably bound to fresh containers, and local names provably
@@ -748,6 +1159,38 @@ def _extract_function(
         for name, verdicts in member_verdicts.items()
         if verdicts[0] is not None and all(v == verdicts[0] for v in verdicts)
     }
+    # the received-event parameter, when nothing in the body rebinds it (its
+    # only binding is the parameter itself); an ``event.f`` send target is
+    # then resolvable at choice time off the head event instance
+    event_param_stable = (
+        scope.event_param
+        if scope.event_param
+        and len(member_verdicts.get(scope.event_param, [None, None])) == 1
+        else None
+    )
+    # fields attached to locally built events after construction
+    # (``evt = E(...); evt.extra = ...``): a may-set the dataflow layer folds
+    # into each site's provided-field union
+    event_attr_writes: Dict[str, Set[str]] = {}
+    for node in ast.walk(fdef):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in scope.local_events
+            ):
+                event_attr_writes.setdefault(target.value.id, set()).add(target.attr)
+
+    def _payload_extra(event_node: ast.AST) -> Tuple[str, ...]:
+        if isinstance(event_node, ast.Name):
+            return tuple(sorted(event_attr_writes.get(event_node.id, ())))
+        return ()
 
     # parent links: needed to find the loop (if any) enclosing a send
     parents: Dict[ast.AST, ast.AST] = {}
@@ -833,8 +1276,12 @@ def _extract_function(
         )
 
     # second pass: calls, plus everything that can taint the method as
-    # "external" — an effect the event-level model cannot account for
+    # "external" — an effect the event-level model cannot account for.
+    # ``external_legacy`` marks sites only the *v1* discipline tainted (the
+    # current one proves them confined); the v1 table builder unions it back
+    # in so version-1 footprints keep their historical shape.
     external = False
+    external_legacy = False
     for node in ast.walk(fdef):
         if id(node) in skipped_nodes:
             continue
@@ -846,8 +1293,13 @@ def _extract_function(
                 parent = parents.get(node)
                 if not (isinstance(parent, ast.Attribute) and parent.value is node):
                     # bare ``self`` escaping (argument, container element,
-                    # ...): the callee could do anything with the machine
-                    external = True
+                    # ...): the callee could do anything with the machine —
+                    # unless the callee is a plain/confined constructor that
+                    # provably only binds the reference
+                    if _self_escapes_to_confined_ctor(node, parents, scope):
+                        external_legacy = True
+                    else:
+                        external = True
             elif isinstance(node.ctx, ast.Load):
                 # a bare reference to a plain function (e.g. passed as a
                 # predicate) defers a call our call rules never see
@@ -877,9 +1329,37 @@ def _extract_function(
                 ):
                     external = True
             continue
+        if isinstance(node, ast.For):
+            unordered = _is_set_expr(node.iter, scope) or (
+                _is_self_attr(node.iter) and node.iter.attr in set_attrs
+            )
+            if unordered and any(
+                isinstance(inner, ast.Call)
+                and _is_self_attr(inner.func)
+                and inner.func.attr in _EFFECT_VERBS
+                and id(inner) not in skipped_nodes
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            ):
+                model.nondet_sites.append(
+                    NondetSite(
+                        reason=(
+                            "iterates over an unordered set while producing "
+                            "framework effects, so send/create order depends "
+                            "on interpreter hash order"
+                        ),
+                        method=method,
+                        ref=_abs_ref(node, filename, offset),
+                    )
+                )
         if not isinstance(node, ast.Call):
             continue
         ref = _abs_ref(node, filename, offset)
+        nondet_reason = _nondet_call_reason(node, scope)
+        if nondet_reason is not None:
+            model.nondet_sites.append(
+                NondetSite(reason=nondet_reason, method=method, ref=ref)
+            )
         func = node.func
         if (
             isinstance(func, ast.Attribute)
@@ -909,8 +1389,10 @@ def _extract_function(
                         forwards_param=forwards,
                         unconditional=_is_unconditional(node),
                         payload_fields=_payload_fields(node.args[1], event_type),
+                        payload_extra=_payload_extra(node.args[1]),
                         target_expr=_target_expr_of(
-                            node.args[0], scope, container_attrs, member_locals
+                            node.args[0], scope, container_attrs, member_locals,
+                            event_param_stable,
                         ),
                     )
                 )
@@ -929,6 +1411,7 @@ def _extract_function(
                         event_expr=ast.unparse(node.args[0]),
                         unconditional=_is_unconditional(node),
                         payload_fields=_payload_fields(node.args[0], event_type),
+                        payload_extra=_payload_extra(node.args[0]),
                     )
                 )
                 _record_alias_send(node, node.args[0], event_type, forwards)
@@ -948,6 +1431,7 @@ def _extract_function(
                         method=method,
                         ref=ref,
                         payload_fields=_payload_fields(node.args[1], event_type),
+                        payload_extra=_payload_extra(node.args[1]),
                     )
                 )
             elif verb in ("goto", "push_state") and node.args:
@@ -976,7 +1460,8 @@ def _extract_function(
                 model.queries.append(
                     QuerySite(
                         target_expr=_target_expr_of(
-                            node.args[0], scope, container_attrs, member_locals
+                            node.args[0], scope, container_attrs, member_locals,
+                            event_param_stable,
                         ),
                         method=method,
                         ref=ref,
@@ -994,7 +1479,8 @@ def _extract_function(
                 model.queries.append(
                     QuerySite(
                         target_expr=_target_expr_of(
-                            node.args[0], scope, container_attrs, member_locals
+                            node.args[0], scope, container_attrs, member_locals,
+                            event_param_stable,
                         ),
                         method=method,
                         ref=ref,
@@ -1004,26 +1490,35 @@ def _extract_function(
                 external = True
         elif isinstance(func, ast.Attribute):
             receiver = func.value
-            confined = (
+            confined_v1 = (
                 isinstance(receiver, ast.Constant)
                 or _is_container_expr(receiver, scope)
                 or (_is_self_attr(receiver) and receiver.attr in container_attrs)
                 or (isinstance(receiver, ast.Name) and receiver.id in local_containers)
             )
+            confined = confined_v1 or (
+                _is_self_attr(receiver) and receiver.attr in confined_objects
+            )
             if not confined:
                 # a method call on an object this machine does not confine:
                 # its effects are invisible to the event-level model
                 external = True
-            elif (
-                _is_self_attr(receiver)
-                and receiver.attr in container_attrs
-                and func.attr not in _CONTAINER_READONLY
-            ):
-                # the call may insert values the model cannot prove fresh,
-                # which blocks choice-time ``attr_item`` resolution
-                model.method_container_stores.setdefault(method, set()).add(
-                    receiver.attr
-                )
+            else:
+                if not confined_v1:
+                    # v2-only fact: a call on an effect-confined helper
+                    # object stays inside this machine's heap
+                    external_legacy = True
+                if (
+                    _is_self_attr(receiver)
+                    and receiver.attr in container_attrs
+                    and func.attr not in _CONTAINER_READONLY
+                ):
+                    # the call may insert values the model cannot prove
+                    # fresh, which blocks choice-time ``attr_item``
+                    # resolution
+                    model.method_container_stores.setdefault(method, set()).add(
+                        receiver.attr
+                    )
         else:
             resolved = _resolve_or_none(func, scope)
             if resolved is Receive:
@@ -1039,6 +1534,9 @@ def _extract_function(
                 issubclass(resolved, BaseException) or _is_plain_ctor(resolved)
             ):
                 pass
+            elif isinstance(resolved, type) and _ctor_is_confined(resolved):
+                # v2-only fact: the constructor runs only confined code
+                external_legacy = True
             else:
                 external = True
 
@@ -1129,6 +1627,17 @@ def _extract_function(
                         )
     if external:
         model.method_external.add(method)
+    elif external_legacy:
+        model.method_external_legacy.add(method)
+
+    # payload fields read off the received-event parameter (field-sensitive
+    # dataflow); None = the parameter escapes, so any field may be read
+    if scope.event_param:
+        model.handler_field_reads[method] = _event_param_reads(
+            fdef, scope.event_param, parents, skipped_nodes, scope
+        )
+    else:
+        model.handler_field_reads[method] = frozenset()
 
     # referenced machine/monitor classes, for program-closure discovery
     for code in _iter_code_objects(scope.func.__code__):
@@ -1143,6 +1652,44 @@ def _extract_function(
                 and value not in (Machine, Monitor)
             ):
                 model.referenced.add(value)
+
+
+def _event_param_reads(
+    fdef: ast.FunctionDef,
+    param: str,
+    parents: Dict[ast.AST, ast.AST],
+    skipped_nodes: Set[int],
+    scope: _Scope,
+) -> Optional[frozenset]:
+    """Payload field names ``fdef`` reads off its event parameter.
+
+    Every use of the parameter must be a plain ``event.f`` attribute load
+    (or an ``isinstance(event, T)`` type test).  Any other use — rebinding,
+    attribute stores, forwarding into a call, ``hasattr``/``getattr``
+    indirection, container membership — makes the read set unknowable and
+    returns ``None``, the "any field may be read" verdict.
+    """
+    reads: Set[str] = set()
+    for node in ast.walk(fdef):
+        if id(node) in skipped_nodes:
+            continue
+        if not (isinstance(node, ast.Name) and node.id == param):
+            continue
+        if not isinstance(node.ctx, ast.Load):
+            return None  # rebound or deleted: the name no longer names the event
+        parent = parents.get(node)
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            if isinstance(parent.ctx, ast.Load):
+                reads.add(parent.attr)
+                continue
+            return None  # ``event.f = ...`` / ``del event.f``
+        if isinstance(parent, ast.Call) and node in parent.args:
+            resolved = _resolve_or_none(parent.func, scope)
+            if resolved is isinstance and parent.args and parent.args[0] is node:
+                continue  # isinstance(event, T) reads no payload field
+            return None  # escapes into a call
+        return None  # comparison, store, container element, yield, ...
+    return frozenset(reads)
 
 
 # ---------------------------------------------------------------------------

@@ -3,15 +3,17 @@
 Two pending dispatches *commute* when executing them in either order reaches
 the same program state and enables the same bugs.  This module derives a
 conservative per-``(machine class, event type)`` **footprint** from the
-extraction layer: the set of machines a dispatch can touch (send to, query,
-halt toward), the monitors it can notify, and whether it allocates machine
+extraction layer, split (since table version 2) into the machines a dispatch
+can *write* (send to, halt) and the machines it only *reads* (inbox
+queries), plus the monitors it can notify and whether it allocates machine
 ids.  The ``dpor-lite`` strategy resolves these symbolic footprints against
-the live machine table at every scheduling point and treats two dispatches as
-independent only when their resolved footprints are provably disjoint.
+the live machine table at every scheduling point and treats two dispatches
+as independent only when a write of one provably cannot touch anything the
+other reads or writes — read/read overlaps commute.
 
 The discipline matches the analyzer's never-guess rule, inverted for safety:
-anything unresolvable degrades to **dependent**.  A method that calls into an
-object the model does not confine, leaks ``self``, mutates a payload, or
+anything unresolvable degrades to **dependent**.  A method that calls into
+an object the model does not confine, leaks ``self``, mutates a payload, or
 targets a machine we cannot name makes its whole footprint *opaque* — an
 opaque dispatch conflicts with everything, so pruning never skips a schedule
 it cannot prove redundant.
@@ -29,6 +31,21 @@ Footprint item grammar (JSON-safe, see :func:`build_independence_table`):
   superset, provided no method in the dispatch closure can grow the container
   with non-fresh values mid-dispatch (checked statically, else opaque)
 - ``{"class": qualname}`` — a freshly created machine of that class
+- ``{"event-field": name}`` *(version 2)* — the target id is carried in the
+  dispatched event's payload (``self.send(event.requester, ...)``); resolved
+  at choice time by reading the field off the machine's head event.  Sound
+  because a sleeping machine's head event cannot change (sends append at the
+  back, raised events drain first, disciplines depend only on the sleeper's
+  own state), and any other dispatch that could mutate the payload object is
+  itself opaque (payload mutation degrades its method to external).  Emitted
+  only for sites in handler methods directly registered for the dispatched
+  event type — helper methods may receive a different second argument.
+
+Version-1 tables remain buildable (``build_independence_table(program,
+version=1)``): they use the coarser historical footprints — the v1 external
+discipline (no effect-confined helper objects, no constructor-``self``
+relaxation) and no event-field items — which is what the benchmark gate
+compares the field-level tables against.
 """
 
 from __future__ import annotations
@@ -39,8 +56,12 @@ from repro.core.events import Halt, StartEvent
 
 from .model import MachineModel, ProgramModel
 
-#: table format version, bumped on any incompatible change
-TABLE_VERSION = 1
+#: current table format version, bumped on any incompatible change
+TABLE_VERSION = 2
+
+#: the PR 7 format: merged ``sends``/``queries`` item lists, v1 external
+#: discipline; still produced on request for precision comparisons
+LEGACY_TABLE_VERSION = 1
 
 
 def type_key(cls: type) -> str:
@@ -48,12 +69,19 @@ def type_key(cls: type) -> str:
     return f"{cls.__module__}.{cls.__qualname__}"
 
 
+def _external_methods(model: MachineModel, version: int) -> Set[str]:
+    """The external-method set under the requested table semantics."""
+    if version >= 2:
+        return model.method_external
+    return model.method_external | model.method_external_legacy
+
+
 # ---------------------------------------------------------------------------
 # closure computation
 # ---------------------------------------------------------------------------
-def _dispatch_methods(model: MachineModel, event_type: type) -> Optional[Set[str]]:
-    """Every own method a dispatch of ``event_type`` can reach, or ``None``
-    when the closure escapes the analyzable method set."""
+def _seed_methods(model: MachineModel, event_type: type) -> Set[str]:
+    """Handler methods the dispatch of ``event_type`` enters directly (the
+    methods whose event parameter *is* the dispatched event)."""
     seeds: Set[str] = set()
     for (_state, registered), info in model.spec.handlers.items():
         if registered is event_type or (
@@ -62,6 +90,13 @@ def _dispatch_methods(model: MachineModel, event_type: type) -> Optional[Set[str
             seeds.add(info.method_name)
     if event_type is StartEvent and "on_start" in model.method_refs:
         seeds.add("on_start")
+    return seeds
+
+
+def _dispatch_methods(model: MachineModel, event_type: type) -> Optional[Set[str]]:
+    """Every own method a dispatch of ``event_type`` can reach, or ``None``
+    when the closure escapes the analyzable method set."""
+    seeds = _seed_methods(model, event_type)
     # a handler may transition, so entry/exit actions are always reachable
     seeds.update(model.spec.entry_actions.values())
     seeds.update(model.spec.exit_actions.values())
@@ -91,7 +126,7 @@ def _closure(model: MachineModel, seeds: Iterable[str]) -> Set[str]:
 # footprints
 # ---------------------------------------------------------------------------
 def _monitor_is_transparent(
-    program: ProgramModel, monitor: type, event_type: Optional[type]
+    program: ProgramModel, monitor: type, event_type: Optional[type], version: int
 ) -> bool:
     """Monitor handlers run inline during ``notify_monitor``; their effects
     stay monitor-local only when the notified handler closure is effect-clean."""
@@ -101,14 +136,14 @@ def _monitor_is_transparent(
     methods = _dispatch_methods(model, event_type)
     if methods is None:
         return False
-    return not (methods & model.method_external)
+    return not (methods & _external_methods(model, version))
 
 
 def _item_of(
     expr: Tuple[str, str],
-    model: MachineModel,
     rebound: Set[str],
     container_grown: Set[str],
+    allow_event_field: bool,
 ):
     """Map a symbolic target expression to a footprint item (None = opaque)."""
     kind, payload = expr
@@ -126,11 +161,16 @@ def _item_of(
         return {"attr-values": payload}
     if kind == "class":
         return {"class": payload}
+    if kind == "event_field" and allow_event_field:
+        return {"event-field": payload}
     return None
 
 
 def footprint_for(
-    program: ProgramModel, model: MachineModel, event_type: type
+    program: ProgramModel,
+    model: MachineModel,
+    event_type: type,
+    version: int = TABLE_VERSION,
 ) -> Optional[dict]:
     """Concrete footprint for one ``(machine, event-type)`` dispatch pair;
     ``None`` means opaque (dependent with everything)."""
@@ -139,50 +179,62 @@ def footprint_for(
     methods = _dispatch_methods(model, event_type)
     if methods is None:
         return None
-    if methods & model.method_external:
+    if methods & _external_methods(model, version):
         return None
+    seeds = _seed_methods(model, event_type) if version >= 2 else frozenset()
     rebound: Set[str] = set()
     container_grown: Set[str] = set()
     for name in methods:
         rebound.update(model.method_attr_stores.get(name, ()))
         container_grown.update(model.method_container_stores.get(name, ()))
 
-    sends: List[object] = []
-    queries: List[object] = []
+    writes: List[object] = []
+    reads: List[object] = []
     monitors: Set[str] = set()
     creates = False
     for site in model.sends:
         if site.method not in methods:
             continue
-        item = _item_of(site.target_expr, model, rebound, container_grown)
+        item = _item_of(
+            site.target_expr, rebound, container_grown, site.method in seeds
+        )
         if item is None:
             return None
-        if item not in sends:
-            sends.append(item)
+        if item not in writes:
+            writes.append(item)
     for query in model.queries:
         if query.method not in methods:
             continue
-        item = _item_of(query.target_expr, model, rebound, container_grown)
+        item = _item_of(
+            query.target_expr, rebound, container_grown, query.method in seeds
+        )
         if item is None:
             return None
-        if item not in queries:
-            queries.append(item)
+        if item not in reads:
+            reads.append(item)
     for site in model.notifies:
         if site.method not in methods:
             continue
         if site.monitor is None or not _monitor_is_transparent(
-            program, site.monitor, site.event_type
+            program, site.monitor, site.event_type, version
         ):
             return None
         monitors.add(type_key(site.monitor))
     for site in model.creates:
         if site.method in methods:
             creates = True
+    if version < 2:
+        return {
+            "creates": creates,
+            "monitors": sorted(monitors),
+            "sends": _sorted_items(writes),
+            "queries": _sorted_items(reads),
+        }
     return {
         "creates": creates,
         "monitors": sorted(monitors),
-        "sends": _sorted_items(sends),
-        "queries": _sorted_items(queries),
+        "writes": _sorted_items(writes),
+        "reads": _sorted_items(reads),
     }
 
 
@@ -200,7 +252,9 @@ def _sorted_items(items: List[object]) -> List[object]:
 # ---------------------------------------------------------------------------
 # the table
 # ---------------------------------------------------------------------------
-def build_independence_table(program: ProgramModel) -> dict:
+def build_independence_table(
+    program: ProgramModel, version: int = TABLE_VERSION
+) -> dict:
     """Whole-program independence table, JSON-safe and byte-stable.
 
     ``table["machines"][machine_key]["events"][event_key]`` is either a
@@ -208,7 +262,13 @@ def build_independence_table(program: ProgramModel) -> dict:
     absent from the table are opaque by construction — the consumer side
     (:class:`repro.core.strategy.dpor_lite.DporLiteStrategy`) treats every
     lookup miss as dependent-with-everything.
+
+    ``version`` selects the footprint semantics: :data:`TABLE_VERSION`
+    (field-level read/write sets) or :data:`LEGACY_TABLE_VERSION` (the PR 7
+    format, kept for precision comparisons).
     """
+    if version not in (LEGACY_TABLE_VERSION, TABLE_VERSION):
+        raise ValueError(f"unsupported independence table version: {version!r}")
     machines: Dict[str, dict] = {}
     for model in sorted(program, key=lambda m: (m.module, m.line, m.name)):
         if model.kind != "machine":
@@ -222,22 +282,25 @@ def build_independence_table(program: ProgramModel) -> dict:
         event_types.add(Halt)
         event_types.add(StartEvent)
         for event_type in event_types:
-            footprint = footprint_for(program, model, event_type)
+            footprint = footprint_for(program, model, event_type, version)
             events[type_key(event_type)] = (
                 {"opaque": True} if footprint is None else footprint
             )
         machines[type_key(model.cls)] = {"events": dict(sorted(events.items()))}
-    return {"version": TABLE_VERSION, "machines": machines}
+    return {"version": version, "machines": machines}
 
 
-def independence_for_classes(classes: Iterable[type]) -> dict:
+def independence_for_classes(
+    classes: Iterable[type], version: int = TABLE_VERSION
+) -> dict:
     """Convenience: build the table straight from root machine classes."""
     from .extract import build_program
 
-    return build_independence_table(build_program(classes))
+    return build_independence_table(build_program(classes), version)
 
 
 __all__ = [
+    "LEGACY_TABLE_VERSION",
     "TABLE_VERSION",
     "build_independence_table",
     "footprint_for",

@@ -16,7 +16,7 @@ targets or state references.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.declarations import StateMachineSpec
 
@@ -56,9 +56,14 @@ class SendSite:
     #: event-constructor field names the site populates (empty when the
     #: event expression is not a constructor call)
     payload_fields: Tuple[str, ...] = ()
+    #: field names the method may attach to the event *after* construction
+    #: (``evt = E(...); evt.extra = ...``), when the event argument is a
+    #: local name; a flow-insensitive may-set
+    payload_extra: Tuple[str, ...] = ()
     #: syntactic shape of the target expression, for the independence table:
-    #: ``("self", "")`` | ``("attr", name)`` | ``("class", qualified-name)``
-    #: | ``("unknown", "")``
+    #: ``("self", "")`` | ``("attr", name)`` | ``("attr_item", name)`` |
+    #: ``("class", qualified-name)`` | ``("event_field", name)`` (the target
+    #: is read off the received event's payload) | ``("unknown", "")``
     target_expr: Tuple[str, str] = ("unknown", "")
 
 
@@ -73,6 +78,7 @@ class RaiseSite:
     event_expr: str
     unconditional: bool = False
     payload_fields: Tuple[str, ...] = ()
+    payload_extra: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -85,6 +91,7 @@ class NotifySite:
     method: str
     ref: SourceRef
     payload_fields: Tuple[str, ...] = ()
+    payload_extra: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -123,6 +130,23 @@ class CreateSite:
     """One ``self.create(MachineCls, ...)`` call."""
 
     machine: Optional[type]
+    method: str
+    ref: SourceRef
+
+
+@dataclass
+class NondetSite:
+    """A source of uncontrolled nondeterminism inside a handler body.
+
+    Test-mode handlers must be deterministic functions of the delivered
+    event and machine state: wall-clock reads, OS entropy, the global
+    ``random`` module, and unordered-set iteration with framework effects
+    all break replay, shrinking and fingerprint stability.  These are
+    must-facts (the call/loop is syntactically present), so the lint fires
+    without whole-program gating.
+    """
+
+    reason: str
     method: str
     ref: SourceRef
 
@@ -207,6 +231,19 @@ class MachineModel:
     #: (calls into non-framework objects, payload mutation, leaking ``self``);
     #: dispatches reaching such a method degrade to dependent-with-everything
     method_external: Set[str] = field(default_factory=set)
+    #: methods the *v1* external discipline tainted but the current one
+    #: proves confined (calls on effect-confined helper objects, ``self``
+    #: passed to a plain/confined constructor).  The v1 independence-table
+    #: builder treats ``method_external | method_external_legacy`` as
+    #: external so version-1 tables keep their historical footprints.
+    method_external_legacy: Set[str] = field(default_factory=set)
+    #: method name -> payload field names read off the received-event
+    #: parameter (``event.f`` loads); ``None`` when the parameter escapes
+    #: (rebound, stored, passed to a call) so any field may be read.
+    #: Methods without an event parameter map to an empty frozenset.
+    handler_field_reads: Dict[str, Optional[FrozenSet[str]]] = field(default_factory=dict)
+    #: uncontrolled-nondeterminism sites (determinism lint)
+    nondet_sites: List[NondetSite] = field(default_factory=list)
     #: method name -> ``self.X`` attributes it (re)assigns; an ``("attr", X)``
     #: footprint item is only resolvable at choice time when no method in the
     #: dispatch closure reassigns ``X``

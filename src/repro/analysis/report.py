@@ -14,7 +14,7 @@ import linecache
 import os
 import re
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 ERROR = "error"
 WARNING = "warning"
@@ -59,6 +59,30 @@ class Diagnostic:
     def render(self) -> str:
         return f"{self.anchor}: {self.severity}: {self.message} [{self.rule}]"
 
+    def to_cache_dict(self) -> dict:
+        """Round-trippable form (raw ``file``, no display normalization)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "owner": self.owner,
+            "module": self.module,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    @classmethod
+    def from_cache_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            rule=data["rule"],
+            severity=data["severity"],
+            message=data["message"],
+            owner=data["owner"],
+            module=data["module"],
+            file=data["file"],
+            line=data["line"],
+        )
+
 
 def display_path(path: str) -> str:
     """Repo-relative path when possible (keeps report output machine-neutral)."""
@@ -70,13 +94,22 @@ def display_path(path: str) -> str:
 
 
 def suppressed_rules(file: str, line: int) -> Set[str]:
-    """Rule IDs suppressed at ``file:line`` via ``# repro: ignore[...]``."""
+    """Rule IDs suppressed at ``file:line`` via ``# repro: ignore[...]``.
+
+    The comment-above form hops over contiguous decorator lines: a handler
+    diagnostic anchors at its ``def`` line, so a pragma written above the
+    ``@on_event(...)`` decorator (the natural spot inside a nested ``State``
+    body) still attaches to the diagnostic.
+    """
     rules: Set[str] = set()
     anchored = linecache.getline(file, line)
     match = _SUPPRESS_RE.search(anchored)
     if match:
         rules.update(part.strip() for part in match.group(1).split(","))
-    above = linecache.getline(file, line - 1)
+    above_line = line - 1
+    while above_line > 0 and linecache.getline(file, above_line).lstrip().startswith("@"):
+        above_line -= 1
+    above = linecache.getline(file, above_line)
     if above.strip().startswith("#"):
         match = _SUPPRESS_RE.search(above)
         if match:
@@ -131,8 +164,34 @@ class AnalysisReport:
             1 for d in self.diagnostics if _SEVERITY_RANK[d.severity] >= threshold
         )
 
-    def to_dict(self) -> dict:
-        return {
+    def stats_dict(self, rule_catalog: Iterable[str] = ()) -> dict:
+        """Per-rule active/suppressed counts; catalog rules appear even at
+        zero so a rule that never fires is visibly exercised-and-clean."""
+        counts: Dict[str, Dict[str, int]] = {
+            rule: {"active": 0, "suppressed": 0} for rule in rule_catalog
+        }
+        for diagnostic in self.diagnostics:
+            counts.setdefault(diagnostic.rule, {"active": 0, "suppressed": 0})[
+                "active"
+            ] += 1
+        for diagnostic in self.suppressed:
+            counts.setdefault(diagnostic.rule, {"active": 0, "suppressed": 0})[
+                "suppressed"
+            ] += 1
+        return {"rules": {rule: counts[rule] for rule in sorted(counts)}}
+
+    def render_stats(self, rule_catalog: Iterable[str] = ()) -> str:
+        stats = self.stats_dict(rule_catalog)["rules"]
+        width = max((len(rule) for rule in stats), default=4)
+        lines = [f"{'rule'.ljust(width)}  active  suppressed"]
+        for rule, entry in stats.items():
+            lines.append(
+                f"{rule.ljust(width)}  {entry['active']:>6}  {entry['suppressed']:>10}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self, rule_catalog: Optional[Iterable[str]] = None) -> dict:
+        data = {
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "suppressed": [d.to_dict() for d in self.suppressed],
             "machines": list(self.machines),
@@ -143,9 +202,31 @@ class AnalysisReport:
                 "suppressed": len(self.suppressed),
             },
         }
+        # only added on request: the default --json payload stays byte-stable
+        if rule_catalog is not None:
+            data["stats"] = self.stats_dict(rule_catalog)
+        return data
 
-    def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+    def to_json(self, rule_catalog: Optional[Iterable[str]] = None) -> str:
+        return json.dumps(self.to_dict(rule_catalog), indent=2, sort_keys=True)
+
+    def to_cache_dict(self) -> dict:
+        """JSON-safe round-trippable form for the on-disk analysis cache."""
+        return {
+            "diagnostics": [d.to_cache_dict() for d in self.diagnostics],
+            "suppressed": [d.to_cache_dict() for d in self.suppressed],
+            "machines": list(self.machines),
+            "scenarios": list(self.scenarios),
+        }
+
+    @classmethod
+    def from_cache_dict(cls, data: dict) -> "AnalysisReport":
+        return cls(
+            diagnostics=[Diagnostic.from_cache_dict(d) for d in data["diagnostics"]],
+            suppressed=[Diagnostic.from_cache_dict(d) for d in data["suppressed"]],
+            machines=list(data["machines"]),
+            scenarios=list(data["scenarios"]),
+        )
 
     def render(self) -> str:
         lines = [d.render() for d in self.diagnostics]

@@ -15,10 +15,11 @@ from typing import Iterable, Optional, Sequence, Set
 
 from repro.core.registry import TestCase
 
+from .cache import AnalysisCache
 from .checkers import check_unused_ignores, run_checkers
 from .commgraph import CommGraph, build_comm_graph
 from .extract import build_program, discover_classes, discover_event_types
-from .independence import build_independence_table
+from .independence import build_independence_table, type_key
 from .report import AnalysisReport
 
 
@@ -63,16 +64,35 @@ def _discover(testcases: Sequence[TestCase]):
     return classes, produced
 
 
-def analyze_scenarios(testcases: Sequence[TestCase]) -> AnalysisReport:
-    """Analyze every machine reachable from the given registered scenarios."""
+def analyze_scenarios(
+    testcases: Sequence[TestCase], cache: Optional[AnalysisCache] = None
+) -> AnalysisReport:
+    """Analyze every machine reachable from the given registered scenarios.
+
+    With a ``cache``, the finished report is stored keyed on the discovered
+    classes' source digests plus the scenario names and harness-produced
+    event types; an unchanged tree skips extraction and checking entirely.
+    """
     classes, produced = _discover(testcases)
-    return analyze_classes(
+    key = None
+    if cache is not None:
+        extra = ["report"]
+        extra.extend(sorted(t.name for t in testcases))
+        extra.extend(sorted(type_key(event) for event in produced))
+        key = cache.key_for(classes, extra=extra)
+        cached = cache.get(key)
+        if cached is not None:
+            return AnalysisReport.from_cache_dict(cached)
+    report = analyze_classes(
         classes,
         scenarios=[t.name for t in testcases],
         roots=classes,
         produced_events=produced,
         whole_program=True,
     )
+    if cache is not None:
+        cache.put(key, report.to_cache_dict())
+    return report
 
 
 def graph_for_scenarios(testcases: Sequence[TestCase]) -> CommGraph:
@@ -81,7 +101,18 @@ def graph_for_scenarios(testcases: Sequence[TestCase]) -> CommGraph:
     return build_comm_graph(build_program(classes))
 
 
-def independence_for_scenarios(testcases: Sequence[TestCase]) -> dict:
+def independence_for_scenarios(
+    testcases: Sequence[TestCase], cache: Optional[AnalysisCache] = None
+) -> dict:
     """Independence table over the given scenarios (see ``run --prune``)."""
     classes, _produced = _discover(testcases)
-    return build_independence_table(build_program(classes))
+    key = None
+    if cache is not None:
+        key = cache.key_for(classes, extra=["independence"])
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    table = build_independence_table(build_program(classes))
+    if cache is not None:
+        cache.put(key, table)
+    return table

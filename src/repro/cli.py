@@ -72,7 +72,7 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import RULES, analyze_scenarios, graph_for_scenarios
+    from .analysis import RULES, AnalysisCache, analyze_scenarios, graph_for_scenarios
 
     if args.list_rules:
         if args.json:
@@ -102,11 +102,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         graph = graph_for_scenarios(cases)
         print(graph.to_dot() if args.dot else graph.to_json())
         return 0
-    report = analyze_scenarios(cases)
+    cache = AnalysisCache(enabled=not args.no_cache)
+    report = analyze_scenarios(cases, cache=cache)
     if args.json:
-        print(report.to_json())
+        print(report.to_json(sorted(RULES) if args.stats else None))
     else:
         print(report.render())
+        if args.stats:
+            print()
+            print(report.render_stats(sorted(RULES)))
+            print(cache.describe())
     return 1 if report.gate_failures(args.fail_on) else 0
 
 
@@ -138,9 +143,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.stateful:
         overrides["stateful"] = True
     if args.prune:
-        from .analysis import independence_for_scenarios
+        from .analysis import AnalysisCache, independence_for_scenarios
 
-        overrides["independence"] = independence_for_scenarios([testcase])
+        cache = AnalysisCache(enabled=not args.no_cache)
+        overrides["independence"] = independence_for_scenarios([testcase], cache=cache)
     # Built through the constructor so __post_init__ validates the values.
     config = testcase.default_config(**overrides)
     default_strategies = ["random", "pct"]
@@ -442,6 +448,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog (id, severity, summary) and exit; "
         "honors --json",
     )
+    analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="append per-rule active/suppressed counts (and with --json a "
+        "'stats' block; without it the --json payload is unchanged)",
+    )
+    analyze.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk incremental analysis cache (.repro-cache, "
+        "override the location with $REPRO_ANALYSIS_CACHE)",
+    )
     add_import_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -474,6 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="build the scenario's static independence table and "
                      "prune provably-commuting schedules (defaults the "
                      "portfolio to the dpor-lite strategy)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="with --prune: rebuild the independence table even "
+                     "when the on-disk analysis cache has a current entry")
     run.add_argument("--fingerprints", action="store_true",
                      help="maintain the global-state execution fingerprint and "
                      "record distinct states into coverage")

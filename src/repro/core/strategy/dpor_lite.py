@@ -12,21 +12,33 @@ sibling subtrees: as long as every subsequently chosen dispatch provably
 commutes with *m*'s, scheduling *m* later can only reach states the explored
 subtree already covered, so branches that would schedule it are pruned.
 
+Table versions: version-2 tables split each footprint into *writes* (machines
+the dispatch can send to) and *reads* (machines whose inboxes it only
+queries), so two dispatches that merely read the same machine commute.
+Version-1 tables carry merged ``sends``/``queries`` item lists; they are
+normalized on resolution to ``writes = sends + queries, reads = ()``, which
+reproduces the historical all-overlaps-conflict behavior exactly.  Any other
+version is ignored, falling back to plain DFS.
+
 Soundness discipline — everything degrades to *dependent*:
 
 * no table, unknown machine class, unknown event type, or an ``opaque``
   table entry: the dispatch conflicts with everything;
 * a machine paused in a coroutine or blocked in ``Receive``: its next step
   resumes arbitrary handler code, so it is dynamically opaque;
-* a symbolic ``{"attr": name}`` footprint item that does not resolve to a
-  live :class:`MachineId` at the scheduling point: opaque.
+* a symbolic footprint item (``{"attr": name}``, ``{"event-field": name}``)
+  that does not resolve to a live :class:`MachineId` at the scheduling
+  point: opaque.
 
 Why insertion-time footprints stay valid while a machine sleeps: a sleeping
-machine is by definition not dispatched, so its state, its attributes and
-its inbox head cannot change (sends append at the back; defer/ignore
-disciplines depend only on its own state), and any *other* dispatch that
-could invalidate the resolution would have to touch the sleeping machine —
-which makes it dependent and removes the sleep entry first.
+machine is by definition not dispatched, so its state, its attributes, its
+inbox head — and therefore the head event's payload fields an
+``{"event-field": name}`` item reads — cannot change (sends append at the
+back; defer/ignore disciplines depend only on its own state), and any
+*other* dispatch that could invalidate the resolution would have to touch
+the sleeping machine or mutate its payload (which makes that dispatch's
+method external, hence opaque) — dependent either way, removing the sleep
+entry first.
 
 When ``TestingConfig.independence`` is ``None`` the strategy behaves exactly
 like plain ``dfs``.
@@ -34,17 +46,17 @@ like plain ``dfs``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Mapping, NamedTuple, Optional, Sequence
+from typing import Dict, FrozenSet, Mapping, NamedTuple, Optional, Sequence, Set
 
 from ..fingerprint import stable_hash
 from ..ids import MachineId
 from .dfs_strategy import DFSStrategy
 from .registry import register_strategy
 
-#: table format version this consumer understands (see
+#: table format versions this consumer understands (see
 #: ``repro.analysis.independence.TABLE_VERSION``); any other version is
 #: ignored, falling back to plain DFS.
-_SUPPORTED_TABLE_VERSION = 1
+_SUPPORTED_TABLE_VERSIONS = frozenset({1, 2})
 
 
 def _type_key(cls: type) -> str:
@@ -56,8 +68,9 @@ def _type_key(cls: type) -> str:
 class _Touch(NamedTuple):
     """A dispatch footprint resolved against the live machine table."""
 
-    insts: FrozenSet[int]  # machine-id values the dispatch can touch
-    inst_classes: FrozenSet[str]  # type keys of those instances
+    writes: FrozenSet[int]  # machine-id values the dispatch can mutate
+    reads: FrozenSet[int]  # machine-id values it only queries
+    inst_classes: FrozenSet[str]  # type keys of all touched instances
     classes: FrozenSet[str]  # type keys of freshly created send targets
     monitors: FrozenSet[str]  # monitor type keys the dispatch can notify
     creates: bool  # whether the dispatch allocates machine ids
@@ -79,7 +92,7 @@ class DporLiteStrategy(DFSStrategy):
         table: Optional[Mapping[str, dict]] = None
         if (
             isinstance(independence, dict)
-            and independence.get("version") == _SUPPORTED_TABLE_VERSION
+            and independence.get("version") in _SUPPORTED_TABLE_VERSIONS
         ):
             table = independence.get("machines", {})
         self._table = table
@@ -166,55 +179,78 @@ class DporLiteStrategy(DFSStrategy):
             return None
         if machine._coroutine is not None or machine._pending_receive is not None:
             return None  # paused mid-handler: dynamically opaque
-        event_type = _head_event_type(machine)
-        if event_type is None:
+        event = _head_event(machine)
+        if event is None:
             return None
         entry = self._table.get(_type_key(type(machine)))
         if entry is None:
             return None
-        footprint = entry.get("events", {}).get(_type_key(event_type))
+        footprint = entry.get("events", {}).get(_type_key(type(event)))
         if footprint is None or footprint.get("opaque"):
             return None
-        return self._resolve(machine, mid, footprint)
+        return self._resolve(machine, mid, footprint, event)
 
-    def _resolve(self, machine, mid: MachineId, footprint: dict) -> Optional[_Touch]:
+    def _resolve(
+        self, machine, mid: MachineId, footprint: dict, event
+    ) -> Optional[_Touch]:
         machines_by_value = self._runtime._machines_by_value
-        insts = {mid.value}  # a dispatch always touches its own machine
-        classes = set()
-        for item in (*footprint.get("sends", ()), *footprint.get("queries", ())):
-            if item == "self":
-                continue
-            if not isinstance(item, dict):
-                return None
-            if "attr" in item:
-                target = getattr(machine, item["attr"], None)
-                if not isinstance(target, MachineId):
-                    return None  # attr unset or not a machine id yet
-                insts.add(target.value)
-            elif "attr-values" in item:
-                container = getattr(machine, item["attr-values"], None)
-                if isinstance(container, dict):
-                    values = container.values()
-                elif isinstance(container, (list, tuple, set, frozenset)):
-                    values = container
+        if "writes" in footprint or "reads" in footprint:
+            write_items = footprint.get("writes", ())
+            read_items = footprint.get("reads", ())
+        else:  # version-1 footprint: every named machine counts as written
+            write_items = (*footprint.get("sends", ()), *footprint.get("queries", ()))
+            read_items = ()
+        writes = {mid.value}  # a dispatch always mutates its own machine
+        reads: Set[int] = set()
+        classes: Set[str] = set()
+
+        def _resolve_items(items, into: Set[int]) -> bool:
+            for item in items:
+                if item == "self":
+                    continue  # own value is already in ``writes``
+                if not isinstance(item, dict):
+                    return False
+                if "attr" in item:
+                    target = getattr(machine, item["attr"], None)
+                    if not isinstance(target, MachineId):
+                        return False  # attr unset or not a machine id yet
+                    into.add(target.value)
+                elif "attr-values" in item:
+                    container = getattr(machine, item["attr-values"], None)
+                    if isinstance(container, dict):
+                        values = container.values()
+                    elif isinstance(container, (list, tuple, set, frozenset)):
+                        values = container
+                    else:
+                        return False
+                    for value in values:
+                        if not isinstance(value, MachineId):
+                            return False
+                        into.add(value.value)
+                elif "event-field" in item:
+                    target = getattr(event, item["event-field"], None)
+                    if not isinstance(target, MachineId):
+                        return False  # payload does not carry a machine id
+                    into.add(target.value)
+                elif "class" in item:
+                    classes.add(item["class"])
                 else:
-                    return None
-                for value in values:
-                    if not isinstance(value, MachineId):
-                        return None
-                    insts.add(value.value)
-            elif "class" in item:
-                classes.add(item["class"])
-            else:
-                return None
+                    return False
+            return True
+
+        if not _resolve_items(write_items, writes):
+            return None
+        if not _resolve_items(read_items, reads):
+            return None
         inst_classes = set()
-        for value in insts:
+        for value in writes | reads:
             target = machines_by_value.get(value)
             if target is None:
                 return None  # names a machine the runtime no longer knows
             inst_classes.add(_type_key(type(target)))
         return _Touch(
-            insts=frozenset(insts),
+            writes=frozenset(writes),
+            reads=frozenset(reads),
             inst_classes=frozenset(inst_classes),
             classes=frozenset(classes),
             monitors=frozenset(footprint.get("monitors", ())),
@@ -222,8 +258,8 @@ class DporLiteStrategy(DFSStrategy):
         )
 
 
-def _head_event_type(machine) -> Optional[type]:
-    """Event type the next dispatch of ``machine`` will consume.
+def _head_event(machine):
+    """The event instance the next dispatch of ``machine`` will consume.
 
     Mirrors the dispatch order in ``TestRuntime._execution_loop``: the raised
     queue drains first and bypasses disciplines; otherwise the first
@@ -231,15 +267,14 @@ def _head_event_type(machine) -> Optional[type]:
     head directly).
     """
     if machine._raised:
-        return type(machine._raised[0])
+        return machine._raised[0]
     ctx = machine._state_ctx
     inbox = machine._inbox
     if ctx.plain:
-        return type(inbox[0]) if inbox else None
+        return inbox[0] if inbox else None
     for event in inbox:
-        event_type = type(event)
-        if ctx.dequeuable(event_type):
-            return event_type
+        if ctx.dequeuable(type(event)):
+            return event
     return None
 
 
@@ -249,8 +284,12 @@ def _independent(a: _Touch, b: _Touch) -> bool:
         return False  # machine-id allocation order is observable
     if a.monitors & b.monitors:
         return False
-    if a.insts & b.insts:
+    if a.writes & (b.writes | b.reads):
         return False
+    if b.writes & a.reads:
+        return False
+    # read/read overlaps commute: count_pending cannot observe another
+    # query, only sends (writes) change an inbox.
     # A freshly created target cannot alias an existing instance, but guard
     # against a same-class interaction anyway: the conservative direction
     # costs at most one unpruned branch.

@@ -7,6 +7,8 @@ one the runtime would eventually surface under some schedule, which is
 exactly the class of bug the analyzer is meant to catch in O(seconds).
 """
 
+import time
+
 from repro.core import Event, Machine, Monitor, State, on_event
 
 
@@ -366,6 +368,156 @@ class DampedEcho(Machine):
         def echo(self, event: Ping) -> None:
             if event.n > 0:
                 self.raise_event(Ping(event.n - 1))
+
+
+# ---------------------------------------------------------------------------
+# payload-missing-field / payload-dead-field — field-sensitive dataflow rules;
+# whole-program only (a fragment cannot prove what fields producers set)
+# ---------------------------------------------------------------------------
+class Count(Event):
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+
+class Status(Event):
+    def __init__(self, code: int, detail: str) -> None:
+        self.code = code
+        self.detail = detail
+
+
+class CountMisreader(Machine):
+    """Reads ``event.total`` off an event whose producers only set ``n`` —
+    a guaranteed AttributeError on the first dispatch."""
+
+    class Idle(State, initial=True):
+        @on_event(Count)
+        def tally(self, event) -> None:
+            self.total = event.total
+
+
+class CountReader(Machine):
+    """Clean twin: reads the field producers actually set."""
+
+    class Idle(State, initial=True):
+        @on_event(Count)
+        def tally(self, event) -> None:
+            self.total = event.n
+
+
+class MissingFieldSender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(CountMisreader)
+        self.send(self.peer, Count(1))
+
+
+class FieldFriendlySender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(CountReader)
+        self.send(self.peer, Count(1))
+
+
+class StatusHalfReader(Machine):
+    """Only ever reads ``code``; ``detail`` is dead payload."""
+
+    class Idle(State, initial=True):
+        @on_event(Status)
+        def note(self, event) -> None:
+            self.code = event.code
+
+
+class StatusFullReader(Machine):
+    """Clean twin: every constructed field is read somewhere."""
+
+    class Idle(State, initial=True):
+        @on_event(Status)
+        def note(self, event) -> None:
+            self.code = event.code
+            self.detail = event.detail
+
+
+class DeadFieldSender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(StatusHalfReader)
+        self.send(self.peer, Status(200, "ok"))
+
+
+class LiveFieldSender(Machine):
+    def on_start(self) -> None:
+        self.peer = self.create(StatusFullReader)
+        self.send(self.peer, Status(200, "ok"))
+
+
+# ---------------------------------------------------------------------------
+# nondeterministic-handler — determinism lint (must-facts, no gating)
+# ---------------------------------------------------------------------------
+class JitteryHandler(Machine):
+    """Reads the wall clock inside a handler: replay and shrinking see a
+    different value on every execution."""
+
+    class Idle(State, initial=True):
+        @on_event(Nudge)
+        def stamp(self) -> None:
+            self.seen_at = time.time()
+
+
+class SteadyHandler(Machine):
+    """Clean twin: a deterministic function of machine state."""
+
+    class Idle(State, initial=True):
+        @on_event(Nudge)
+        def stamp(self) -> None:
+            self.seen_at = getattr(self, "seen_at", 0) + 1
+
+
+class SetFanout(Machine):
+    """Sends while iterating a ``set`` of machine ids: the send order (and
+    with it every schedule and fingerprint) depends on interpreter hash
+    order."""
+
+    def on_start(self) -> None:
+        self.peers = {
+            self.create(ListeningReceiver),
+            self.create(ListeningReceiver),
+        }
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def fan_out(self) -> None:
+            for peer in self.peers:
+                self.send(peer, Ping(1))
+
+
+class ListFanout(Machine):
+    """Clean twin: list iteration order is insertion order, deterministic."""
+
+    def on_start(self) -> None:
+        self.peers = [
+            self.create(ListeningReceiver),
+            self.create(ListeningReceiver),
+        ]
+
+    class Init(State, initial=True):
+        @on_event(Nudge)
+        def fan_out(self) -> None:
+            for peer in self.peers:
+                self.send(peer, Ping(1))
+
+
+class SuppressedDeadHandler(Machine):
+    """Same defects as :class:`OrphanState`, silenced inline — the
+    dead-handler pragma sits *above the decorator* of a handler in a nested
+    ``State`` body and must attach to the diagnostic's ``def`` anchor."""
+
+    class Main(State, initial=True):
+        @on_event(Nudge)
+        def noop(self) -> None:
+            pass
+
+    class Island(State):  # repro: ignore[unreachable-state]
+        # repro: ignore[dead-handler]
+        @on_event(Ping)
+        def dead(self, event: Ping) -> None:
+            pass
 
 
 class StalePragma(Machine):

@@ -1,0 +1,106 @@
+"""The incremental analysis cache: keys, storage, invalidation (PR 9)."""
+
+import json
+import os
+
+from repro.analysis import AnalysisCache, AnalysisReport, analyze_scenarios
+from repro.analysis.runner import independence_for_scenarios
+from repro.core.registry import get_scenario, load_builtin_scenarios
+
+from . import fixtures as fx
+
+
+def _scenario():
+    load_builtin_scenarios()
+    return [get_scenario("vnext/extent-node-liveness")]
+
+
+def test_round_trip_and_counters(tmp_path):
+    cache = AnalysisCache(directory=str(tmp_path))
+    key = cache.key_for([fx.HandledSender])
+    assert key is not None
+    assert cache.get(key) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.put(key, {"answer": 42})
+    assert cache.get(key) == {"answer": 42}
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert 0 < cache.hit_rate() < 1
+    assert "1 hit(s), 1 miss(es)" in cache.describe()
+
+
+def test_key_is_stable_within_a_run_and_distinguishes_extras(tmp_path):
+    cache = AnalysisCache(directory=str(tmp_path))
+    first = cache.key_for([fx.HandledSender], extra=["report"])
+    second = cache.key_for([fx.HandledSender], extra=["report"])
+    assert first == second
+    assert cache.key_for([fx.HandledSender], extra=["independence"]) != first
+    assert cache.key_for([fx.HandledRaiser], extra=["report"]) != first
+
+
+def test_source_change_invalidates_the_key(tmp_path, monkeypatch):
+    import sys
+    import types
+
+    module = types.ModuleType("fakepkg")
+    source = tmp_path / "fakepkg.py"
+    source.write_text("x = 1\n")
+    module.__file__ = str(source)
+
+    class Probe:
+        __module__ = "fakepkg"
+        __qualname__ = "Probe"
+
+    monkeypatch.setitem(sys.modules, "fakepkg", module)
+    cache = AnalysisCache(directory=str(tmp_path / "cache"))
+    before = cache.key_for([Probe])
+    source.write_text("x = 2\n")
+    after = AnalysisCache(directory=str(tmp_path / "cache")).key_for([Probe])
+    assert before != after
+
+
+def test_local_classes_disable_caching(tmp_path):
+    class Local:
+        pass
+
+    cache = AnalysisCache(directory=str(tmp_path))
+    assert cache.key_for([Local]) is None
+    assert cache.get(None) is None
+    cache.put(None, {"ignored": True})  # must not write anything
+    assert not os.path.exists(os.path.join(str(tmp_path), "None.json"))
+
+
+def test_disabled_cache_never_reads_or_writes(tmp_path):
+    cache = AnalysisCache(directory=str(tmp_path), enabled=False)
+    key = cache.key_for([fx.HandledSender])
+    cache.put(key, {"answer": 42})
+    assert list(tmp_path.iterdir()) == []
+    assert cache.get(key) is None
+    assert cache.lookups == 0
+
+
+def test_analyze_scenarios_served_from_cache_is_equivalent(tmp_path):
+    cases = _scenario()
+    cache = AnalysisCache(directory=str(tmp_path))
+    fresh = analyze_scenarios(cases, cache=cache)
+    assert (cache.hits, cache.misses) == (0, 1)
+    cached = analyze_scenarios(cases, cache=cache)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert isinstance(cached, AnalysisReport)
+    assert cached.to_json() == fresh.to_json()
+    assert cached.machines == fresh.machines
+    assert cached.scenarios == fresh.scenarios
+
+
+def test_independence_table_served_from_cache_is_identical(tmp_path):
+    cases = _scenario()
+    cache = AnalysisCache(directory=str(tmp_path))
+    fresh = independence_for_scenarios(cases, cache=cache)
+    cached = independence_for_scenarios(cases, cache=cache)
+    assert cache.hits == 1
+    assert json.dumps(cached, sort_keys=True) == json.dumps(fresh, sort_keys=True)
+
+
+def test_environment_variable_overrides_the_directory(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ANALYSIS_CACHE", str(tmp_path / "elsewhere"))
+    cache = AnalysisCache()
+    assert cache.directory == str(tmp_path / "elsewhere")

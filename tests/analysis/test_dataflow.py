@@ -1,0 +1,217 @@
+"""Unit coverage for the field-sensitive payload dataflow layer (PR 9).
+
+Ctor-field summaries, handler read-sets, producer sites (with resolved
+delivery targets) and the joined must/may queries — including every
+degradation path the conservatism discipline promises.
+"""
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import pytest
+
+from repro.analysis import (
+    build_dataflow,
+    build_program,
+    clear_dataflow_cache,
+    event_ctor_fields,
+    event_has_own_methods,
+)
+from repro.core import Event, Machine, State, on_event
+
+from . import fixtures as fx
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ctor_cache():
+    clear_dataflow_cache()
+    yield
+    clear_dataflow_cache()
+
+
+# ---------------------------------------------------------------------------
+# event_ctor_fields: (must, may) summaries per constructor style
+# ---------------------------------------------------------------------------
+class PlainEvent(Event):
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+class ConditionalEvent(Event):
+    def __init__(self, a, flag=False):
+        self.a = a
+        if flag:
+            self.extra = 1
+
+
+class EarlyReturnEvent(Event):
+    def __init__(self, a):
+        if a is None:
+            return
+        self.a = a
+
+
+class ClassBodyEvent(Event):
+    kind = "static"
+
+
+@dataclass
+class DataEvent(Event):
+    x: int
+    y: str
+
+
+class TupleEvent(Event, NamedTuple("TupleEventBase", [("p", int), ("q", int)])):
+    pass
+
+
+class SetattrEvent(Event):
+    def __init__(self, **kwargs):
+        for key, value in kwargs.items():
+            setattr(self, key, value)
+
+
+class EscapingSelfEvent(Event):
+    def __init__(self, registry):
+        registry.append(self)
+
+
+class MethodfulEvent(Event):
+    def __init__(self, a):
+        self.a = a
+
+    def double(self):
+        return self.a * 2
+
+
+def test_plain_init_fields_are_must_and_may():
+    assert event_ctor_fields(PlainEvent) == ({"a", "b"}, {"a", "b"})
+
+
+def test_conditional_assignment_is_may_but_not_must():
+    must, may = event_ctor_fields(ConditionalEvent)
+    assert must == {"a"}
+    assert may == {"a", "extra"}
+
+
+def test_early_return_demotes_every_field_to_may():
+    must, may = event_ctor_fields(EarlyReturnEvent)
+    assert must == frozenset()
+    assert may == {"a"}
+
+
+def test_class_body_data_attributes_always_count():
+    assert event_ctor_fields(ClassBodyEvent) == ({"kind"}, {"kind"})
+
+
+def test_dataclass_and_namedtuple_fields_are_exact():
+    assert event_ctor_fields(DataEvent) == ({"x", "y"}, {"x", "y"})
+    assert event_ctor_fields(TupleEvent) == ({"p", "q"}, {"p", "q"})
+
+
+def test_dynamic_and_escaping_ctors_are_opaque():
+    assert event_ctor_fields(SetattrEvent) == (None, None)
+    assert event_ctor_fields(EscapingSelfEvent) == (None, None)
+
+
+def test_event_has_own_methods():
+    assert event_has_own_methods(MethodfulEvent)
+    assert not event_has_own_methods(PlainEvent)
+
+
+# ---------------------------------------------------------------------------
+# build_dataflow: handler reads, producer sites, joined queries
+# ---------------------------------------------------------------------------
+class Keeper(Machine):
+    """The event parameter escapes into machine state: read-opaque."""
+
+    class Only(State, initial=True):
+        @on_event(PlainEvent)
+        def keep(self, event):
+            self.last = event
+
+
+class Tagger(Machine):
+    """Attaches a post-construction field before sending to itself."""
+
+    class Only(State, initial=True):
+        @on_event(PlainEvent)
+        def tag(self, event):
+            evt = ConditionalEvent(event.a)
+            evt.note = "seen"
+            self.raise_event(evt)
+
+        @on_event(ConditionalEvent)
+        def read(self, event):
+            self.note = event.note
+
+
+def _flow(*classes):
+    return build_dataflow(build_program(classes))
+
+
+def test_handler_reads_track_fields_and_escapes():
+    flow = _flow(fx.MissingFieldSender)
+    (entry,) = [r for r in flow.handler_reads if r.owner is fx.CountMisreader]
+    assert entry.event_type is fx.Count
+    assert entry.fields == {"total"}
+
+    escaped = _flow(Keeper)
+    (entry,) = [r for r in escaped.handler_reads if r.owner is Keeper]
+    assert entry.fields is None
+    assert escaped.fields_required(PlainEvent) is None
+
+
+def test_producer_sites_resolve_fields_and_delivery_target():
+    flow = _flow(fx.MissingFieldSender)
+    (site,) = flow.producers[fx.Count]
+    assert site.owner is fx.MissingFieldSender
+    assert site.fields == {"n"}
+    assert site.target is fx.CountMisreader
+    assert not site.forwards
+
+
+def test_raise_sites_target_the_raising_machine_itself():
+    flow = _flow(Tagger)
+    (site,) = flow.producers[ConditionalEvent]
+    assert site.target is Tagger
+    assert site.extra_fields == {"note"}
+
+
+def test_fields_provided_joins_ctor_may_with_site_extras():
+    flow = _flow(Tagger)
+    assert flow.fields_provided(ConditionalEvent) == {"a", "extra", "note"}
+    assert flow.fields_provided(SetattrEvent) is None
+
+
+def test_fields_required_unions_handler_reads():
+    flow = _flow(fx.DeadFieldSender)
+    assert flow.fields_required(fx.Status) == {"code"}
+
+
+class OutsideCaller(Machine):
+    """Calls into a non-framework module: effects the model cannot see."""
+
+    class Only(State, initial=True):
+        @on_event(PlainEvent)
+        def go(self, event):
+            import random
+
+            random.random()
+
+
+def test_external_methods_clear_the_resolved_flag():
+    assert _flow(fx.MissingFieldSender).resolved
+    assert not _flow(OutsideCaller).resolved
+    # set iteration is a determinism finding, not an external effect: it must
+    # not poison payload resolution
+    assert _flow(fx.SetFanout).resolved
+
+
+def test_nondet_findings_surface_reason_and_site():
+    flow = _flow(fx.JitteryHandler)
+    (finding,) = flow.nondet
+    assert finding.owner is fx.JitteryHandler
+    assert "time.time" in finding.reason
+    assert finding.ref.line > 0

@@ -5,12 +5,18 @@ extractor cannot prove harmless must surface as an ``{"opaque": true}`` entry
 (the ``dpor-lite`` consumer treats opaque — and any lookup miss — as
 conflicting with everything), while the constructs the vNext harness actually
 uses stay concrete so pruning has something to work with.
+
+Version 2 splits footprints into ``writes``/``reads`` and adds
+``{"event-field": name}`` items; version 1 (the PR 7 format) stays buildable
+with its historical — strictly coarser — external discipline, which the
+benchmark gate compares against.
 """
 
 import json
 import random
 
 from repro.analysis import (
+    LEGACY_TABLE_VERSION,
     TABLE_VERSION,
     clear_model_cache,
     independence_for_classes,
@@ -20,9 +26,16 @@ from repro.core import Event, Machine, State, on_event
 from repro.core.registry import get_scenario, load_builtin_scenarios
 
 
-def _vnext_table():
+def _vnext_table(version=TABLE_VERSION):
     load_builtin_scenarios()
-    return independence_for_scenarios([get_scenario("vnext/extent-node-liveness")])
+    cases = [get_scenario("vnext/extent-node-liveness")]
+    if version == TABLE_VERSION:
+        return independence_for_scenarios(cases)
+    from repro.analysis import build_independence_table, build_program
+    from repro.analysis.runner import _discover
+
+    classes, _produced = _discover(cases)
+    return build_independence_table(build_program(classes), version=version)
 
 
 def _events(table, machine_key):
@@ -37,28 +50,57 @@ def test_vnext_footprints_are_concrete_where_it_matters():
     # wall-clock-only branches are mode-dead under the test runtime, so the
     # timer's start handler touches nothing but itself
     assert timer["repro.core.events.StartEvent"] == {
-        "creates": False, "monitors": [], "sends": ["self"], "queries": [],
+        "creates": False, "monitors": [], "writes": ["self"], "reads": [],
     }
     loop = timer["repro.core.timer._TimerLoop"]
-    assert loop["sends"] == ["self", {"attr": "target"}]
-    assert loop["queries"] == [{"attr": "target"}]
+    assert loop["writes"] == ["self", {"attr": "target"}]
+    assert loop["reads"] == [{"attr": "target"}]
 
     driver = _events(table, "repro.vnext.harness.machines.TestingDriverMachine")
     inject = driver["repro.vnext.harness.events.InjectFailure"]
     # the victim is drawn from the confined node_machines dict: the footprint
     # names the container, resolved to all of its members at choice time
-    assert inject["sends"] == [{"attr-values": "node_machines"}]
+    assert inject["writes"] == [{"attr-values": "node_machines"}]
     assert inject["creates"] is True
     assert inject["monitors"] == ["repro.vnext.harness.monitor.RepairMonitor"]
 
     node = _events(table, "repro.vnext.harness.machines.ExtentNodeMachine")
     failure = node["repro.vnext.harness.events.FailureEvent"]
     assert failure["monitors"] == ["repro.vnext.harness.monitor.RepairMonitor"]
-    assert {"attr": "heartbeat_timer"} in failure["sends"]
+    assert {"attr": "heartbeat_timer"} in failure["writes"]
 
     # Halt dispatches with no on_halt effects are universally clean
     manager = _events(table, "repro.vnext.harness.machines.ExtentManagerMachine")
-    assert manager["repro.core.events.Halt"]["sends"] == []
+    assert manager["repro.core.events.Halt"]["writes"] == []
+
+
+def test_v2_event_field_targets_resolve_through_the_payload():
+    # the copy-request handler replies to event.requester: a v1 table cannot
+    # name that machine, v2 carries the field and resolves it at choice time
+    node = _events(
+        _vnext_table(), "repro.vnext.harness.machines.ExtentNodeMachine"
+    )
+    copy_request = node["repro.vnext.harness.events.CopyRequestEvent"]
+    assert copy_request["writes"] == [{"event-field": "requester"}]
+    # inbox queries land in reads, not writes: read/read overlaps commute
+    tick = node["repro.core.events.TimerTick"]
+    assert tick["reads"] == [{"attr": "extent_manager"}]
+    assert tick["writes"] == [{"attr": "extent_manager"}]
+
+
+def test_v1_table_keeps_the_legacy_shape_and_discipline():
+    table = _vnext_table(version=LEGACY_TABLE_VERSION)
+    assert table["version"] == LEGACY_TABLE_VERSION
+    node = _events(table, "repro.vnext.harness.machines.ExtentNodeMachine")
+    # under the v1 external discipline the node's handlers (which call into
+    # the wrapped ExtentNode component) all degrade to opaque...
+    assert node["repro.vnext.harness.events.CopyRequestEvent"] == {"opaque": True}
+    # ...and concrete v1 footprints use the merged sends/queries keys
+    timer = _events(table, "repro.core.timer.TimerMachine")
+    loop = timer["repro.core.timer._TimerLoop"]
+    assert loop["sends"] == ["self", {"attr": "target"}]
+    assert loop["queries"] == [{"attr": "target"}]
+    assert "writes" not in loop and "reads" not in loop
 
 
 def test_vnext_wrapped_component_dispatches_stay_opaque():
@@ -105,8 +147,22 @@ class CleanSelfSender(Machine):
             self.send(self.id, Poke())
 
 
-def _entry_for(cls):
-    table = independence_for_classes([cls])
+class HelperFieldSender(Machine):
+    """Reads the target off the event payload — but in a *helper* method,
+    whose second argument is not necessarily the dispatched event, so the
+    event-field item must not be emitted and the entry degrades."""
+
+    class Only(State, initial=True):
+        @on_event(Poke)
+        def enter(self, event) -> None:
+            self.reply(event)
+
+    def reply(self, event) -> None:
+        self.send(event.requester, Poke())
+
+
+def _entry_for(cls, version=TABLE_VERSION):
+    table = independence_for_classes([cls], version=version)
     key = f"{cls.__module__}.{cls.__qualname__}"
     return table["machines"][key]["events"][f"{Poke.__module__}.Poke"]
 
@@ -121,12 +177,30 @@ def test_rebound_target_attribute_degrades_to_opaque():
 
 def test_self_send_stays_concrete():
     entry = _entry_for(CleanSelfSender)
-    assert entry["sends"] == ["self"]
+    assert entry["writes"] == ["self"]
     assert entry["creates"] is False
+
+
+def test_event_field_in_helper_method_degrades_to_opaque():
+    assert _entry_for(HelperFieldSender) == {"opaque": True}
+
+
+def test_unsupported_table_version_is_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        independence_for_classes([CleanSelfSender], version=3)
 
 
 def test_table_is_json_safe_and_byte_stable():
     first = json.dumps(_vnext_table(), sort_keys=True)
     clear_model_cache()
     second = json.dumps(_vnext_table(), sort_keys=True)
+    assert first == second
+
+
+def test_v1_table_is_byte_stable_too():
+    first = json.dumps(_vnext_table(version=LEGACY_TABLE_VERSION), sort_keys=True)
+    clear_model_cache()
+    second = json.dumps(_vnext_table(version=LEGACY_TABLE_VERSION), sort_keys=True)
     assert first == second

@@ -1,0 +1,113 @@
+"""The analyzer sees through declaration style (ISSUE 9, satellite c).
+
+:mod:`repro.examplesys.harness.legacy_machines` keeps the pre-DSL
+string-state form of the §2.2 harness machines alive, verbatim except for the
+declaration syntax.  The runtime ``dsl-compat`` test already proves both
+forms produce byte-identical traces; these tests prove the *static* layers
+agree too — extraction, payload dataflow and independence footprints must be
+invariant under the DSL port (modulo the module path and the DSL's hoisted
+handler names, neither of which carries semantics).
+"""
+
+import json
+
+from repro.analysis import (
+    build_dataflow,
+    build_independence_table,
+    build_program,
+    extract_machine_model,
+    is_handleable,
+    reachable_states,
+    type_key,
+)
+from repro.core.events import Halt, StartEvent, TimerTick
+from repro.core.timer import TimerMachine
+from repro.examplesys.harness import legacy_machines as legacy
+from repro.examplesys.harness import machines as dsl
+from repro.examplesys.messages import (
+    Ack,
+    ClientRequest,
+    ReplicationRequest,
+    SyncReport,
+)
+
+PAIRS = [
+    (dsl.ServerMachine, legacy.ServerMachine),
+    (dsl.StorageNodeMachine, legacy.StorageNodeMachine),
+    (dsl.ClientMachine, legacy.ClientMachine),
+]
+
+EVENTS = [
+    Ack,
+    ClientRequest,
+    ReplicationRequest,
+    SyncReport,
+    TimerTick,
+    StartEvent,
+    Halt,
+]
+
+
+def test_extraction_agrees_across_declaration_forms():
+    for dsl_cls, legacy_cls in PAIRS:
+        dsl_model = extract_machine_model(dsl_cls)
+        legacy_model = extract_machine_model(legacy_cls)
+        assert dsl_model.initial == legacy_model.initial
+        assert reachable_states(dsl_model) == reachable_states(legacy_model)
+        assert dsl_model.ignore_unhandled == legacy_model.ignore_unhandled
+        assert dsl_model.receive_types == legacy_model.receive_types
+        for event in EVENTS:
+            assert is_handleable(dsl_model, event) == is_handleable(
+                legacy_model, event
+            ), (dsl_cls.__name__, event.__name__)
+
+
+def _flow_facts(root):
+    """Dataflow facts normalized to be declaration-form independent:
+    handler method names (mangled by the DSL hoist) are dropped, classes are
+    named rather than referenced."""
+    flow = build_dataflow(build_program([root]))
+    reads = sorted(
+        (
+            read.owner.__name__,
+            read.event_type.__name__,
+            None if read.fields is None else tuple(sorted(read.fields)),
+        )
+        for read in flow.handler_reads
+    )
+    producers = sorted(
+        (
+            event_type.__name__,
+            site.owner.__name__,
+            tuple(sorted(site.fields)),
+            tuple(sorted(site.extra_fields)),
+            site.forwards,
+            None if site.target is None else site.target.__name__,
+        )
+        for event_type, sites in flow.producers.items()
+        for site in sites
+    )
+    return flow.resolved, reads, producers
+
+
+def test_payload_dataflow_agrees_across_declaration_forms():
+    assert _flow_facts(dsl.ServerMachine) == _flow_facts(legacy.ServerMachine)
+
+
+def test_independence_footprints_agree_across_declaration_forms():
+    dsl_table = build_independence_table(build_program([dsl.ServerMachine]))
+    legacy_table = build_independence_table(
+        build_program([legacy.ServerMachine])
+    )
+    # the only legitimate difference is the module path in the type keys
+    normalized = json.dumps(legacy_table, sort_keys=True).replace(
+        ".legacy_machines.", ".machines."
+    )
+    assert normalized == json.dumps(dsl_table, sort_keys=True)
+    # and the table is not vacuously equal: the shared timer machinery keeps
+    # concrete footprints on both sides
+    timer_key = type_key(TimerMachine)
+    assert any(
+        not entry.get("opaque")
+        for entry in dsl_table["machines"][timer_key]["events"].values()
+    )

@@ -131,3 +131,51 @@ def test_report_dict_shape():
         [d for d in payload["diagnostics"] if d["severity"] == "error"]
     )
     assert payload["machines"] == sorted(payload["machines"])
+
+
+def test_stats_block_is_strictly_opt_in():
+    """``--stats`` must not perturb the default JSON: byte-identical without
+    a rule catalog, one extra top-level key with one."""
+    from repro.analysis import RULES
+
+    report = analyze_classes([fx.UnhandledSender, fx.SuppressedPopper])
+    assert report.to_json() == report.to_json(None)
+    with_stats = json.loads(report.to_json(sorted(RULES)))
+    without = json.loads(report.to_json())
+    assert set(with_stats) == set(without) | {"stats"}
+    stats = with_stats["stats"]["rules"]
+    # every catalog rule has a row, even at zero
+    assert set(stats) == set(RULES)
+    assert stats["unhandled-event"]["active"] >= 1
+    assert stats["pop-underflow"]["suppressed"] >= 1
+    assert stats["hot-forever"] == {"active": 0, "suppressed": 0}
+
+
+def test_render_stats_is_aligned_and_complete():
+    from repro.analysis import RULES
+
+    report = analyze_classes([fx.UnhandledSender])
+    text = report.render_stats(sorted(RULES))
+    lines = text.splitlines()
+    assert lines[0].split() == ["rule", "active", "suppressed"]
+    assert len(lines) == 1 + len(RULES)
+
+
+def test_report_cache_round_trip_preserves_everything():
+    report = analyze_classes(
+        [fx.UnhandledSender, fx.SuppressedPopper], scenarios=["demo"]
+    )
+    from repro.analysis import AnalysisReport
+
+    restored = AnalysisReport.from_cache_dict(report.to_cache_dict())
+    assert restored.to_json() == report.to_json()
+    assert restored.machines == report.machines
+    assert restored.scenarios == report.scenarios
+    assert [d.rule for d in restored.suppressed] == [
+        d.rule for d in report.suppressed
+    ]
+    # raw anchors survive (to_dict shortens paths for humans; the cache
+    # must keep them absolute so suppression anchors stay valid)
+    assert [d.file for d in restored.diagnostics] == [
+        d.file for d in report.diagnostics
+    ]

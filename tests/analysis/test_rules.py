@@ -29,6 +29,8 @@ def _rules_for(*classes, **kwargs):
         ("hot-forever", fx.TrappedHotMonitor, fx.CoolableHotMonitor),
         ("payload-alias", fx.PayloadAliaser, fx.FreshPayloadSender),
         ("payload-alias", fx.LoopAliaser, fx.LoopFreshSender),
+        ("nondeterministic-handler", fx.JitteryHandler, fx.SteadyHandler),
+        ("nondeterministic-handler", fx.SetFanout, fx.ListFanout),
     ],
 )
 def test_rule_fires_on_defect_and_not_on_clean_twin(rule, bad, clean):
@@ -49,6 +51,8 @@ def test_rule_fires_on_defect_and_not_on_clean_twin(rule, bad, clean):
         ("unbounded-send-cycle", (fx.EchoLooper,), (fx.DampedEcho,)),
         ("unused-ignore", (fx.StalePragma,), (fx.SuppressedPopper,)),
         ("unused-ignore", (fx.StalePragma,), (fx.WildcardPragma,)),
+        ("payload-missing-field", (fx.MissingFieldSender,), (fx.FieldFriendlySender,)),
+        ("payload-dead-field", (fx.DeadFieldSender,), (fx.LiveFieldSender,)),
     ],
 )
 def test_graph_rule_fires_on_defect_and_not_on_clean_twin(rule, bad, clean):
@@ -90,6 +94,7 @@ def test_every_rule_id_is_covered_by_a_fixture():
         fx.ForeverDeferrer,
         fx.TrappedHotMonitor,
         fx.PayloadAliaser,
+        fx.JitteryHandler,
     )
     _, graph_fired = _rules_for(
         fx.GhostHandler,
@@ -97,7 +102,16 @@ def test_every_rule_id_is_covered_by_a_fixture():
         fx.EchoLooper,
         fx.StalePragma,
         fx.Islander,
-        roots=[fx.GhostHandler, fx.ForgottenMonitor, fx.EchoLooper, fx.StalePragma],
+        fx.MissingFieldSender,
+        fx.DeadFieldSender,
+        roots=[
+            fx.GhostHandler,
+            fx.ForgottenMonitor,
+            fx.EchoLooper,
+            fx.StalePragma,
+            fx.MissingFieldSender,
+            fx.DeadFieldSender,
+        ],
         whole_program=True,
     )
     assert fired | graph_fired == set(RULES)
@@ -117,9 +131,27 @@ def test_clean_twins_are_fully_clean():
         fx.SelfWaker,
         fx.DampedEcho,
         fx.WildcardPragma,
+        fx.SteadyHandler,
+        fx.ListFanout,
+        fx.FieldFriendlySender,
+        fx.LiveFieldSender,
     )
     assert report.diagnostics == []
     assert report.suppressed == []
+
+
+def test_pragma_above_decorated_handler_in_nested_state_suppresses():
+    """Regression: a ``# repro: ignore[...]`` comment above the *decorator*
+    of a handler inside a nested ``State`` body must anchor to the handler's
+    diagnostic (which points at the ``def`` line), and must not then be
+    reported as an unused ignore."""
+    report, fired = _rules_for(fx.SuppressedDeadHandler)
+    assert fired == set()
+    assert report.diagnostics == []
+    assert {d.rule for d in report.suppressed} == {
+        "dead-handler",
+        "unreachable-state",
+    }
 
 
 # ---------------------------------------------------------------------------

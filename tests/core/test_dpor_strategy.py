@@ -114,9 +114,10 @@ def test_from_config_reads_the_independence_field():
 # ---------------------------------------------------------------------------
 # the conflict predicate
 # ---------------------------------------------------------------------------
-def _touch(insts=(), inst_classes=(), classes=(), monitors=(), creates=False):
+def _touch(writes=(), reads=(), inst_classes=(), classes=(), monitors=(), creates=False):
     return _Touch(
-        insts=frozenset(insts),
+        writes=frozenset(writes),
+        reads=frozenset(reads),
         inst_classes=frozenset(inst_classes),
         classes=frozenset(classes),
         monitors=frozenset(monitors),
@@ -125,34 +126,49 @@ def _touch(insts=(), inst_classes=(), classes=(), monitors=(), creates=False):
 
 
 def test_disjoint_footprints_commute():
-    a = _touch(insts={1}, inst_classes={"m.A"})
-    b = _touch(insts={2}, inst_classes={"m.B"})
+    a = _touch(writes={1}, inst_classes={"m.A"})
+    b = _touch(writes={2}, inst_classes={"m.B"})
     assert _independent(a, b) and _independent(b, a)
 
 
-def test_shared_instance_is_a_conflict():
-    a = _touch(insts={1, 3})
-    b = _touch(insts={3})
+def test_shared_write_is_a_conflict():
+    a = _touch(writes={1, 3})
+    b = _touch(writes={3})
     assert not _independent(a, b)
 
 
+def test_read_read_overlap_commutes():
+    # only sends (writes) change an inbox; two queries cannot observe each
+    # other — this is the precision the v2 field-level table buys
+    a = _touch(writes={1}, reads={3})
+    b = _touch(writes={2}, reads={3})
+    assert _independent(a, b) and _independent(b, a)
+
+
+def test_write_against_read_is_a_conflict_both_ways():
+    writer = _touch(writes={3})
+    reader = _touch(writes={1}, reads={3})
+    assert not _independent(writer, reader)
+    assert not _independent(reader, writer)
+
+
 def test_shared_monitor_is_a_conflict():
-    a = _touch(insts={1}, monitors={"m.Mon"})
-    b = _touch(insts={2}, monitors={"m.Mon"})
+    a = _touch(writes={1}, monitors={"m.Mon"})
+    b = _touch(writes={2}, monitors={"m.Mon"})
     assert not _independent(a, b)
 
 
 def test_two_creators_conflict_on_id_allocation_order():
-    a = _touch(insts={1}, creates=True)
-    b = _touch(insts={2}, creates=True)
+    a = _touch(writes={1}, creates=True)
+    b = _touch(writes={2}, creates=True)
     assert not _independent(a, b)
     # a single creator commutes with a non-creator it does not touch
-    assert _independent(a, _touch(insts={2}))
+    assert _independent(a, _touch(writes={2}))
 
 
 def test_fresh_class_conflicts_with_instances_of_the_same_class():
-    a = _touch(insts={1}, classes={"m.B"})
-    b = _touch(insts={2}, inst_classes={"m.B"})
+    a = _touch(writes={1}, classes={"m.B"})
+    b = _touch(writes={2}, inst_classes={"m.B"})
     assert not _independent(a, b)
     assert not _independent(b, a)
-    assert _independent(a, _touch(insts={2}, inst_classes={"m.C"}))
+    assert _independent(a, _touch(writes={2}, inst_classes={"m.C"}))
