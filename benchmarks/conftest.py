@@ -1,7 +1,9 @@
 """Shared configuration for the benchmark harness."""
 
+import json
 import os
 import sys
+import threading
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -9,3 +11,48 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 #: 100,000 executions; the default here keeps the harness CI-sized.  Override
 #: with the REPRO_BENCH_ITERATIONS environment variable for a full-scale run.
 BENCH_ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "60"))
+
+#: Where the collected gate metrics land at session end.  CI uploads the file
+#: as an artifact so gate-to-gate perf is comparable across runs; override
+#: with REPRO_BENCH_RESULTS (an empty value disables writing entirely).
+_DEFAULT_RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_results.json"
+)
+BENCH_RESULTS_PATH = os.environ.get("REPRO_BENCH_RESULTS", _DEFAULT_RESULTS_PATH)
+
+_results_lock = threading.Lock()
+_results = {}
+
+
+def record_bench_result(gate, **metrics):
+    """Stash one gate's metrics (wall clock, schedules explored, speedups).
+
+    Benchmarks call this with whatever numbers their asserts are computed
+    from, so the written document answers "how close to the gate was that
+    run" without re-running anything.  Repeat calls for the same gate merge,
+    letting a test record incrementally.
+    """
+    with _results_lock:
+        _results.setdefault(gate, {}).update(metrics)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write (merge) the collected metrics into BENCH_results.json.
+
+    Merging instead of overwriting lets CI run several benchmark files as
+    separate pytest invocations (dpor gate, stateful gate, parallel gate)
+    and still end up with one combined document to upload.
+    """
+    if not _results or not BENCH_RESULTS_PATH:
+        return
+    document = {}
+    try:
+        with open(BENCH_RESULTS_PATH, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        document = {}
+    for gate, metrics in _results.items():
+        document.setdefault(gate, {}).update(metrics)
+    with open(BENCH_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

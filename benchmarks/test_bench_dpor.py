@@ -11,6 +11,12 @@ to 4648 (2.30x), and the v2 field-level table of PR 9 to 1862 (5.73x vs DFS,
 2.50x vs v1).  At max_steps=8 the v1 gap widens to 3.26x (74156 vs 22744).
 """
 
+try:
+    from conftest import record_bench_result
+except ImportError:  # imported as a plain module, outside a pytest session
+    def record_bench_result(gate, **metrics):
+        pass
+
 from repro.analysis import LEGACY_TABLE_VERSION, independence_for_classes
 from repro.analysis.extract import discover_classes
 from repro.core import TestingConfig, TestingEngine
@@ -50,6 +56,14 @@ def test_bench_dpor_prunes_dfs_schedule_space(benchmark):
         f"[dpor-lite gate] dfs={dfs.iterations_executed} schedules, "
         f"dpor-lite={pruned.iterations_executed} schedules ({ratio:.2f}x fewer)"
     )
+    record_bench_result(
+        "dpor-lite",
+        dfs_schedules=dfs.iterations_executed,
+        dpor_schedules=pruned.iterations_executed,
+        prune_ratio=round(ratio, 3),
+        dfs_seconds=round(dfs.elapsed_seconds, 3),
+        dpor_seconds=round(pruned.elapsed_seconds, 3),
+    )
     # identical bug coverage over the identical bounded space
     assert dfs.bug_found and pruned.bug_found
     assert {bug.kind for bug in dfs.bugs} == {bug.kind for bug in pruned.bugs}
@@ -71,6 +85,14 @@ def test_bench_dpor_v2_table_outprunes_v1(benchmark):
     print(
         f"[dpor-lite v2 gate] v1={v1.iterations_executed} schedules, "
         f"v2={v2.iterations_executed} schedules ({ratio:.2f}x fewer)"
+    )
+    record_bench_result(
+        "dpor-lite-v2",
+        v1_schedules=v1.iterations_executed,
+        v2_schedules=v2.iterations_executed,
+        prune_ratio=round(ratio, 3),
+        v1_seconds=round(v1.elapsed_seconds, 3),
+        v2_seconds=round(v2.elapsed_seconds, 3),
     )
     assert v1.bug_found and v2.bug_found
     assert {bug.kind for bug in v1.bugs} == {bug.kind for bug in v2.bugs}

@@ -22,6 +22,14 @@ import os
 import subprocess
 import sys
 
+try:
+    from conftest import record_bench_result
+except ImportError:  # imported as a plain module (e.g. the hashseed
+    # subprocess below), where "conftest" is the repo-root one: the gate
+    # metrics sink only exists under a pytest session anyway.
+    def record_bench_result(gate, **metrics):
+        pass
+
 from repro.analysis import independence_for_classes
 from repro.analysis.extract import discover_classes
 from repro.core import TestingConfig, TestingEngine
@@ -63,6 +71,15 @@ def test_bench_stateful_prunes_dfs_schedule_space(benchmark):
     print(
         f"[stateful gate] dfs={dfs.iterations_executed} schedules, "
         f"stateful={pruned.iterations_executed} schedules ({ratio:.2f}x fewer)"
+    )
+    record_bench_result(
+        "stateful",
+        dfs_schedules=dfs.iterations_executed,
+        stateful_schedules=pruned.iterations_executed,
+        prune_ratio=round(ratio, 3),
+        dfs_seconds=round(dfs.elapsed_seconds, 3),
+        stateful_seconds=round(pruned.elapsed_seconds, 3),
+        distinct_states=len(pruned.coverage.fingerprints),
     )
     # identical bug coverage over the identical bounded space
     assert dfs.bug_found and pruned.bug_found

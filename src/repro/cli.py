@@ -15,7 +15,11 @@ Subcommands:
   and write the merged report (traces included) to a JSON file; ``--shrink``
   minimizes the winning bug trace before the report is written; ``--prune``
   builds the scenario's static independence table and defaults the portfolio
-  to the dependence-aware ``dpor-lite`` strategy.
+  to the dependence-aware ``dpor-lite`` strategy; ``--stop-on-bug`` cancels
+  the remaining jobs once one finds a bug; ``--parallel N`` switches from
+  the portfolio to the prefix-partitioned parallel *exhaustive* search
+  (:mod:`repro.core.parallel`): one DFS-family strategy, N worker processes
+  splitting the choice tree with work stealing and shared fingerprints.
 * ``replay`` — load a report file and deterministically re-execute its
   recorded bug trace against the scenario it names (``--shrunk`` replays the
   minimized trace instead).
@@ -149,6 +153,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["independence"] = independence_for_scenarios([testcase], cache=cache)
     # Built through the constructor so __post_init__ validates the values.
     config = testcase.default_config(**overrides)
+    if args.parallel is not None:
+        return _run_parallel_search(args, testcase, config)
     default_strategies = ["random", "pct"]
     if args.prune:
         default_strategies = ["dpor-lite"]
@@ -165,6 +171,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         imports=tuple(args.imports or ()),
         start_method=args.start_method,
         shrink=args.shrink,
+        stop_on_first_bug=args.stop_on_bug,
     )
     report = portfolio.run()
     if args.json:
@@ -181,6 +188,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(report.summary())
     if args.output:
         report.save(args.output)
+        if not args.json:
+            print(f"report written to {args.output}")
+    if args.expect_bug and not report.bug_found:
+        print("error: a bug was expected but none was found", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_parallel_search(args: argparse.Namespace, testcase, config) -> int:
+    """The ``run --parallel N`` path: one exhaustive strategy, N processes."""
+    from .core.parallel import ParallelExplorer
+
+    if args.shrink:
+        print("error: --shrink is not supported with --parallel; shrink the "
+              "written report with `python -m repro shrink`", file=sys.stderr)
+        return 2
+    strategies = args.strategy or (["dpor-lite"] if args.prune else ["dfs"])
+    if len(strategies) != 1:
+        print("error: --parallel explores the choice tree with a single "
+              "exhaustive strategy; pass at most one --strategy", file=sys.stderr)
+        return 2
+    # The portfolio splits --iterations across seed shards; the parallel
+    # search has no shards — the same flag is the total execution budget.
+    config = dataclasses.replace(config, iterations=args.iterations)
+    explorer = ParallelExplorer(
+        testcase,
+        strategy=strategies[0],
+        num_workers=args.parallel,
+        config=config,
+        claim_iterations=args.claim_iterations,
+        imports=tuple(args.imports or ()),
+        start_method=args.start_method,
+        stop_on_first_bug=args.stop_on_bug,
+    )
+    report = explorer.run()
+    if args.json:
+        merged = report.merged_coverage
+        print(json.dumps({
+            "scenario": report.scenario,
+            "summary": report.summary(),
+            "bug_found": report.bug_found,
+            "total_iterations": report.total_iterations,
+            "claims": len(report.results),
+            "state_space_exhausted": report.state_space_exhausted,
+            "stopped_early": report.stopped_early,
+            "coverage": merged.summary(),
+            "fingerprints": sorted(format(fp, "016x") for fp in merged.fingerprints),
+            "workers": report.worker_stats(),
+        }, indent=2))
+    else:
+        print(report.summary())
+    if args.output:
+        # Repackaged claim-per-job so `python -m repro replay` just works.
+        report.as_portfolio_report(config, tuple(args.imports or ())).save(args.output)
         if not args.json:
             print(f"report written to {args.output}")
     if args.expect_bug and not report.bug_found:
@@ -475,6 +536,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=1, help="worker processes (default 1)")
     run.add_argument("--shards", type=int, default=None,
                      help="seed shards per strategy (default: same as --workers)")
+    run.add_argument("--parallel", type=int, default=None, metavar="N",
+                     help="prefix-partitioned parallel exhaustive search on N "
+                     "worker processes instead of a portfolio: one DFS-family "
+                     "strategy (default dfs, or dpor-lite with --prune) splits "
+                     "the choice tree into subtree claims with work stealing "
+                     "and cross-process fingerprint sharing; --iterations is "
+                     "the total execution budget")
+    run.add_argument("--claim-iterations", type=int, default=50, metavar="K",
+                     help="with --parallel: schedules a worker explores per "
+                     "claim before re-splitting its subtree for stealing "
+                     "(default 50)")
+    run.add_argument("--stop-on-bug", action="store_true",
+                     help="cancel remaining work as soon as a completed "
+                     "job/claim reports a bug (portfolio and --parallel)")
     run.add_argument("--seed", type=int, default=0, help="base random seed (default 0)")
     run.add_argument("--max-steps", type=int, default=None,
                      help="override the scenario's per-execution step bound")

@@ -14,6 +14,9 @@ The public surface of the framework:
   every case-study harness registers into.
 * :class:`Portfolio` / :func:`run_scenario` — multi-strategy, multi-process
   portfolio runs over registered scenarios.
+* :class:`ParallelExplorer` / :func:`explore_scenario` — prefix-partitioned
+  parallel exhaustive search with work stealing and cross-process
+  fingerprint sharing.
 * Scheduling strategies: random, priority-based (PCT), round-robin, DFS,
   replay — an open set extended with :func:`register_strategy`.
 """
@@ -22,6 +25,13 @@ from .config import TestingConfig
 from .coverage import CoverageTracker
 from .declarations import DEFER, IGNORE, State, on_entry, on_event, on_exit
 from .engine import TestingEngine, TestReport, run_test
+from .parallel import (
+    ClaimResult,
+    ParallelExplorer,
+    ParallelReport,
+    SubtreeClaim,
+    explore_scenario,
+)
 from .portfolio import (
     JobResult,
     Portfolio,
@@ -74,6 +84,7 @@ from .trace import ScheduleTrace, TraceStep
 __all__ = [
     "BugError",
     "BugInfo",
+    "ClaimResult",
     "CoverageTracker",
     "DEFER",
     "DFSStrategy",
@@ -90,6 +101,8 @@ __all__ = [
     "MachineId",
     "Monitor",
     "PCTStrategy",
+    "ParallelExplorer",
+    "ParallelReport",
     "Portfolio",
     "PortfolioJob",
     "PortfolioReport",
@@ -108,6 +121,7 @@ __all__ = [
     "Shrinker",
     "StartEvent",
     "State",
+    "SubtreeClaim",
     "StartTimer",
     "StopTimer",
     "TestCase",
@@ -124,6 +138,7 @@ __all__ = [
     "all_scenarios",
     "available_strategies",
     "create_strategy",
+    "explore_scenario",
     "get_scenario",
     "load_builtin_scenarios",
     "merge_results",

@@ -8,6 +8,7 @@ raw material for the Table 1 modeling statistics.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Set, Tuple
@@ -84,6 +85,17 @@ class CoverageTracker:
         tracker.monitor_states.update(tuple(s) for s in payload.get("monitor_states", []))
         tracker.fingerprints.update(int(fp, 16) for fp in payload.get("fingerprints", []))
         return tracker
+
+    def fingerprint_digest(self) -> str:
+        """sha256 over the sorted fingerprint set (hex-encoded).
+
+        A canonical content identity for the distinct-state set: identical
+        across processes, ``PYTHONHASHSEED`` values and merge orders, so
+        cross-process determinism gates compare one short string instead of
+        shipping whole sets around.
+        """
+        encoded = ",".join(format(fp, "016x") for fp in sorted(self.fingerprints))
+        return hashlib.sha256(encoded.encode()).hexdigest()
 
     def merge(self, other: "CoverageTracker") -> None:
         self.machines.update(other.machines)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from .config import TestingConfig
 from .coverage import CoverageTracker
@@ -122,11 +122,30 @@ class TestReport:
         return TestReport.from_dict(json.loads(text))
 
 
+class ClaimOutcome(NamedTuple):
+    """Result of exploring one subtree claim (see :meth:`TestingEngine.explore_claim`)."""
+
+    report: TestReport
+    #: the claimed subtree was fully explored within the budget
+    exhausted: bool
+    #: the claim was abandoned: its prefix hit a state another search had
+    #: already fully explored (per the seeded visited entries)
+    covered: bool
+    #: unexplored remainder, split into disjoint sub-claims (empty when
+    #: ``exhausted`` or ``covered``); each is a decision-prefix path
+    frontier: List[Tuple[Tuple[int, int], ...]]
+    #: visited entries this exploration proved (fingerprint -> remaining
+    #: steps), for gossip to other workers
+    visited_delta: Dict[int, int]
+
+
 class TestingEngine:
     """Drives repeated controlled executions of a test harness.
 
     Kept as the single-strategy building block; multi-strategy parallel runs
-    live in :class:`repro.core.portfolio.Portfolio`, which composes engines.
+    live in :class:`repro.core.portfolio.Portfolio`, and prefix-partitioned
+    parallel exhaustive search in :class:`repro.core.parallel.ParallelExplorer`
+    — both compose engines.
     """
 
     __test__ = False  # not a pytest test class despite the name
@@ -177,6 +196,52 @@ class TestingEngine:
                     self.shrink_bug(bug)
         report.elapsed_seconds = time.perf_counter() - started
         return report
+
+    # ------------------------------------------------------------------
+    def explore_claim(
+        self,
+        claim: Sequence[Tuple[int, int]] = (),
+        visited: Optional[Dict[int, int]] = None,
+    ) -> ClaimOutcome:
+        """Explore (a budget's worth of) the subtree rooted at ``claim``.
+
+        The parallel run path: restricts this engine's exhaustive strategy to
+        the decision prefix ``claim``, seeds it with ``visited`` entries from
+        other searches, runs up to ``config.iterations`` executions, and —
+        when the budget expired before the subtree did — advances the search
+        one last time and exports the unexplored remainder as sub-claims.
+        An engine (and its strategy) explores exactly one claim; build a
+        fresh one per claim.
+        """
+        strategy = self.strategy
+        if not getattr(strategy, "supports_claims", False):
+            raise ValueError(
+                f"strategy {strategy.name!r} cannot explore subtree claims "
+                "(needs an exhaustive DFS-family strategy)"
+            )
+        strategy.set_claim(claim)
+        if visited:
+            strategy.seed_visited(visited)
+        report = self.run()
+        covered = strategy.claim_covered
+        exhausted = strategy.exhausted and not covered
+        frontier: List[Tuple[Tuple[int, int], ...]] = []
+        if not covered and not exhausted and report.iterations_executed > 0:
+            # The budget ran out mid-subtree: advance past the last executed
+            # schedule (recording its post-order visited entries) and hand
+            # the rest back for other workers to steal.
+            strategy.prepare_iteration(report.iterations_executed)
+            covered = strategy.claim_covered
+            exhausted = strategy.exhausted and not covered
+            if not exhausted and not covered:
+                frontier = strategy.export_frontier()
+        return ClaimOutcome(
+            report=report,
+            exhausted=exhausted,
+            covered=covered,
+            frontier=frontier,
+            visited_delta=dict(strategy.visited_delta),
+        )
 
     # ------------------------------------------------------------------
     def replay(self, trace: ScheduleTrace, tolerant: bool = False) -> Optional[BugInfo]:

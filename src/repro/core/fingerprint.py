@@ -43,7 +43,7 @@ from __future__ import annotations
 from collections import deque
 from hashlib import blake2b
 from types import ModuleType
-from typing import TYPE_CHECKING, Dict, NamedTuple, Optional, Set
+from typing import TYPE_CHECKING, Dict, Mapping, NamedTuple, Optional, Set
 
 from .events import Event
 from .ids import MachineId
@@ -53,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .monitors import Monitor
     from .runtime.kernel import RuntimeKernel
 
-__all__ = ["Fingerprint", "FingerprintTracker", "stable_hash"]
+__all__ = ["Fingerprint", "FingerprintTracker", "merge_visited", "stable_hash"]
 
 #: Mersenne-prime modulus of the rolling queue hashes; keeps every hash in
 #: 61 bits so the Python ints stay single-digit (fast) on 64-bit builds.
@@ -518,3 +518,23 @@ class FingerprintTracker:
 def tracker_for(runtime: "RuntimeKernel") -> Optional[FingerprintTracker]:
     """The runtime's tracker, if fingerprinting is active (else ``None``)."""
     return getattr(runtime, "_fingerprint", None)
+
+
+def merge_visited(target: Dict[int, int], entries: "Mapping[int, int]") -> int:
+    """Max-merge fully-explored-state entries into ``target``; returns the
+    number of entries added or improved.
+
+    A visited entry maps a fingerprint to the most *remaining steps* any
+    search has fully explored it with (see stateful search in
+    :mod:`repro.core.strategy.dfs_strategy`).  Entries are monotone facts
+    about the program — "everything within ``r`` steps of this state has
+    been visited" — so merging across searches (and across processes, which
+    is how the parallel driver composes dedupe) is sound as long as the
+    larger remaining-steps value wins.
+    """
+    novel = 0
+    for fingerprint, remaining in entries.items():
+        if remaining > target.get(fingerprint, -1):
+            target[fingerprint] = remaining
+            novel += 1
+    return novel

@@ -32,7 +32,7 @@ import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .config import TestingConfig
 from .coverage import CoverageTracker
@@ -197,7 +197,11 @@ class PortfolioReport:
 # worker entry point (top-level so it pickles under every start method)
 # ---------------------------------------------------------------------------
 def _execute_job(payload: dict) -> dict:
-    """Run one job in a (possibly separate) process; returns a JSON-safe dict."""
+    """Run one job in a (possibly separate) process; returns a JSON-safe dict.
+
+    The result is tagged with the job index because the pool streams results
+    back in completion order (``imap_unordered``), not submission order.
+    """
     job = PortfolioJob.from_dict(payload)
     # Replay the parent's --import registrations first: a spawn-started
     # worker is a fresh interpreter that only knows the builtin scenarios,
@@ -205,7 +209,7 @@ def _execute_job(payload: dict) -> dict:
     import_scenario_modules(job.imports)
     testcase = get_scenario(job.scenario)
     report = TestingEngine(testcase.build(), job.config).run()
-    return report.to_dict()
+    return {"index": job.index, "report": report.to_dict()}
 
 
 def merge_results(jobs: Sequence[PortfolioJob], reports: Sequence[TestReport]) -> List[JobResult]:
@@ -246,6 +250,12 @@ class Portfolio:
             found one) is minimized with :class:`~repro.core.shrink.Shrinker`
             before the reports are merged, so the saved report already
             carries ``shrunk_trace`` and its shrink statistics.
+        stop_on_first_bug: cancel the jobs still running (or not yet
+            started) as soon as any job completes with a bug.  Cancelled
+            jobs appear in the merged report as zero-execution placeholder
+            reports, so job numbering — and therefore the winner, the
+            lowest-numbered *completed* job that found a bug — stays
+            deterministic given the same set of completed jobs.
     """
 
     def __init__(
@@ -260,6 +270,7 @@ class Portfolio:
         imports: Sequence[str] = (),
         start_method: Optional[str] = None,
         shrink: bool = False,
+        stop_on_first_bug: bool = False,
     ) -> None:
         self.testcase = scenario if isinstance(scenario, TestCase) else get_scenario(scenario)
         if not strategies:
@@ -277,6 +288,7 @@ class Portfolio:
         self.imports = tuple(imports)
         self.start_method = start_method
         self.shrink = shrink
+        self.stop_on_first_bug = stop_on_first_bug
 
     # ------------------------------------------------------------------
     def jobs(self) -> List[PortfolioJob]:
@@ -312,8 +324,13 @@ class Portfolio:
         jobs = self.jobs()
         started = time.perf_counter()
         payloads = [job.to_dict() for job in jobs]
+        completed: Dict[int, dict] = {}
         if self.num_workers == 1 or len(jobs) == 1:
-            raw = [_execute_job(payload) for payload in payloads]
+            for payload in payloads:
+                result = _execute_job(payload)
+                completed[result["index"]] = result["report"]
+                if self.stop_on_first_bug and result["report"].get("bugs"):
+                    break
         else:
             context = (
                 multiprocessing.get_context(self.start_method)
@@ -321,8 +338,20 @@ class Portfolio:
                 else multiprocessing
             )
             with context.Pool(processes=min(self.num_workers, len(jobs))) as pool:
-                raw = pool.map(_execute_job, payloads)
-        reports = [TestReport.from_dict(entry) for entry in raw]
+                # Stream results in completion order so one bug-finding job
+                # can cancel its still-running siblings; leaving the with
+                # block after the break terminates the pool's outstanding
+                # workers instead of waiting for them.
+                for result in pool.imap_unordered(_execute_job, payloads):
+                    completed[result["index"]] = result["report"]
+                    if self.stop_on_first_bug and result["report"].get("bugs"):
+                        break
+        reports = [
+            TestReport.from_dict(completed[job.index])
+            if job.index in completed
+            else self._cancelled_report(job)
+            for job in jobs
+        ]
         if self.shrink:
             self._shrink_winning_bug(jobs, reports)
         return PortfolioReport(
@@ -330,6 +359,17 @@ class Portfolio:
             results=merge_results(jobs, reports),
             elapsed_seconds=time.perf_counter() - started,
             num_workers=self.num_workers,
+        )
+
+    @staticmethod
+    def _cancelled_report(job: PortfolioJob) -> TestReport:
+        """Placeholder for a job cancelled by ``stop_on_first_bug``: zero
+        executions, so it can never displace a completed job as the winner
+        and the merged iteration totals count only real work."""
+        return TestReport(
+            strategy=job.strategy,
+            iterations_requested=job.config.iterations,
+            iterations_executed=0,
         )
 
     def _shrink_winning_bug(

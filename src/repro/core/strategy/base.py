@@ -37,6 +37,13 @@ class SchedulingStrategy(abc.ABC):
     #: ``TestingConfig.fingerprints`` is off.
     wants_fingerprints = False
 
+    #: exhaustive strategies that can restrict their search to a *subtree
+    #: claim* — a frozen prefix of choice-tree decisions — set this and
+    #: implement ``set_claim`` / ``export_frontier`` / ``seed_visited`` (see
+    #: :class:`~repro.core.strategy.dfs_strategy.DFSStrategy`).  The parallel
+    #: driver (:mod:`repro.core.parallel`) only accepts such strategies.
+    supports_claims = False
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         #: set to True by exhaustive strategies (e.g. DFS) once the bounded

@@ -39,6 +39,28 @@ Soundness discipline:
   visited set grew), the existing option-count-mismatch restart abandons
   that subtree — deliberately, because it is provably covered.
 
+Subtree claims (parallel search)
+--------------------------------
+
+The parallel driver (:mod:`repro.core.parallel`) partitions the choice tree
+by decision prefix.  :meth:`DFSStrategy.set_claim` pre-seeds the stack with
+*frozen* choice points — decisions the search replays on every iteration but
+never bumps — so the strategy exhausts exactly the subtree rooted at that
+prefix: the advance loop stops popping at the frozen boundary, and an empty
+non-frozen suffix means the claim (not the whole space) is exhausted.
+:meth:`DFSStrategy.export_frontier` splits the unexplored remainder of a
+claim into disjoint sub-claims (the current path plus every unvisited right
+sibling along it), which is what makes dynamic work stealing possible.
+
+Cross-process dedupe composes through :meth:`DFSStrategy.seed_visited` (merge
+another worker's visited entries in) and :attr:`DFSStrategy.visited_delta`
+(the novel entries this search recorded, for gossip back out).  When a
+*frozen* node's state turns out covered by a seeded entry, the entire claim
+is provably redundant — some other worker fully explored this state with at
+least as many steps remaining — so the strategy raises
+:attr:`DFSStrategy.claim_covered` and walks the remaining executions out
+through forced branches; the driver abandons the claim.
+
 This strategy is an extension beyond the paper's evaluation (which used the
 random and priority-based schedulers) and is used by the ablation benchmarks.
 """
@@ -48,6 +70,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..fingerprint import merge_visited
 from ..ids import MachineId
 from .base import SchedulingStrategy
 from .registry import register_strategy
@@ -62,6 +85,10 @@ class _ChoicePoint:
     #: forced nodes and inexact states.  Recorded into the visited set when
     #: the node pops as exhausted.
     state: Optional[Tuple[int, int]] = None
+    #: claim-prefix decisions are replayed every iteration but never bumped
+    #: or popped; their subtree (beyond the claimed branch) belongs to other
+    #: claims, so their state is never recorded either.
+    frozen: bool = False
 
 
 @register_strategy("dfs")
@@ -69,6 +96,7 @@ class DFSStrategy(SchedulingStrategy):
     """Systematic enumeration of every bounded schedule."""
 
     name = "dfs"
+    supports_claims = True
 
     def __init__(self, seed: int = 0, stateful: bool = False) -> None:
         super().__init__(seed)
@@ -81,9 +109,20 @@ class DFSStrategy(SchedulingStrategy):
         #: fingerprint -> most remaining steps it has been fully explored
         #: with; persists across iterations (the whole point).
         self._visited: Dict[int, int] = {}
+        #: entries recorded (or improved) by *this* search, as opposed to
+        #: ones merged in through :meth:`seed_visited`; the parallel driver
+        #: gossips these to other workers.
+        self.visited_delta: Dict[int, int] = {}
         #: schedules that hit at least one covered state (observability)
         self.pruned_schedules = 0
         self._pruned_this_iteration = False
+        #: number of frozen claim-prefix decisions at the bottom of the stack
+        self._frozen_depth = 0
+        #: set when a frozen decision's state is covered by a (seeded)
+        #: visited entry: the whole claim is provably redundant, remaining
+        #: executions walk out through forced branches, and
+        #: ``prepare_iteration`` reports the claim exhausted.
+        self.claim_covered = False
 
     @property
     def wants_fingerprints(self) -> bool:
@@ -100,34 +139,102 @@ class DFSStrategy(SchedulingStrategy):
         self._runtime = runtime
         self._max_steps = runtime.config.max_steps
 
+    # ------------------------------------------------------------------
+    # subtree claims (parallel search)
+    # ------------------------------------------------------------------
+    def set_claim(self, path: Sequence[Tuple[int, int]]) -> None:
+        """Restrict the search to the subtree rooted at a decision prefix.
+
+        ``path`` is a sequence of ``(num_options, index)`` pairs from the
+        root of the choice tree.  Must be called before the first iteration;
+        the prefix decisions are replayed on every execution and never
+        advanced, so :attr:`exhausted` now means "this subtree is done".
+        """
+        if self._stack:
+            raise ValueError("set_claim must be called before the search starts")
+        for num_options, index in path:
+            if not 0 <= index < num_options:
+                raise ValueError(f"invalid claim decision ({num_options}, {index})")
+            self._stack.append(_ChoicePoint(num_options, index, frozen=True))
+        self._frozen_depth = len(self._stack)
+
+    def seed_visited(self, entries: Mapping[int, int]) -> None:
+        """Merge another search's visited entries (max remaining steps wins).
+
+        Seeded entries do not enter :attr:`visited_delta`: the delta carries
+        only what *this* search proved, so gossip never echoes."""
+        merge_visited(self._visited, entries)
+
+    def export_frontier(self) -> List[Tuple[Tuple[int, int], ...]]:
+        """Split the unexplored remainder of the claim into disjoint claims.
+
+        Call after :meth:`prepare_iteration` has advanced the stack to the
+        next unexplored branch (and :attr:`exhausted` is still False).  The
+        result lists, in depth-first order, the current path plus one claim
+        per unvisited right sibling along it; their subtrees partition
+        everything this search has not explored yet.
+        """
+        if self.exhausted:
+            return []
+        path = [(point.num_options, point.index) for point in self._stack]
+        claims = [tuple(path)]
+        for level in range(len(self._stack) - 1, self._frozen_depth - 1, -1):
+            point = self._stack[level]
+            for sibling in range(point.index + 1, point.num_options):
+                claims.append((*path[:level], (point.num_options, sibling)))
+        return claims
+
+    # ------------------------------------------------------------------
     def prepare_iteration(self, iteration: int) -> None:
         self._depth = 0
         if self._pruned_this_iteration:
             self.pruned_schedules += 1
             self._pruned_this_iteration = False
+        if self.claim_covered:
+            # Another worker fully explored a state on the claim prefix; the
+            # whole subtree is redundant, so the claim is (vacuously) done.
+            self.exhausted = True
+            return
         if iteration == 0:
             return
         # Advance to the next unexplored branch: drop exhausted suffix, then
         # bump the deepest remaining choice.  A popped point's subtree is
         # fully explored, which is exactly when its state becomes safe to
-        # record as visited (post-order).
+        # record as visited (post-order).  Frozen claim decisions are never
+        # popped: hitting the frozen boundary means the claim is exhausted.
         visited = self._visited
-        while self._stack and self._stack[-1].index + 1 >= self._stack[-1].num_options:
+        delta = self.visited_delta
+        while self._stack and not self._stack[-1].frozen and (
+            self._stack[-1].index + 1 >= self._stack[-1].num_options
+        ):
             point = self._stack.pop()
             state = point.state
             if state is not None:
                 fingerprint, remaining = state
                 if remaining > visited.get(fingerprint, -1):
                     visited[fingerprint] = remaining
-        if not self._stack:
+                    delta[fingerprint] = remaining
+        if not self._stack or self._stack[-1].frozen:
             self.exhausted = True
             return
         self._stack[-1].index += 1
 
     def _choose(self, num_options: int, state: Optional[Tuple[int, int]] = None) -> int:
+        if self.claim_covered:
+            return 0  # walking out of an abandoned claim: any branch will do
         if self._depth < len(self._stack):
             point = self._stack[self._depth]
             if point.num_options != num_options:
+                if point.frozen:
+                    # Frozen decisions replay deterministically and covered
+                    # flips are intercepted in next_machine, so a mismatch
+                    # here means the program under test is nondeterministic
+                    # beyond runtime control.  Abandoning silently would
+                    # drop an unexplored subtree — fail loudly instead.
+                    raise RuntimeError(
+                        f"claim prefix diverged at depth {self._depth}: "
+                        f"recorded {point.num_options} options, found {num_options}"
+                    )
                 # The prefix diverged (the program is not purely determined by
                 # earlier choices, or a node's covered-status flipped);
                 # restart the subtree from this point.
@@ -161,8 +268,17 @@ class DFSStrategy(SchedulingStrategy):
 
     def next_machine(self, enabled: Sequence[MachineId], step: int) -> MachineId:
         ordered = sorted(enabled, key=lambda mid: mid.value)
+        if self.claim_covered:
+            return ordered[0]
         state = self._observe_state(step)
         if self._is_covered(state):
+            if self._depth < self._frozen_depth:
+                # A *frozen* decision's state is covered (necessarily by a
+                # seeded entry — post-order recording means this search
+                # cannot have recorded an ancestor of its own prefix): every
+                # behaviour in the claim was explored by another worker.
+                self.claim_covered = True
+                return ordered[0]
             # Every behaviour below this point was explored from a previous
             # visit with at least as many remaining steps: walk out through
             # a single forced branch instead of fanning out.  The forced

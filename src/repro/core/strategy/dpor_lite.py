@@ -119,6 +119,8 @@ class DporLiteStrategy(DFSStrategy):
         if self._table is None or self._runtime is None:
             return super().next_machine(enabled, step)
         ordered = sorted(enabled, key=lambda mid: mid.value)
+        if self.claim_covered:
+            return ordered[0]
         # Stateful dedupe composes *before* the sleep-set machinery: a
         # covered state needs no fan-out at all, and the forced branch may
         # legitimately run a sleeping machine, so the sleep set is dropped
@@ -132,6 +134,12 @@ class DporLiteStrategy(DFSStrategy):
             sleep_hash = stable_hash(tuple(sorted(self._sleep)))[0]
             state = (state[0] ^ sleep_hash, state[1])
         if self._is_covered(state):
+            if self._depth < self._frozen_depth:
+                # Covered on the frozen claim prefix: another worker already
+                # exhausted this (state, sleep) — abandon the whole claim
+                # (see DFSStrategy.next_machine).
+                self.claim_covered = True
+                return ordered[0]
             self._pruned_this_iteration = True
             self._choose(1)
             self._sleep = {}

@@ -72,6 +72,23 @@ def extent_node_liveness_scenario():
 
 
 @scenario(
+    "vnext/failover-1node",
+    tags=("vnext", "liveness", "bug", "exhaustive"),
+    expected_bug="ExtentNodeLivenessViolation",
+    expected_bug_kind="liveness",
+    max_steps=3000,
+    case_study=1,
+)
+def failover_one_node_scenario():
+    """The §3.6 failover scenario shrunk to one extent node: small enough to
+    exhaust the bounded schedule space, so the exhaustive strategies (dfs,
+    dpor-lite, stateful, ``run --parallel``) and their benchmark gates use
+    it.  Registered by name so parallel/portfolio workers can rebuild it in
+    a fresh (spawn-started) process."""
+    return build_failover_test(fixed=False, num_nodes=1)
+
+
+@scenario(
     "vnext/failover-fixed",
     tags=("vnext", "clean"),
     max_steps=3000,

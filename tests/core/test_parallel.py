@@ -1,0 +1,313 @@
+"""Prefix-partitioned parallel search: claims, stealing, fingerprint gossip.
+
+The load-bearing properties:
+
+* claim partitioning is *complete and disjoint* — driving the subtree claims
+  of an exported frontier by hand enumerates exactly the schedules the
+  serial search runs, each once;
+* the parallel driver finds the same bug kinds and the same distinct-state
+  fingerprint set as the serial search (the sets, not just the counts);
+* the shared visited set composes across processes under the ``spawn``
+  start method and is invariant under ``PYTHONHASHSEED``;
+* ``num_workers=1`` is trace-for-trace the serial engine.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import (
+    ParallelExplorer,
+    ParallelReport,
+    SubtreeClaim,
+    TestingConfig,
+    TestingEngine,
+    explore_scenario,
+    get_scenario,
+    load_builtin_scenarios,
+)
+from repro.core.fingerprint import merge_visited
+from repro.core.strategy.dfs_strategy import DFSStrategy
+
+SCENARIO = "vnext/failover-1node"
+#: shallow bound: big enough to need several claims, small enough for tests
+MAX_STEPS = 5
+
+
+def _config(**overrides) -> TestingConfig:
+    base = dict(
+        iterations=1_000_000,
+        max_steps=MAX_STEPS,
+        stop_at_first_bug=False,
+        max_bugs=None,
+        max_log_records=8,
+        strategy="dfs",
+    )
+    base.update(overrides)
+    return TestingConfig(**base)
+
+
+def _testcase():
+    load_builtin_scenarios()
+    return get_scenario(SCENARIO)
+
+
+def _schedule_digests(report) -> list:
+    """One digest per recorded bug trace (used as an execution identity)."""
+    return sorted(
+        tuple((step.kind, step.value, step.label) for step in bug.trace.steps)
+        for bug in report.bugs
+        if bug.trace is not None
+    )
+
+
+# ---------------------------------------------------------------------------
+# claim mechanics (no processes)
+# ---------------------------------------------------------------------------
+def test_claim_round_trip_and_ordering():
+    claim = SubtreeClaim(((3, 1), (2, 0), (4, 2)))
+    assert SubtreeClaim.from_dict(claim.to_dict()) == claim
+    assert claim.indices == (1, 0, 2)
+    assert claim.depth == 3
+    # parent sorts before its own sub-claims, siblings sort left to right
+    assert SubtreeClaim(((3, 1),)).indices < claim.indices
+    assert claim.indices < SubtreeClaim(((3, 2),)).indices
+
+
+def test_set_claim_rejects_started_search_and_bad_paths():
+    strategy = DFSStrategy()
+    with pytest.raises(ValueError):
+        strategy.set_claim([(2, 5)])
+    strategy = DFSStrategy()
+    strategy.set_claim([(2, 1)])
+    with pytest.raises(ValueError):
+        strategy.set_claim([(2, 0)])
+
+
+def test_manual_claim_partition_covers_serial_space_exactly():
+    """Exhausting every claim of an exported frontier = the serial search.
+
+    Runs the serial DFS to completion, then re-runs it as: explore a few
+    schedules, export the frontier, exhaust each sub-claim independently
+    (recursing on claims that re-split).  The multiset of executed schedules
+    must match the serial run's exactly — proof the partition is complete
+    and disjoint, independent of any multiprocessing machinery.
+    """
+    testcase = _testcase()
+    config = _config()
+    serial = TestingEngine(testcase.build(), config).run()
+    assert serial.state_space_exhausted
+
+    executed = []
+    budget_config = _config(iterations=7)
+    claims = [()]
+    while claims:
+        claim = claims.pop()
+        engine = TestingEngine(testcase.build(), budget_config)
+        outcome = engine.explore_claim(claim)
+        executed.append(outcome.report)
+        assert not outcome.covered  # stateless search never abandons
+        claims.extend(outcome.frontier)
+
+    total = sum(report.iterations_executed for report in executed)
+    assert total == serial.iterations_executed
+    serial_schedules = _schedule_digests(serial)
+    claimed_schedules = sorted(
+        digest for report in executed for digest in _schedule_digests(report)
+    )
+    assert claimed_schedules == serial_schedules
+
+
+def test_covered_claim_is_abandoned():
+    """A claim whose prefix state another search exhausted ends immediately."""
+    testcase = _testcase()
+    # Fully explore serially (stateful) to harvest a complete visited set.
+    first = TestingEngine(testcase.build(), _config(stateful=True))
+    outcome_full = first.explore_claim((), visited={})
+    assert outcome_full.exhausted
+    assert outcome_full.visited_delta  # post-order entries were recorded
+
+    # Re-exploring any non-root claim with that visited set must hit a
+    # covered state on the frozen prefix and abandon without fanning out.
+    # Build a real claim path from a budget-limited search's frontier.
+    scout = TestingEngine(testcase.build(), _config(stateful=True, iterations=2))
+    scouted = scout.explore_claim((), visited={})
+    assert scouted.frontier, "scout budget should not exhaust the space"
+    claim = scouted.frontier[-1]
+
+    worker = TestingEngine(testcase.build(), _config(stateful=True))
+    outcome = worker.explore_claim(claim, visited=outcome_full.visited_delta)
+    assert outcome.covered
+    assert not outcome.frontier
+    assert outcome.report.iterations_executed == 1  # one walk-out execution
+
+
+def test_merge_visited_max_merges():
+    target = {1: 3, 2: 5}
+    assert merge_visited(target, {1: 4, 2: 2, 3: 1}) == 2
+    assert target == {1: 4, 2: 5, 3: 1}
+    assert merge_visited(target, {1: 4}) == 0
+
+
+# ---------------------------------------------------------------------------
+# parallel driver (processes)
+# ---------------------------------------------------------------------------
+def test_single_worker_is_trace_identical_to_serial():
+    testcase = _testcase()
+    config = _config(strategy="dpor-lite", stateful=True)
+    serial = TestingEngine(testcase.build(), config).run()
+    parallel = ParallelExplorer(
+        testcase, strategy="dpor-lite", num_workers=1, config=config
+    ).run()
+    assert parallel.state_space_exhausted
+    assert len(parallel.results) == 1
+    report = parallel.results[0].report
+    assert report.iterations_executed == serial.iterations_executed
+    assert [bug.to_dict() for bug in report.bugs] == [bug.to_dict() for bug in serial.bugs]
+    assert report.coverage.fingerprint_digest() == serial.coverage.fingerprint_digest()
+
+
+@pytest.mark.parametrize("stateful", [False, True])
+def test_parallel_matches_serial_space(stateful):
+    testcase = _testcase()
+    config = _config(stateful=stateful, fingerprints=True)
+    serial = TestingEngine(testcase.build(), config).run()
+    parallel = ParallelExplorer(
+        testcase, strategy="dfs", num_workers=2, config=config, claim_iterations=9
+    ).run()
+    assert parallel.state_space_exhausted
+    assert {bug.kind for bug in parallel.bugs} == {bug.kind for bug in serial.bugs}
+    assert parallel.merged_coverage.fingerprints == serial.coverage.fingerprints
+    if not stateful:
+        # without dedupe the partition is exact: same schedules, each once
+        assert parallel.total_iterations == serial.iterations_executed
+
+
+def test_parallel_spawn_shares_fingerprints_across_processes():
+    """spawn workers (fresh interpreters) still dedupe against each other and
+    produce exactly the serial distinct-state set."""
+    testcase = _testcase()
+    config = _config(strategy="dpor-lite", stateful=True, fingerprints=True)
+    serial = TestingEngine(testcase.build(), config).run()
+    parallel = ParallelExplorer(
+        SCENARIO,
+        strategy="dpor-lite",
+        num_workers=2,
+        config=config,
+        claim_iterations=9,
+        start_method="spawn",
+    ).run()
+    assert parallel.state_space_exhausted
+    assert parallel.merged_coverage.fingerprints == serial.coverage.fingerprints
+    assert {bug.kind for bug in parallel.bugs} == {bug.kind for bug in serial.bugs}
+    # gossip engaged: parallel redundancy stays within a small factor
+    assert parallel.total_iterations <= 2 * serial.iterations_executed
+
+
+def test_parallel_fingerprint_digest_invariant_under_hashseed():
+    """The merged distinct-state set is a pure function of the program: a
+    fresh interpreter with a different PYTHONHASHSEED, running the parallel
+    search under spawn, reports the same digest."""
+    testcase = _testcase()
+    config = _config(strategy="dpor-lite", stateful=True, fingerprints=True)
+    local = ParallelExplorer(
+        testcase, strategy="dpor-lite", num_workers=2, config=config, claim_iterations=9
+    ).run()
+    digest = local.merged_coverage.fingerprint_digest()
+
+    script = (
+        "import sys; sys.path.insert(0, sys.argv[1])\n"
+        "import tests.core.test_parallel as mod\n"
+        "from repro.core import ParallelExplorer\n"
+        "config = mod._config(strategy='dpor-lite', stateful=True, fingerprints=True)\n"
+        "report = ParallelExplorer(mod.SCENARIO, strategy='dpor-lite', num_workers=2,\n"
+        "                          config=config, claim_iterations=9,\n"
+        "                          start_method='spawn').run()\n"
+        "assert report.state_space_exhausted\n"
+        "print(report.merged_coverage.fingerprint_digest())\n"
+    )
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "424242"
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    result = subprocess.run(
+        [sys.executable, "-c", script, root],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=600,
+    )
+    assert result.stdout.strip() == digest
+
+
+def test_parallel_stop_on_first_bug_stops_early():
+    testcase = _testcase()
+    config = _config(strategy="dpor-lite", stateful=True)
+    report = ParallelExplorer(
+        testcase,
+        strategy="dpor-lite",
+        num_workers=2,
+        config=config,
+        claim_iterations=3,
+        stop_on_first_bug=True,
+    ).run()
+    assert report.bug_found
+    assert report.winning_result is not None
+    # the space was NOT exhausted: claims were cancelled
+    assert report.stopped_early
+    assert not report.state_space_exhausted
+
+
+def test_parallel_total_iteration_budget_caps_the_run():
+    testcase = _testcase()
+    report = ParallelExplorer(
+        testcase,
+        strategy="dfs",
+        num_workers=2,
+        config=_config(iterations=30),
+        claim_iterations=5,
+    ).run()
+    # budget plus at most one in-flight claim per worker
+    assert 30 <= report.total_iterations <= 30 + 2 * 5
+    assert report.stopped_early
+    assert not report.state_space_exhausted
+
+
+def test_parallel_report_round_trip_and_stats():
+    testcase = _testcase()
+    config = _config(strategy="dpor-lite", stateful=True, fingerprints=True)
+    report = ParallelExplorer(
+        testcase, strategy="dpor-lite", num_workers=2, config=config, claim_iterations=9
+    ).run()
+    clone = ParallelReport.from_json(report.to_json())
+    assert clone.scenario == report.scenario
+    assert clone.state_space_exhausted == report.state_space_exhausted
+    assert clone.total_iterations == report.total_iterations
+    assert clone.merged_coverage.fingerprint_digest() == report.merged_coverage.fingerprint_digest()
+    assert [r.claim for r in clone.results] == [r.claim for r in report.results]
+    stats = report.worker_stats()
+    assert sum(entry["claims"] for entry in stats) == len(report.results)
+    assert sum(entry["executions"] for entry in stats) == report.total_iterations
+
+    # the portfolio repackaging is replayable: job per claim, claim order
+    portfolio = report.as_portfolio_report(config)
+    assert portfolio.bug_found == report.bug_found
+    assert [result.job.index for result in portfolio.results] == list(range(len(report.results)))
+    assert portfolio.merged_coverage.fingerprints == report.merged_coverage.fingerprints
+
+
+def test_parallel_rejects_non_exhaustive_strategies():
+    testcase = _testcase()
+    with pytest.raises(ValueError, match="subtree claims"):
+        ParallelExplorer(testcase, strategy="random", num_workers=2)
+
+
+def test_explore_scenario_convenience():
+    load_builtin_scenarios()
+    report = explore_scenario(
+        SCENARIO, strategy="dfs", num_workers=1, config=_config()
+    )
+    assert report.state_space_exhausted

@@ -158,3 +158,66 @@ def test_portfolio_budget_splits_remainder_across_shards():
 def test_run_scenario_rejects_config_plus_overrides():
     with pytest.raises(ValueError, match="not both"):
         run_scenario("examplesys/fixed", TestingConfig(iterations=1), seed=5)
+
+
+# ---------------------------------------------------------------------------
+# stop_on_first_bug (early cancellation)
+# ---------------------------------------------------------------------------
+def test_serial_stop_on_first_bug_cancels_later_jobs_in_index_order():
+    portfolio = Portfolio(
+        "examplesys/safety-bug",
+        strategies=["random", "pct"],
+        iterations=400,
+        num_shards=2,
+        seed=3,
+        stop_on_first_bug=True,
+    )
+    report = portfolio.run()
+    assert report.bug_found
+    winner = report.winning_result
+    assert winner is not None
+    assert winner.report.bug_found
+    # serial execution walks jobs in index order: everything before the
+    # winner ran bug-free to completion, everything after was cancelled
+    for result in report.results:
+        if result.job.index < winner.job.index:
+            assert result.report.iterations_executed >= 1
+            assert not result.report.bug_found
+        elif result.job.index > winner.job.index:
+            assert result.report.iterations_executed == 0
+            assert result.report.iterations_requested == result.job.config.iterations
+    # job numbering is intact despite the cancellations
+    assert [result.job.index for result in report.results] == list(range(4))
+
+
+def test_pool_stop_on_first_bug_terminates_remaining_jobs():
+    portfolio = Portfolio(
+        "examplesys/safety-bug",
+        strategies=["random"],
+        iterations=800,
+        num_shards=4,
+        num_workers=2,
+        seed=3,
+        stop_on_first_bug=True,
+    )
+    report = portfolio.run()
+    assert report.bug_found
+    # every job appears exactly once, in index order, completed or cancelled
+    assert [result.job.index for result in report.results] == list(range(4))
+    # the winner is a job that actually completed, never a placeholder
+    assert report.winning_result.report.iterations_executed >= 1
+    cancelled = [r for r in report.results if r.report.iterations_executed == 0]
+    for result in cancelled:
+        assert not result.report.bug_found
+
+
+def test_stop_on_first_bug_defaults_off_and_runs_everything():
+    portfolio = Portfolio(
+        "examplesys/safety-bug",
+        strategies=["random"],
+        iterations=40,
+        num_shards=2,
+        seed=3,
+    )
+    report = portfolio.run()
+    assert all(result.report.iterations_executed >= 1 for result in report.results)

@@ -48,8 +48,9 @@ def test_worker_entry_point_reimports_user_scenarios(quickstart_scenario):
         imports=(QUICKSTART,),
     )
     payload = portfolio.jobs()[0].to_dict()
-    report = _execute_job(payload)
-    assert report["iterations_executed"] >= 1
+    result = _execute_job(payload)
+    assert result["index"] == 0
+    assert result["report"]["iterations_executed"] >= 1
 
 
 def test_spawn_portfolio_runs_imported_scenario(quickstart_scenario):

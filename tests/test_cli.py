@@ -317,3 +317,96 @@ def test_run_prune_defaults_to_dpor_lite_and_finds_the_bug(tmp_path, capsys):
         payload = json.load(handle)
     assert any(result["job"]["strategy"] == "dpor-lite"
                for result in payload["results"])
+
+
+def test_run_parallel_writes_replayable_report(tmp_path, capsys):
+    report_path = str(tmp_path / "parallel.json")
+    code = main([
+        "run",
+        "--scenario", "vnext/failover-1node",
+        "--parallel", "2",
+        "--claim-iterations", "9",
+        "--iterations", "100000",
+        "--max-steps", "5",
+        "--stateful",
+        "--output", report_path,
+        "--expect-bug",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "parallel[dfs]" in out
+    assert "space exhausted" in out
+    assert "bug found" in out
+
+    # the written report is an ordinary portfolio document: replay works
+    assert main(["replay", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "replay reproduced the recorded bug deterministically" in out
+
+
+def test_run_parallel_json_includes_worker_stats(capsys):
+    code = main([
+        "run",
+        "--scenario", "vnext/failover-1node",
+        "--parallel", "2",
+        "--claim-iterations", "9",
+        "--iterations", "100000",
+        "--max-steps", "4",
+        "--prune",
+        "--stateful",
+        "--output", "",
+        "--json",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["state_space_exhausted"] is True
+    assert payload["claims"] >= 1
+    assert payload["workers"]
+    assert {"worker", "claims", "executions", "busy_seconds"} <= set(payload["workers"][0])
+    assert sum(entry["executions"] for entry in payload["workers"]) == payload["total_iterations"]
+
+
+def test_run_parallel_rejects_multiple_strategies(capsys):
+    code = main([
+        "run",
+        "--scenario", "vnext/failover-1node",
+        "--parallel", "2",
+        "--strategy", "dfs",
+        "--strategy", "dpor-lite",
+    ])
+    assert code == 2
+    assert "single" in capsys.readouterr().err
+
+
+def test_run_parallel_rejects_shrink(capsys):
+    code = main([
+        "run",
+        "--scenario", "vnext/failover-1node",
+        "--parallel", "2",
+        "--shrink",
+    ])
+    assert code == 2
+    assert "--shrink" in capsys.readouterr().err
+
+
+def test_run_stop_on_bug_portfolio(tmp_path, capsys):
+    report_path = str(tmp_path / "stop.json")
+    code = main([
+        "run",
+        "--scenario", "examplesys/safety-bug",
+        "--strategy", "random",
+        "--iterations", "400",
+        "--shards", "4",
+        "--stop-on-bug",
+        "--output", report_path,
+        "--expect-bug",
+    ])
+    assert code == 0
+    assert "bug found" in capsys.readouterr().out
+    with open(report_path) as handle:
+        payload = json.load(handle)
+    # cancelled shards are zero-execution placeholders in the saved report
+    executed = [result["report"]["iterations_executed"] for result in payload["results"]]
+    assert len(executed) == 4
+    assert any(count == 0 for count in executed)
